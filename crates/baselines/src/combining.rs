@@ -1,0 +1,145 @@
+//! McFarling's combining branch predictor (DEC WRL TN-36, 1993), cited by
+//! the paper as reference [6]: a bimodal predictor and a gshare predictor
+//! run in parallel, and a table of two-bit *chooser* counters — indexed by
+//! the branch PC — learns which component to trust per branch.
+
+use crate::{Bimodal, DirectionPredictor, Gshare, PatternHistoryTable};
+
+/// The McFarling combining predictor.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_baselines::{Combining, DirectionPredictor};
+/// let mut p = Combining::new(12);
+/// p.update(0x0040_0000, true);
+/// let _ = p.predict(0x0040_0000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Combining {
+    bimodal: Bimodal,
+    gshare: Gshare,
+    /// Chooser counters: ≥2 means "trust gshare".
+    chooser: PatternHistoryTable,
+}
+
+impl Combining {
+    /// Creates a combining predictor where each component table (and the
+    /// chooser) has `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is out of range (see
+    /// [`PatternHistoryTable::new`]).
+    pub fn new(index_bits: u32) -> Combining {
+        Combining {
+            bimodal: Bimodal::new(index_bits),
+            gshare: Gshare::new(index_bits),
+            chooser: PatternHistoryTable::new(index_bits),
+        }
+    }
+
+    fn trusts_gshare(&self, pc: u32) -> bool {
+        self.chooser.predict(pc >> 2)
+    }
+}
+
+impl DirectionPredictor for Combining {
+    fn predict(&self, pc: u32) -> bool {
+        if self.trusts_gshare(pc) {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        let g = self.gshare.predict(pc);
+        let b = self.bimodal.predict(pc);
+        // Train the chooser only when the components disagree: move toward
+        // whichever was right.
+        if g != b {
+            self.chooser.update(pc >> 2, g == taken);
+        }
+        self.gshare.update(pc, taken);
+        self.bimodal.update(pc, taken);
+    }
+
+    fn reset(&mut self) {
+        self.bimodal.reset();
+        self.gshare.reset();
+        self.chooser.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<P: DirectionPredictor>(p: &mut P, seq: &[(u32, bool)], rounds: usize) -> u32 {
+        let mut wrong = 0;
+        for _ in 0..rounds {
+            for &(pc, taken) in seq {
+                if p.predict(pc) != taken {
+                    wrong += 1;
+                }
+                p.update(pc, taken);
+            }
+        }
+        wrong
+    }
+
+    /// A mix: one strongly biased branch (bimodal's strength, which gshare
+    /// history pollution can hurt) and one history-correlated branch
+    /// (gshare's strength).
+    fn mixed_seq(n: usize) -> Vec<(u32, bool)> {
+        let mut out = Vec::new();
+        for k in 0..n {
+            out.push((0x100, true)); // always taken
+            out.push((0x200, k % 2 == 0)); // alternating
+            // A noisy branch that churns global history.
+            let noise = (k.wrapping_mul(2654435761)) >> 13 & 1 == 1;
+            out.push((0x300, noise));
+        }
+        out
+    }
+
+    #[test]
+    fn combining_at_least_matches_both_components() {
+        let seq = mixed_seq(2000);
+        let c = run(&mut Combining::new(12), &seq, 1);
+        let g = run(&mut Gshare::new(12), &seq, 1);
+        let b = run(&mut Bimodal::new(12), &seq, 1);
+        assert!(
+            c <= g.min(b) + seq.len() as u32 / 50,
+            "combining {c} vs gshare {g} vs bimodal {b}"
+        );
+    }
+
+    #[test]
+    fn chooser_learns_per_branch() {
+        // Branch A: biased (bimodal perfect, gshare suffers from noisy
+        // history aliasing in a tiny table). Branch B: alternating
+        // (gshare perfect, bimodal ~50%).
+        let mut p = Combining::new(10);
+        let seq = mixed_seq(3000);
+        run(&mut p, &seq, 1); // warm up
+        let wrong = run(&mut p, &seq[seq.len() - 600..], 1);
+        // After warm-up the only real misses should be on the noise branch.
+        assert!(
+            wrong < 300,
+            "combining should nail branches A and B: {wrong}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut p = Combining::new(8);
+        for _ in 0..10 {
+            p.update(0x40, true);
+        }
+        assert!(p.predict(0x40));
+        p.reset();
+        assert!(!p.predict(0x40), "weakly not-taken after reset");
+    }
+}

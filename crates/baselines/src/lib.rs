@@ -1,0 +1,36 @@
+//! # ntp-baselines — the predictors the paper compares against
+//!
+//! * Single-branch direction predictors: [`Bimodal`], [`GAg`], [`Gshare`]
+//!   (the paper's reference is a 16-bit gshare);
+//! * target predictors: [`ReturnAddressStack`] and the correlated
+//!   [`IndirectTargetBuffer`] of Chang, Hao & Patt;
+//! * [`SequentialTracePredictor`] — the idealized sequential baseline of
+//!   §5.1 that the paper's headline "~26% lower misprediction" is measured
+//!   against;
+//! * [`TraceGshare`] — a realizable single-access multiple-branch predictor
+//!   (after Patel et al.), for context below the idealized baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use ntp_baselines::{DirectionPredictor, Gshare};
+//! let mut g = Gshare::paper();
+//! g.update(0x0040_0000, true);
+//! let _ = g.predict(0x0040_0000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod combining;
+mod direction;
+mod multibranch;
+mod pht;
+mod sequential;
+mod targets;
+
+pub use combining::Combining;
+pub use direction::{Bimodal, DirectionPredictor, GAg, Gshare};
+pub use multibranch::{MultiBranchStats, MultiGAg, TraceGshare};
+pub use pht::PatternHistoryTable;
+pub use sequential::{SequentialConfig, SequentialStats, SequentialTracePredictor};
+pub use targets::{IndirectTargetBuffer, ReturnAddressStack};

@@ -1,0 +1,46 @@
+//! Cost of the cycle-level consumers: the delayed-update engine (Table 4)
+//! and the trace-cache fetch engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ntp_core::{NextTracePredictor, PredictorConfig};
+use ntp_engine::{DelayedUpdateEngine, EngineConfig, FetchConfig, FetchEngine};
+use ntp_trace::{TraceId, TraceRecord};
+
+fn stream(n: usize) -> Vec<TraceRecord> {
+    let mut x: u32 = 0xBEEF;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let pc = 0x0040_0000 + ((x >> 8) % 200) * 24;
+            TraceRecord::new(TraceId::new(pc, ((x >> 3) & 7) as u8, 3), 13, 0, false, false)
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let records = stream(20_000);
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("delayed_update_run", |b| {
+        b.iter(|| {
+            let mut e = DelayedUpdateEngine::new(
+                NextTracePredictor::new(PredictorConfig::paper(15, 7)),
+                EngineConfig::default(),
+            );
+            std::hint::black_box(e.run(&records).cycles)
+        });
+    });
+    group.bench_function("fetch_engine_run", |b| {
+        b.iter(|| {
+            let mut e = FetchEngine::new(
+                NextTracePredictor::new(PredictorConfig::paper(15, 7)),
+                FetchConfig::default(),
+            );
+            std::hint::black_box(e.run(&records).cycles)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Cost of the naming/index machinery: trace-ID hashing and DOLC index
+//! generation with folding (the predictor's critical path in hardware and
+//! in this simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntp_core::{Dolc, PathHistory};
+use ntp_trace::{HashedId, TraceId};
+
+fn bench_hashing(c: &mut Criterion) {
+    let ids: Vec<TraceId> = (0..1024u32)
+        .map(|k| TraceId::new(0x0040_0000 + k * 36, (k % 64) as u8, 6))
+        .collect();
+    let mut group = c.benchmark_group("hashing");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("trace_id_hash", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for id in &ids {
+                acc ^= id.hashed().0;
+            }
+            std::hint::black_box(acc);
+        });
+    });
+    group.finish();
+}
+
+fn bench_dolc(c: &mut Criterion) {
+    let mut hist: PathHistory<HashedId> = PathHistory::new(8);
+    for k in 0..8u16 {
+        hist.push(HashedId(0x1111u16.wrapping_mul(k + 1)));
+    }
+    let mut group = c.benchmark_group("dolc_index");
+    for depth in [0usize, 3, 7] {
+        let dolc = Dolc::standard(depth, 15);
+        group.bench_with_input(BenchmarkId::new("depth", depth), &dolc, |b, dolc| {
+            b.iter(|| std::hint::black_box(dolc.index(&hist, 15)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_dolc);
+criterion_main!(benches);

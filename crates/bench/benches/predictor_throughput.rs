@@ -1,0 +1,79 @@
+//! Cost of one predict+update step for every predictor configuration the
+//! evaluation uses (Figs. 6-8): bounded tables at the three studied sizes,
+//! the cost-reduced variant, and the unbounded model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntp_core::{
+    NextTracePredictor, PredictorConfig, StoredTarget, TracePredictor, UnboundedConfig,
+    UnboundedPredictor,
+};
+use ntp_trace::{TraceId, TraceRecord};
+
+/// A deterministic, moderately irregular trace stream.
+fn stream(n: usize) -> Vec<TraceRecord> {
+    let mut x: u32 = 0x1357_9BDF;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let pc = 0x0040_0000 + ((x >> 8) % 997) * 20;
+            let bits = ((x >> 3) & 0x3F) as u8;
+            let calls = ((x >> 29) == 7) as u8;
+            let ret = (x >> 27) & 7 == 3;
+            TraceRecord::new(TraceId::new(pc, bits, 6), 14, calls, ret, ret)
+        })
+        .collect()
+}
+
+fn bench_bounded(c: &mut Criterion) {
+    let records = stream(10_000);
+    let mut group = c.benchmark_group("bounded_predict_update");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for bits in [12u32, 15, 18] {
+        group.bench_with_input(BenchmarkId::new("table_bits", bits), &bits, |b, &bits| {
+            let mut p = NextTracePredictor::new(PredictorConfig::paper(bits, 7));
+            b.iter(|| {
+                for r in &records {
+                    let pred = p.predict();
+                    std::hint::black_box(&pred);
+                    p.update(r);
+                }
+            });
+        });
+    }
+    group.bench_function("cost_reduced_2^15", |b| {
+        let mut p = NextTracePredictor::new(PredictorConfig {
+            stored_target: StoredTarget::Hashed,
+            ..PredictorConfig::paper(15, 7)
+        });
+        b.iter(|| {
+            for r in &records {
+                let pred = p.predict();
+                std::hint::black_box(&pred);
+                p.update(r);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_unbounded(c: &mut Criterion) {
+    let records = stream(10_000);
+    let mut group = c.benchmark_group("unbounded_predict_update");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for depth in [0usize, 3, 7] {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &depth| {
+            let mut p = UnboundedPredictor::new(UnboundedConfig::paper(depth));
+            b.iter(|| {
+                for r in &records {
+                    let pred = p.predict();
+                    std::hint::black_box(&pred);
+                    p.update(r);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded, bench_unbounded);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Cost of the idealized sequential baseline (Table 2's inner loop), per
+//! trace observed.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ntp_baselines::{SequentialTracePredictor, TraceGshare};
+use ntp_trace::{run_traces, Trace, TraceConfig};
+use ntp_workloads::by_name;
+
+fn captured_traces() -> Vec<Trace> {
+    let workload = by_name("go", ntp_workloads::ScalePreset::Tiny);
+    let mut m = workload.machine();
+    let mut traces = Vec::new();
+    run_traces(&mut m, 300_000, TraceConfig::default(), |t| traces.push(*t)).unwrap();
+    traces
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let traces = captured_traces();
+    let mut group = c.benchmark_group("baselines_per_trace");
+    group.throughput(Throughput::Elements(traces.len() as u64));
+    group.bench_function("sequential_idealized", |b| {
+        b.iter(|| {
+            let mut seq = SequentialTracePredictor::paper();
+            for t in &traces {
+                seq.observe(t);
+            }
+            std::hint::black_box(seq.stats().trace_mispredicts);
+        });
+    });
+    group.bench_function("trace_gshare_multibranch", |b| {
+        b.iter(|| {
+            let mut mb = TraceGshare::new(14);
+            for t in &traces {
+                mb.observe(t);
+            }
+            std::hint::black_box(mb.stats().trace_mispredicts);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Cost of the substrate underneath every experiment: functional
+//! simulation plus trace selection (Table 1's capture pass).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ntp_trace::{TraceBuilder, TraceConfig};
+use ntp_workloads::by_name;
+
+fn bench_sim_and_select(c: &mut Criterion) {
+    let workload = by_name("compress", ntp_workloads::ScalePreset::Tiny);
+    const BUDGET: u64 = 200_000;
+    let mut group = c.benchmark_group("trace_construction");
+    group.throughput(Throughput::Elements(BUDGET));
+    group.bench_function("simulate_only", |b| {
+        b.iter(|| {
+            let mut m = workload.machine();
+            m.run(BUDGET).unwrap();
+            std::hint::black_box(m.icount());
+        });
+    });
+    group.bench_function("simulate_and_build_traces", |b| {
+        b.iter(|| {
+            let mut m = workload.machine();
+            let mut builder = TraceBuilder::new(TraceConfig::default());
+            let mut traces = 0u64;
+            m.run_with(BUDGET, |step| {
+                if builder.push(step).is_some() {
+                    traces += 1;
+                }
+            })
+            .unwrap();
+            std::hint::black_box(traces);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_and_select);
+criterion_main!(benches);

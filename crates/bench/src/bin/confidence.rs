@@ -1,0 +1,6 @@
+//! Regenerates the confidence-estimation extension section.
+
+fn main() {
+    let data = ntp_bench::capture_suite();
+    print!("{}", ntp_bench::exp::confidence(&data));
+}

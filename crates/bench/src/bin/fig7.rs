@@ -1,0 +1,7 @@
+//! Regenerates one section of the paper's evaluation. See `experiments`
+//! for all sections at once.
+
+fn main() {
+    let data = ntp_bench::capture_suite();
+    print!("{}", ntp_bench::exp::fig7(&data));
+}

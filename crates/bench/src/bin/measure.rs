@@ -1,0 +1,20 @@
+//! Reports per-round instruction costs of each workload (used to calibrate
+//! the scale presets).
+
+fn main() {
+    for name in ["compress", "cc", "go", "jpeg", "m88ksim", "xlisp"] {
+        let w = ntp_workloads::by_name(name, ntp_workloads::ScalePreset::Tiny);
+        let mut m = w.machine();
+        m.run(2_000_000_000).unwrap();
+        let rounds = match name {
+            "jpeg" => 4,
+            _ => 2,
+        };
+        println!(
+            "{name}: total {} instrs, {} per round, static {} instrs",
+            m.icount(),
+            m.icount() / rounds,
+            w.program.len()
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the trace-selection-policy study (an extension; §4.2 of the
+//! paper explicitly defers this question).
+
+fn main() {
+    print!("{}", ntp_bench::exp::selection_study());
+}

@@ -1,0 +1,5 @@
+//! Prints the DOLC index-generation configurations (Table 3).
+
+fn main() {
+    print!("{}", ntp_bench::exp::table3());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the trace-processor throughput extension section.
+
+fn main() {
+    let data = ntp_bench::capture_suite();
+    print!("{}", ntp_bench::exp::trace_processor(&data));
+}

@@ -1,0 +1,542 @@
+//! The experiment sections: one function per table/figure of the paper.
+//!
+//! Each takes captured benchmark data and returns the formatted section as
+//! a string, so `experiments` can run everything and the per-figure
+//! binaries can run one.
+
+use crate::{pct, row, BenchData};
+use ntp_core::{
+    evaluate, CounterSpec, Dolc, NextTracePredictor, PredictorConfig, RhsConfig, StoredTarget,
+    UnboundedConfig, UnboundedPredictor,
+};
+use ntp_engine::{DelayedUpdateEngine, EngineConfig};
+
+/// Depths studied throughout the evaluation (0–7, as in §5.2).
+pub const DEPTHS: std::ops::RangeInclusive<usize> = 0..=7;
+
+/// Bounded table sizes studied (log2 entries): our reconstruction of the
+/// paper's three sizes (the OCR drops the exponents; Table 3's index widths
+/// are 12/15/18).
+pub const TABLE_BITS: [u32; 3] = [12, 15, 18];
+
+fn header(title: &str) -> String {
+    format!("\n==== {title} ====\n")
+}
+
+/// Table 1: benchmark summary.
+pub fn table1(data: &[BenchData]) -> String {
+    let mut s = header("Table 1: benchmark summary");
+    s += &row(&[
+        "bench".into(),
+        "Minstr".into(),
+        "traces".into(),
+        "avg-len".into(),
+        "static".into(),
+        "br/tr".into(),
+        "dup".into(),
+    ]);
+    s.push('\n');
+    for d in data {
+        s += &row(&[
+            d.name.into(),
+            format!("{:.1}", d.icount as f64 / 1e6),
+            format!("{}", d.trace_stats.traces()),
+            format!("{:.1}", d.trace_stats.avg_trace_len()),
+            format!("{}", d.trace_stats.static_traces()),
+            format!("{:.2}", d.trace_stats.branches_per_trace()),
+            format!("{:.2}", d.redundancy.duplication_factor()),
+        ]);
+        s.push('\n');
+    }
+    s
+}
+
+/// Table 2: the idealized sequential predictor (16-bit gshare + perfect
+/// BTB/RAS + 4K correlated indirect buffer), plus the realizable
+/// single-access multiple-branch predictor for context.
+pub fn table2(data: &[BenchData]) -> String {
+    let mut s = header("Table 2: prediction accuracy of sequential predictors");
+    s += &row(&[
+        "bench".into(),
+        "gshare%".into(),
+        "br/tr".into(),
+        "seq-tr%".into(),
+        "multi%".into(),
+        "gag%".into(),
+    ]);
+    s.push('\n');
+    let mut seq_sum = 0.0;
+    for d in data {
+        seq_sum += d.seq_stats.trace_mispredict_pct();
+        s += &row(&[
+            d.name.into(),
+            pct(d.seq_stats.branch_mispredict_pct()),
+            format!("{:.2}", d.seq_stats.branches_per_trace()),
+            pct(d.seq_stats.trace_mispredict_pct()),
+            pct(d.mb_stats.trace_mispredict_pct()),
+            pct(d.gag_stats.trace_mispredict_pct()),
+        ]);
+        s.push('\n');
+    }
+    s += &format!(
+        "mean sequential trace misprediction: {:.2}%\n",
+        seq_sum / data.len() as f64
+    );
+    s
+}
+
+/// Table 3: the DOLC index-generation configurations in use.
+pub fn table3() -> String {
+    let mut s = header("Table 3: index generation configurations (D-O-L-C)");
+    s += &row(&[
+        "depth".into(),
+        "12-bit".into(),
+        "parts".into(),
+        "15-bit".into(),
+        "parts".into(),
+        "18-bit".into(),
+        "parts".into(),
+    ]);
+    s.push('\n');
+    for depth in DEPTHS {
+        let mut cells = vec![format!("{depth}")];
+        for bits in TABLE_BITS {
+            let d = Dolc::standard(depth, bits);
+            cells.push(format!("{d}"));
+            cells.push(format!("({}p)", d.parts(bits)));
+        }
+        s += &row(&cells);
+        s.push('\n');
+    }
+    s
+}
+
+/// Figure 6: unbounded tables, depths 0–7, for the correlated-only, hybrid,
+/// and hybrid+RHS predictors, with the sequential baseline as reference.
+pub fn fig6(data: &[BenchData]) -> String {
+    let mut s = header("Figure 6: next trace prediction with unbounded tables (mispredict %)");
+    let mut means = [0.0f64; 3];
+    for d in data {
+        s += &format!(
+            "-- {} (sequential reference: {:.2}%)\n",
+            d.name,
+            d.seq_stats.trace_mispredict_pct()
+        );
+        s += &row(&[
+            "depth".into(),
+            "corr".into(),
+            "hybrid".into(),
+            "hyb+RHS".into(),
+        ]);
+        s.push('\n');
+        for depth in DEPTHS {
+            let configs = [
+                UnboundedConfig::correlated_only(depth),
+                UnboundedConfig::hybrid_no_rhs(depth),
+                UnboundedConfig::paper(depth),
+            ];
+            let mut cells = vec![format!("{depth}")];
+            for (k, cfg) in configs.iter().enumerate() {
+                let mut p = UnboundedPredictor::new(*cfg);
+                let stats = evaluate(&mut p, &d.records);
+                cells.push(pct(stats.mispredict_pct()));
+                if depth == *DEPTHS.end() {
+                    means[k] += stats.mispredict_pct();
+                }
+            }
+            s += &row(&cells);
+            s.push('\n');
+        }
+    }
+    s += &format!(
+        "means at depth {} — corr {:.2}%, hybrid {:.2}%, hybrid+RHS {:.2}%\n",
+        DEPTHS.end(),
+        means[0] / data.len() as f64,
+        means[1] / data.len() as f64,
+        means[2] / data.len() as f64,
+    );
+    s
+}
+
+/// Figure 7: bounded tables (2^12 / 2^15 / 2^18 entries), hybrid + RHS,
+/// across history depths, with the sequential baseline as reference.
+pub fn fig7(data: &[BenchData]) -> String {
+    let mut s = header("Figure 7: next trace prediction with bounded tables (mispredict %)");
+    let mut means = vec![0.0f64; TABLE_BITS.len()];
+    for d in data {
+        s += &format!(
+            "-- {} (sequential reference: {:.2}%)\n",
+            d.name,
+            d.seq_stats.trace_mispredict_pct()
+        );
+        s += &row(&[
+            "depth".into(),
+            "2^12".into(),
+            "2^15".into(),
+            "2^18".into(),
+        ]);
+        s.push('\n');
+        for depth in DEPTHS {
+            let mut cells = vec![format!("{depth}")];
+            for (k, bits) in TABLE_BITS.iter().enumerate() {
+                let mut p = NextTracePredictor::new(PredictorConfig::paper(*bits, depth));
+                let stats = evaluate(&mut p, &d.records);
+                cells.push(pct(stats.mispredict_pct()));
+                if depth == *DEPTHS.end() {
+                    means[k] += stats.mispredict_pct();
+                }
+            }
+            s += &row(&cells);
+            s.push('\n');
+        }
+    }
+    s += &format!(
+        "means at depth {} — 2^12: {:.2}%, 2^15: {:.2}%, 2^18: {:.2}%\n",
+        DEPTHS.end(),
+        means[0] / data.len() as f64,
+        means[1] / data.len() as f64,
+        means[2] / data.len() as f64,
+    );
+    s
+}
+
+/// Table 4: immediate (ideal) vs retire-time (real) updates at 2^15
+/// entries, maximum depth.
+pub fn table4(data: &[BenchData]) -> String {
+    let mut s = header("Table 4: impact of real (retire-time) updates, 2^15 entries, depth 7");
+    s += &row(&[
+        "bench".into(),
+        "ideal%".into(),
+        "real%".into(),
+        "IPC".into(),
+    ]);
+    s.push('\n');
+    for d in data {
+        let cfg = PredictorConfig::paper(15, 7);
+        let mut ideal = NextTracePredictor::new(cfg);
+        let ideal_stats = evaluate(&mut ideal, &d.records);
+        let mut engine =
+            DelayedUpdateEngine::new(NextTracePredictor::new(cfg), EngineConfig::default());
+        let real = engine.run(&d.records);
+        s += &row(&[
+            d.name.into(),
+            pct(ideal_stats.mispredict_pct()),
+            pct(real.prediction.mispredict_pct()),
+            format!("{:.2}", real.ipc()),
+        ]);
+        s.push('\n');
+    }
+    s
+}
+
+/// Figure 8: alternate trace prediction — primary misprediction rate vs
+/// the rate at which both primary and alternate miss, per depth.
+pub fn fig8(data: &[BenchData]) -> String {
+    let mut s = header("Figure 8: alternate trace prediction, 2^15 entries (mispredict %)");
+    for d in data {
+        s += &format!("-- {}\n", d.name);
+        s += &row(&[
+            "depth".into(),
+            "primary".into(),
+            "both".into(),
+            "rescued".into(),
+        ]);
+        s.push('\n');
+        for depth in DEPTHS {
+            let mut p =
+                NextTracePredictor::new(PredictorConfig::paper_with_alternate(15, depth));
+            let stats = evaluate(&mut p, &d.records);
+            s += &row(&[
+                format!("{depth}"),
+                pct(stats.mispredict_pct()),
+                pct(stats.both_mispredict_pct()),
+                format!("{:.0}%", 100.0 * stats.alternate_rescue_fraction()),
+            ]);
+            s.push('\n');
+        }
+    }
+    s
+}
+
+/// §5.5: the cost-reduced predictor (tables store the 16-bit hashed index
+/// instead of the 36-bit identifier).
+pub fn cost_reduced(data: &[BenchData]) -> String {
+    let mut s = header("Sec. 5.5: cost-reduced predictor (hashed-target entries), 2^15, depth 7");
+    let full_cfg = PredictorConfig::paper(15, 7);
+    let hashed_cfg = PredictorConfig {
+        stored_target: StoredTarget::Hashed,
+        ..full_cfg
+    };
+    s += &format!(
+        "entry: {} bits -> {} bits; table: {} KB -> {} KB\n",
+        full_cfg.corr_entry_bits(),
+        hashed_cfg.corr_entry_bits(),
+        full_cfg.corr_table_bits() / 8192,
+        hashed_cfg.corr_table_bits() / 8192,
+    );
+    s += &row(&["bench".into(), "full%".into(), "hashed%".into()]);
+    s.push('\n');
+    for d in data {
+        let mut full = NextTracePredictor::new(full_cfg);
+        let mut hashed = NextTracePredictor::new(hashed_cfg);
+        let fs = evaluate(&mut full, &d.records);
+        let hs = evaluate(&mut hashed, &d.records);
+        s += &row(&[
+            d.name.into(),
+            pct(fs.mispredict_pct()),
+            pct(hs.mispredict_pct()),
+        ]);
+        s.push('\n');
+    }
+    s
+}
+
+/// Ablations over the design choices DESIGN.md calls out: counter policy,
+/// tag width, RHS depth, and secondary-table size, on the two
+/// aliasing-stressed benchmarks (cc, go).
+pub fn ablations(data: &[BenchData]) -> String {
+    let stressed: Vec<&BenchData> = data
+        .iter()
+        .filter(|d| d.name == "cc" || d.name == "go")
+        .collect();
+    let base = PredictorConfig::paper(15, 7);
+    let mut s = header("Ablations (2^15 entries, depth 7; cc and go)");
+
+    let run = |cfg: PredictorConfig, d: &BenchData| {
+        let mut p = NextTracePredictor::new(cfg);
+        evaluate(&mut p, &d.records).mispredict_pct()
+    };
+
+    s += "-- correlating-counter policy\n";
+    for (label, ctr) in [
+        ("inc1/dec2 (paper)", CounterSpec::PRIMARY),
+        ("2-bit classic", CounterSpec::TWO_BIT),
+        ("1-bit", CounterSpec::ONE_BIT),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for d in &stressed {
+            cells.push(pct(run(
+                PredictorConfig {
+                    primary_counter: ctr,
+                    ..base
+                },
+                d,
+            )));
+        }
+        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
+    }
+
+    s += "-- tag width (bits)\n";
+    for tag_bits in [0u32, 4, 8, 10, 16] {
+        let mut cells = vec![format!("tag={tag_bits}")];
+        for d in &stressed {
+            cells.push(pct(run(PredictorConfig { tag_bits, ..base }, d)));
+        }
+        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
+    }
+
+    s += "-- return history stack\n";
+    for (label, rhs) in [
+        ("RHS off", None),
+        ("RHS depth 1", Some(RhsConfig { max_depth: 1 })),
+        ("RHS depth 4", Some(RhsConfig { max_depth: 4 })),
+        ("RHS depth 16", Some(RhsConfig { max_depth: 16 })),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for d in &stressed {
+            cells.push(pct(run(PredictorConfig { rhs, ..base }, d)));
+        }
+        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
+    }
+
+    s += "-- secondary table size (log2 entries)\n";
+    for bits in [8u32, 11, 14, 16] {
+        let mut cells = vec![format!("secondary=2^{bits}")];
+        for d in &stressed {
+            cells.push(pct(run(
+                PredictorConfig {
+                    secondary_index_bits: bits,
+                    ..base
+                },
+                d,
+            )));
+        }
+        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
+    }
+
+    s += "-- secondary counter decrement (4-bit counter)\n";
+    for dec in [1u8, 4, 8, 15] {
+        let mut cells = vec![format!("dec={dec}")];
+        for d in &stressed {
+            cells.push(pct(run(
+                PredictorConfig {
+                    secondary_counter: CounterSpec {
+                        bits: 4,
+                        inc: 1,
+                        dec,
+                    },
+                    ..base
+                },
+                d,
+            )));
+        }
+        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
+    }
+    s
+}
+
+/// Extension: confidence estimation for trace predictions (resetting
+/// counters, after the authors' MICRO-29 confidence paper) — coverage of
+/// the high-confidence class and misprediction inside each class.
+pub fn confidence(data: &[BenchData]) -> String {
+    use ntp_core::{evaluate_with_confidence, ConfidenceConfig, ConfidenceEstimator};
+    let mut s = header("Extension: prediction confidence (2^14 resetting counters, 2^15 predictor)");
+    s += &row(&[
+        "bench".into(),
+        "cover%".into(),
+        "hi-mis%".into(),
+        "lo-mis%".into(),
+        "caught%".into(),
+    ]);
+    s.push('\n');
+    for d in data {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
+        let mut est = ConfidenceEstimator::new(ConfidenceConfig {
+            threshold: 8,
+            ..ConfidenceConfig::paper_like()
+        });
+        let stats = evaluate_with_confidence(&mut p, &mut est, &d.records);
+        s += &row(&[
+            d.name.into(),
+            pct(100.0 * stats.coverage()),
+            pct(stats.high_mispredict_pct()),
+            pct(stats.low_mispredict_pct()),
+            pct(100.0 * stats.mispredictions_caught()),
+        ]);
+        s.push('\n');
+    }
+    s
+}
+
+/// The headline comparison the abstract quotes: mean misprediction of the
+/// paper predictor vs the idealized sequential baseline.
+pub fn headline(data: &[BenchData]) -> String {
+    let mut s = header("Headline: paper predictor vs idealized sequential baseline");
+    let mut seq_mean = 0.0;
+    let mut ours = vec![0.0f64; TABLE_BITS.len()];
+    for d in data {
+        seq_mean += d.seq_stats.trace_mispredict_pct();
+        for (k, bits) in TABLE_BITS.iter().enumerate() {
+            let mut p = NextTracePredictor::new(PredictorConfig::paper(*bits, 7));
+            ours[k] += evaluate(&mut p, &d.records).mispredict_pct();
+        }
+    }
+    let n = data.len() as f64;
+    seq_mean /= n;
+    s += &format!("sequential (idealized) mean: {seq_mean:.2}%\n");
+    for (k, bits) in TABLE_BITS.iter().enumerate() {
+        let m = ours[k] / n;
+        s += &format!(
+            "2^{bits} path-based predictor:  {m:.2}%  ({:+.0}% relative)\n",
+            100.0 * (m - seq_mean) / seq_mean
+        );
+    }
+    s
+}
+
+/// Extension: the trace-selection study the paper defers (§4.2) — how
+/// selection heuristics trade trace length against predictability. The
+/// useful composite is *predicted fetch rate*: average trace length times
+/// the fraction of traces correctly predicted.
+pub fn selection_study() -> String {
+    use crate::capture_with;
+    use ntp_trace::TraceConfig;
+    use ntp_workloads::by_name;
+
+    let scale = crate::scale_from_env();
+    let budget = crate::budget_from_env();
+    let policies: [(&str, TraceConfig); 5] = [
+        ("paper (16/6)", TraceConfig::default()),
+        ("short (8/6)", TraceConfig::with_max_len(8)),
+        (
+            "few-branches (16/3)",
+            TraceConfig {
+                max_branches: 3,
+                ..TraceConfig::default()
+            },
+        ),
+        (
+            "stop-at-calls",
+            TraceConfig {
+                stop_at_calls: true,
+                ..TraceConfig::default()
+            },
+        ),
+        (
+            "stop-at-back-edges",
+            TraceConfig {
+                stop_at_loop_back_edges: true,
+                ..TraceConfig::default()
+            },
+        ),
+    ];
+
+    let mut s = header("Extension: trace selection vs predictability (2^15, depth 7)");
+    for name in ["cc", "go", "xlisp"] {
+        let w = by_name(name, scale);
+        s += &format!("-- {name}\n");
+        s += &format!(
+            "{:<22}{:>9}{:>9}{:>7}{:>9}{:>11}\n",
+            "policy", "avg-len", "static", "dup", "mis%", "fetch-rate"
+        );
+        for (label, cfg) in policies {
+            let d = capture_with(&w, budget, cfg);
+            let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
+            let stats = evaluate(&mut p, &d.records);
+            let fetch_rate =
+                d.trace_stats.avg_trace_len() * (1.0 - stats.mispredict_pct() / 100.0);
+            s += &format!(
+                "{:<22}{:>9.1}{:>9}{:>7.2}{:>9.2}{:>11.2}\n",
+                label,
+                d.trace_stats.avg_trace_len(),
+                d.trace_stats.static_traces(),
+                d.redundancy.duplication_factor(),
+                stats.mispredict_pct(),
+                fetch_rate
+            );
+        }
+    }
+    s
+}
+
+/// Extension: trace-processor throughput (the consumer architecture) —
+/// IPC with 4 PEs at depth 0 vs depth 7, per benchmark.
+pub fn trace_processor(data: &[BenchData]) -> String {
+    use ntp_engine::{TraceProcessor, TraceProcessorConfig};
+    let mut s = header("Extension: trace-processor throughput (4 PEs x 4-wide, 2^15 predictor)");
+    s += &row(&[
+        "bench".into(),
+        "d0 IPC".into(),
+        "d7 IPC".into(),
+        "d0 mis%".into(),
+        "d7 mis%".into(),
+    ]);
+    s.push('\n');
+    for d in data {
+        let mut cells = vec![d.name.to_string()];
+        let mut mis = Vec::new();
+        for depth in [0usize, 7] {
+            let mut tp = TraceProcessor::new(
+                NextTracePredictor::new(PredictorConfig::paper(15, depth)),
+                TraceProcessorConfig::default(),
+            );
+            let stats = tp.run(&d.records);
+            cells.push(format!("{:.2}", stats.ipc()));
+            mis.push(pct(stats.mispredict_pct()));
+        }
+        cells.extend(mis);
+        s += &row(&cells);
+        s.push('\n');
+    }
+    s
+}

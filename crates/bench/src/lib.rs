@@ -1,0 +1,188 @@
+//! # ntp-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), all built on
+//! [`capture`]: a single functional-simulation pass per benchmark that
+//! records the compact trace stream and runs every streaming baseline, so
+//! that dozens of predictor configurations can replay the same stream
+//! without re-simulating.
+//!
+//! Environment knobs honoured by all binaries:
+//!
+//! * `NTP_SCALE` — `tiny` / `default` / `full` workload scale;
+//! * `NTP_INSTR_BUDGET` — hard cap on simulated instructions per benchmark.
+
+#![warn(missing_docs)]
+
+pub mod exp;
+
+use ntp_baselines::{
+    MultiBranchStats, MultiGAg, SequentialStats, SequentialTracePredictor, TraceGshare,
+};
+use ntp_trace::{ControlMix, RedundancyStats, TraceBuilder, TraceConfig, TraceRecord, TraceStats};
+use ntp_workloads::{suite, ScalePreset, Workload};
+
+/// Everything one simulation pass learns about a benchmark.
+pub struct BenchData {
+    /// Benchmark name (paper's naming).
+    pub name: &'static str,
+    /// What it stands in for.
+    pub analog_of: &'static str,
+    /// Compact trace stream for predictor replay.
+    pub records: Vec<TraceRecord>,
+    /// Trace-selection statistics (Table 1).
+    pub trace_stats: TraceStats,
+    /// Trace-cache duplication accounting.
+    pub redundancy: RedundancyStats,
+    /// Idealized sequential baseline results (Table 2).
+    pub seq_stats: SequentialStats,
+    /// Single-access multiple-branch baseline results (Patel-style,
+    /// PC-hashed).
+    pub mb_stats: MultiBranchStats,
+    /// Multiported-GAg baseline results (Yeh/Rotenberg-style, history
+    /// only).
+    pub gag_stats: MultiBranchStats,
+    /// Dynamic instruction mix.
+    pub mix: ControlMix,
+    /// Instructions simulated.
+    pub icount: u64,
+}
+
+/// Runs one benchmark once with the paper's selection policy.
+///
+/// # Panics
+///
+/// Panics on simulation faults (a workload bug).
+pub fn capture(workload: &Workload, budget: u64) -> BenchData {
+    capture_with(workload, budget, TraceConfig::default())
+}
+
+/// Runs one benchmark once under an explicit trace-selection policy,
+/// collecting traces and all streaming baselines.
+///
+/// # Panics
+///
+/// Panics on simulation faults (a workload bug).
+pub fn capture_with(workload: &Workload, budget: u64, cfg: TraceConfig) -> BenchData {
+    let mut machine = workload.machine();
+    let mut builder = TraceBuilder::new(cfg);
+    let mut records = Vec::new();
+    let mut trace_stats = TraceStats::new();
+    let mut redundancy = RedundancyStats::new();
+    let mut seq = SequentialTracePredictor::paper();
+    let mut mb = TraceGshare::new(14);
+    let mut gag = MultiGAg::new(14);
+    let mut mix = ControlMix::new();
+
+    machine
+        .run_with(budget, |step| {
+            mix.record(step);
+            if let Some(trace) = builder.push(step) {
+                records.push(TraceRecord::from(&trace));
+                trace_stats.record(&trace);
+                redundancy.record(&trace);
+                seq.observe(&trace);
+                mb.observe(&trace);
+                gag.observe(&trace);
+            }
+        })
+        .expect("workload executes without faults");
+    if let Some(trace) = builder.flush() {
+        records.push(TraceRecord::from(&trace));
+        trace_stats.record(&trace);
+        redundancy.record(&trace);
+        seq.observe(&trace);
+        mb.observe(&trace);
+        gag.observe(&trace);
+    }
+
+    BenchData {
+        name: workload.name,
+        analog_of: workload.analog_of,
+        records,
+        trace_stats,
+        redundancy,
+        seq_stats: seq.stats().clone(),
+        mb_stats: mb.stats().clone(),
+        gag_stats: gag.stats().clone(),
+        mix,
+        icount: machine.icount(),
+    }
+}
+
+/// Reads `NTP_SCALE` (default: `default`).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value.
+pub fn scale_from_env() -> ScalePreset {
+    match std::env::var("NTP_SCALE").as_deref() {
+        Ok("tiny") => ScalePreset::Tiny,
+        Ok("full") => ScalePreset::Full,
+        Ok("default") | Err(_) => ScalePreset::Default,
+        Ok(other) => panic!("NTP_SCALE must be tiny|default|full, got `{other}`"),
+    }
+}
+
+/// Reads `NTP_INSTR_BUDGET` (default: 200M, far above any preset's needs).
+pub fn budget_from_env() -> u64 {
+    std::env::var("NTP_INSTR_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000_000)
+}
+
+/// Captures the whole six-benchmark suite at the environment-selected
+/// scale.
+pub fn capture_suite() -> Vec<BenchData> {
+    let scale = scale_from_env();
+    let budget = budget_from_env();
+    suite(scale)
+        .iter()
+        .map(|w| {
+            eprintln!("[capture] simulating {} …", w.name);
+            capture(w, budget)
+        })
+        .collect()
+}
+
+/// Prints a row of cells: first column left-aligned 10 wide, the rest
+/// right-aligned 9 wide.
+pub fn row(cells: &[String]) -> String {
+    let mut line = String::new();
+    for (k, c) in cells.iter().enumerate() {
+        if k == 0 {
+            line.push_str(&format!("{c:<10}"));
+        } else {
+            line.push_str(&format!("{c:>9}"));
+        }
+    }
+    line
+}
+
+/// Formats a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_consistent_counts() {
+        let w = ntp_workloads::compress::build(1);
+        let d = capture(&w, 50_000_000);
+        assert_eq!(d.trace_stats.traces(), d.records.len() as u64);
+        assert_eq!(d.trace_stats.instrs(), d.icount);
+        assert_eq!(d.seq_stats.traces, d.trace_stats.traces());
+        assert!(d.trace_stats.avg_trace_len() > 4.0);
+        assert!(d.seq_stats.branches > 0);
+    }
+
+    #[test]
+    fn row_layout_is_stable() {
+        let r = row(&["name".into(), "1.00".into(), "2.00".into()]);
+        assert!(r.starts_with("name      "));
+        assert!(r.ends_with("     2.00"));
+    }
+}

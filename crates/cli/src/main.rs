@@ -1,0 +1,225 @@
+//! `ntp` — the command-line front end to the toolchain.
+//!
+//! ```text
+//! ntp asm <file.s> [-o out.bin]        assemble to a flat NTPB image
+//! ntp dis <file.s|file.bin>            disassemble
+//! ntp run <file.s|file.bin> [--budget N]
+//! ntp predict <file.s|file.bin|@workload> [--depth D] [--bits B] [--budget N]
+//! ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]
+//! ntp workloads                        list the built-in benchmarks
+//! ```
+
+use ntp_core::{evaluate, NextTracePredictor, PredictorConfig};
+use ntp_isa::{asm::assemble, disasm, Program, IMAGE_MAGIC};
+use ntp_sim::Machine;
+use ntp_trace::{run_traces, TraceConfig, TraceRecord, TraceStats};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ntp: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "asm" => cmd_asm(rest),
+        "dis" => cmd_dis(rest),
+        "run" => cmd_run(rest),
+        "predict" => cmd_predict(rest),
+        "trace" => cmd_trace(rest),
+        "workloads" => cmd_workloads(),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     ntp asm <file.s> [-o out.bin]\n  \
+     ntp dis <file.s|file.bin>\n  \
+     ntp run <file.s|file.bin> [--budget N]\n  \
+     ntp predict <file.s|file.bin|@workload> [--depth D] [--bits B] [--budget N]\n  \
+     ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]\n  \
+     ntp workloads"
+        .to_string()
+}
+
+/// Loads a program from a source file, an NTPB image, or `@workload`.
+fn load(spec: &str) -> Result<Program, String> {
+    if let Some(name) = spec.strip_prefix('@') {
+        let names = ["compress", "cc", "go", "jpeg", "m88ksim", "xlisp"];
+        if !names.contains(&name) {
+            return Err(format!("unknown workload `{name}` (see `ntp workloads`)"));
+        }
+        return Ok(ntp_workloads::by_name(name, ntp_workloads::ScalePreset::Tiny).program);
+    }
+    let bytes = std::fs::read(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    if bytes.starts_with(IMAGE_MAGIC) {
+        return Program::from_image(&bytes).map_err(|e| format!("{spec}: {e}"));
+    }
+    let src = String::from_utf8(bytes).map_err(|_| format!("{spec}: not UTF-8 assembly"))?;
+    assemble(&src).map_err(|e| format!("{spec}:{e}"))
+}
+
+fn flag_value(rest: &[String], name: &str) -> Result<Option<u64>, String> {
+    for pair in rest.windows(2) {
+        if pair[0] == name {
+            return pair[1]
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name} expects a number, got `{}`", pair[1]));
+        }
+    }
+    Ok(None)
+}
+
+fn positional(rest: &[String]) -> Result<&str, String> {
+    rest.iter()
+        .take_while(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .next()
+        .ok_or_else(|| format!("missing input file\n{}", usage()))
+}
+
+fn cmd_asm(rest: &[String]) -> Result<(), String> {
+    let input = positional(rest)?;
+    let out = rest
+        .windows(2)
+        .find(|p| p[0] == "-o")
+        .map(|p| p[1].clone())
+        .unwrap_or_else(|| format!("{}.bin", input.trim_end_matches(".s")));
+    let program = load(input)?;
+    std::fs::write(&out, program.to_image()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "{out}: {} instructions, {} data bytes, entry {:#010x}",
+        program.len(),
+        program.data.len(),
+        program.entry
+    );
+    Ok(())
+}
+
+fn cmd_dis(rest: &[String]) -> Result<(), String> {
+    let program = load(positional(rest)?)?;
+    print!(
+        "{}",
+        disasm::disassemble_block(&program.encode_text(), program.text_base)
+    );
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let program = load(positional(rest)?)?;
+    let budget = flag_value(rest, "--budget")?.unwrap_or(100_000_000);
+    let mut machine = Machine::new(program);
+    let stop = machine.run(budget).map_err(|e| e.to_string())?;
+    for v in machine.output() {
+        println!("{v}");
+    }
+    eprintln!(
+        "[{} after {} instructions]",
+        match stop {
+            ntp_sim::StopReason::Halted => "halted",
+            ntp_sim::StopReason::BudgetExhausted => "budget exhausted",
+        },
+        machine.icount()
+    );
+    Ok(())
+}
+
+fn cmd_predict(rest: &[String]) -> Result<(), String> {
+    let program = load(positional(rest)?)?;
+    let budget = flag_value(rest, "--budget")?.unwrap_or(10_000_000);
+    let depth = flag_value(rest, "--depth")?.unwrap_or(7) as usize;
+    let bits = flag_value(rest, "--bits")?.unwrap_or(15) as u32;
+
+    let mut machine = Machine::new(program);
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut stats = TraceStats::new();
+    let mut sequential = ntp_baselines::SequentialTracePredictor::paper();
+    run_traces(&mut machine, budget, TraceConfig::default(), |t| {
+        records.push(TraceRecord::from(t));
+        stats.record(t);
+        sequential.observe(t);
+    })
+    .map_err(|e| e.to_string())?;
+
+    let mut predictor = NextTracePredictor::new(PredictorConfig::paper(bits, depth));
+    let result = evaluate(&mut predictor, &records);
+
+    println!(
+        "instructions: {}   traces: {}   avg trace length: {:.1}   static traces: {}",
+        machine.icount(),
+        stats.traces(),
+        stats.avg_trace_len(),
+        stats.static_traces()
+    );
+    println!(
+        "path-based predictor (2^{bits}, depth {depth}): {:.2}% misprediction",
+        result.mispredict_pct()
+    );
+    println!(
+        "  sources: correlated {}  secondary {}  cold {}",
+        result.from_correlated, result.from_secondary, result.cold
+    );
+    println!(
+        "idealized sequential baseline:           {:.2}% misprediction",
+        sequential.stats().trace_mispredict_pct()
+    );
+    Ok(())
+}
+
+fn cmd_trace(rest: &[String]) -> Result<(), String> {
+    let program = load(positional(rest)?)?;
+    let budget = flag_value(rest, "--budget")?.unwrap_or(100_000);
+    let limit = flag_value(rest, "--limit")?.unwrap_or(64) as usize;
+    let mut machine = Machine::new(program);
+    let mut printed = 0usize;
+    let mut total = 0u64;
+    run_traces(&mut machine, budget, TraceConfig::default(), |t| {
+        total += 1;
+        if printed < limit {
+            println!(
+                "{:<24} len={:<3} calls={} hashed={}{}",
+                t.id().to_string(),
+                t.len(),
+                t.call_count(),
+                t.id().hashed(),
+                if t.ends_in_return() {
+                    "  ret"
+                } else if t.ends_in_indirect() {
+                    "  ind"
+                } else {
+                    ""
+                }
+            );
+            printed += 1;
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if total as usize > printed {
+        eprintln!("[{} more traces; raise --limit]", total as usize - printed);
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    for w in ntp_workloads::suite(ntp_workloads::ScalePreset::Tiny) {
+        println!("{:<10}{}", w.name, w.analog_of);
+    }
+    println!("\nuse as `ntp predict @<name>`");
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `ntp` binary: assemble → image → disassemble →
+//! run → predict, via real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ntp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ntp"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ntp-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+const SAMPLE: &str = "
+main:   li   s0, 25
+        li   v0, 0
+loop:   add  v0, v0, s0
+        addi s0, s0, -1
+        bnez s0, loop
+        out  v0
+        halt
+";
+
+#[test]
+fn asm_run_roundtrip() {
+    let src = tmp("sum.s");
+    let bin = tmp("sum.bin");
+    std::fs::write(&src, SAMPLE).unwrap();
+
+    let out = ntp(&["asm", src.to_str().unwrap(), "-o", bin.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("instructions"));
+
+    // Run from source and from the image: identical output (sum 1..=25).
+    for input in [&src, &bin] {
+        let out = ntp(&["run", input.to_str().unwrap()]);
+        assert!(out.status.success());
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "325");
+    }
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(bin);
+}
+
+#[test]
+fn dis_produces_assembly() {
+    let src = tmp("dis.s");
+    std::fs::write(&src, SAMPLE).unwrap();
+    let out = ntp(&["dis", src.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("addi"));
+    assert!(text.contains("bne"));
+    assert!(text.contains("halt"));
+    let _ = std::fs::remove_file(src);
+}
+
+#[test]
+fn predict_reports_rates() {
+    let out = ntp(&["predict", "@compress", "--depth", "3", "--budget", "300000"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("path-based predictor (2^15, depth 3)"));
+    assert!(text.contains("sequential baseline"));
+    assert!(text.contains("% misprediction"));
+}
+
+#[test]
+fn workloads_lists_six() {
+    let out = ntp(&["workloads"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["compress", "cc", "go", "jpeg", "m88ksim", "xlisp"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    assert!(!ntp(&[]).status.success());
+    assert!(!ntp(&["frobnicate"]).status.success());
+    assert!(!ntp(&["run", "/nonexistent/file.s"]).status.success());
+    assert!(!ntp(&["predict", "@nosuch"]).status.success());
+
+    let bad = tmp("bad.s");
+    std::fs::write(&bad, "main: bogus t0\n").unwrap();
+    let out = ntp(&["asm", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bogus"));
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn trace_dumps_trace_stream() {
+    let out = ntp(&["trace", "@m88ksim", "--budget", "5000", "--limit", "10"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().count() <= 10);
+    assert!(text.contains("len="));
+    assert!(text.contains("hashed=0x"));
+}

@@ -1,0 +1,148 @@
+//! Configuration of the bounded path-based next trace predictor.
+
+use crate::{CounterSpec, Dolc, RhsConfig};
+
+/// What the correlating/secondary tables store as the predicted target.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StoredTarget {
+    /// The full 36-bit trace identifier (the baseline design, 48-bit
+    /// entries).
+    Full,
+    /// Only the 16-bit hashed identifier — the cost-reduced predictor of
+    /// §5.5. The trace cache validates the full identifier, so accuracy is
+    /// essentially unchanged while the entry shrinks.
+    Hashed,
+}
+
+/// Full configuration of a [`crate::NextTracePredictor`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// log2 of the correlating-table entry count (the paper studies 12, 15
+    /// and 18).
+    pub index_bits: u32,
+    /// Index-generation configuration.
+    pub dolc: Dolc,
+    /// Tag width; the paper finds 10 bits eliminate practically all
+    /// unintended cross-path hits.
+    pub tag_bits: u32,
+    /// Correlating-table counter policy (+1/−2 two-bit by default).
+    pub primary_counter: CounterSpec,
+    /// log2 of the secondary-table entry count (indexed by the hashed
+    /// identifier of the most recent trace).
+    pub secondary_index_bits: u32,
+    /// Secondary-table counter policy (4-bit, heavy decrement).
+    pub secondary_counter: CounterSpec,
+    /// Return history stack, if enabled.
+    pub rhs: Option<RhsConfig>,
+    /// Maintain and report an alternate (second-choice) prediction (§6).
+    pub alternate: bool,
+    /// Entry format (§5.5 cost reduction).
+    pub stored_target: StoredTarget,
+}
+
+impl PredictorConfig {
+    /// The paper's configuration for a given table size and history depth:
+    /// standard DOLC, 10-bit tags, a 2^14-entry secondary table, RHS on,
+    /// alternate prediction off, full identifiers stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no standard DOLC for `(depth, index_bits)` —
+    /// see [`Dolc::standard`].
+    pub fn paper(index_bits: u32, depth: usize) -> PredictorConfig {
+        PredictorConfig {
+            index_bits,
+            dolc: Dolc::standard(depth, index_bits),
+            tag_bits: 10,
+            primary_counter: CounterSpec::PRIMARY,
+            secondary_index_bits: 14,
+            secondary_counter: CounterSpec::SECONDARY,
+            rhs: Some(RhsConfig::default()),
+            alternate: false,
+            stored_target: StoredTarget::Full,
+        }
+    }
+
+    /// Same as [`PredictorConfig::paper`] with alternate prediction enabled
+    /// (Figure 8).
+    pub fn paper_with_alternate(index_bits: u32, depth: usize) -> PredictorConfig {
+        PredictorConfig {
+            alternate: true,
+            ..PredictorConfig::paper(index_bits, depth)
+        }
+    }
+
+    /// History register capacity needed by this configuration.
+    pub fn history_capacity(&self) -> usize {
+        self.dolc.depth + 1
+    }
+
+    /// Correlating-table entry count.
+    pub fn corr_entries(&self) -> usize {
+        1usize << self.index_bits
+    }
+
+    /// Secondary-table entry count.
+    pub fn secondary_entries(&self) -> usize {
+        1usize << self.secondary_index_bits
+    }
+
+    /// Bits per correlating-table entry (§5.5's cost accounting): target +
+    /// counter + tag (+ alternate target if enabled).
+    pub fn corr_entry_bits(&self) -> u64 {
+        let target = match self.stored_target {
+            StoredTarget::Full => 36,
+            StoredTarget::Hashed => 16,
+        };
+        let alt = if self.alternate { target } else { 0 };
+        target + alt + self.primary_counter.bits as u64 + self.tag_bits as u64
+    }
+
+    /// Total correlating-table size in bits.
+    pub fn corr_table_bits(&self) -> u64 {
+        self.corr_entry_bits() * self.corr_entries() as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized tables, tags wider than 16 bits, or invalid
+    /// counters.
+    pub fn validate(&self) {
+        assert!((1..=30).contains(&self.index_bits));
+        assert!((1..=20).contains(&self.secondary_index_bits));
+        assert!(self.tag_bits <= 16, "tags come from 16-bit hashed ids");
+        self.primary_counter.validate();
+        self.secondary_counter.validate();
+        self.dolc.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shape() {
+        let c = PredictorConfig::paper(15, 7);
+        c.validate();
+        assert_eq!(c.corr_entries(), 1 << 15);
+        assert_eq!(c.history_capacity(), 8);
+        assert_eq!(c.corr_entry_bits(), 48); // 36 + 2 + 10, the paper's number
+    }
+
+    #[test]
+    fn cost_reduced_entry_is_smaller() {
+        let mut c = PredictorConfig::paper(15, 7);
+        c.stored_target = StoredTarget::Hashed;
+        assert_eq!(c.corr_entry_bits(), 28); // 16 + 2 + 10
+        assert!(c.corr_table_bits() < PredictorConfig::paper(15, 7).corr_table_bits());
+    }
+
+    #[test]
+    fn alternate_doubles_target_storage() {
+        let c = PredictorConfig::paper_with_alternate(12, 3);
+        assert_eq!(c.corr_entry_bits(), 36 + 36 + 2 + 10);
+    }
+}

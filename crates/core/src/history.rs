@@ -1,0 +1,179 @@
+//! The path history register: a shift register of recent trace identifiers.
+
+use std::collections::VecDeque;
+
+/// A bounded shift register of the most recent trace identifiers, newest
+/// first.
+///
+/// Bounded predictors store 16-bit hashed identifiers
+/// ([`ntp_trace::HashedId`]); the unbounded ("no aliasing") model stores full
+/// packed identifiers (`u64`). The register is generic over the element so
+/// both share the return-history-stack machinery.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_core::PathHistory;
+/// let mut h: PathHistory<u16> = PathHistory::new(3);
+/// h.push(1);
+/// h.push(2);
+/// h.push(3);
+/// h.push(4);
+/// assert_eq!(h.iter_newest_first().copied().collect::<Vec<_>>(), vec![4, 3, 2]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathHistory<T> {
+    entries: VecDeque<T>,
+    cap: usize,
+}
+
+impl<T: Copy> PathHistory<T> {
+    /// Creates an empty history holding at most `cap` identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> PathHistory<T> {
+        assert!(cap > 0, "history capacity must be nonzero");
+        PathHistory {
+            entries: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// The maximum number of identifiers retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Identifiers currently held (≤ capacity; fewer during warm-up).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no identifier has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Shifts in the newest identifier, evicting the oldest if full.
+    pub fn push(&mut self, id: T) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_back();
+        }
+        self.entries.push_front(id);
+    }
+
+    /// The `i`-th most recent identifier (0 = newest).
+    pub fn get(&self, i: usize) -> Option<T> {
+        self.entries.get(i).copied()
+    }
+
+    /// The most recent identifier.
+    pub fn newest(&self) -> Option<T> {
+        self.get(0)
+    }
+
+    /// Iterates newest → oldest.
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Snapshot of the whole register, newest first (used by the return
+    /// history stack and by speculative checkpointing).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.entries.iter().copied().collect()
+    }
+
+    /// Restores a snapshot taken with [`PathHistory::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is longer than this register's capacity.
+    pub fn restore(&mut self, snapshot: &[T]) {
+        assert!(snapshot.len() <= self.cap, "snapshot exceeds capacity");
+        self.entries.clear();
+        self.entries.extend(snapshot.iter().copied());
+    }
+
+    /// Replaces all but the `keep` newest entries with identifiers from
+    /// `saved` (a history snapshot from before a call), preserving order.
+    ///
+    /// This is the return-history-stack merge of §3.4: after a return, the
+    /// history should reflect the path *before* the call plus the last one
+    /// or two traces inside the subroutine.
+    pub fn merge_after_return(&mut self, keep: usize, saved: &[T]) {
+        let kept: Vec<T> = self.entries.iter().take(keep).copied().collect();
+        self.entries.clear();
+        self.entries.extend(kept);
+        for &s in saved {
+            if self.entries.len() == self.cap {
+                break;
+            }
+            self.entries.push_back(s);
+        }
+    }
+
+    /// Forgets everything (used between benchmark runs).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest() {
+        let mut h: PathHistory<u64> = PathHistory::new(2);
+        h.push(10);
+        h.push(20);
+        h.push(30);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(0), Some(30));
+        assert_eq!(h.get(1), Some(20));
+        assert_eq!(h.get(2), None);
+        assert_eq!(h.newest(), Some(30));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut h: PathHistory<u16> = PathHistory::new(4);
+        for v in [1u16, 2, 3] {
+            h.push(v);
+        }
+        let snap = h.snapshot();
+        h.push(9);
+        h.push(8);
+        h.restore(&snap);
+        assert_eq!(h.snapshot(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn merge_keeps_newest_and_splices_saved() {
+        let mut h: PathHistory<u16> = PathHistory::new(5);
+        // Inside subroutine: newest-first [50, 40, 30, 20, 10].
+        for v in [10u16, 20, 30, 40, 50] {
+            h.push(v);
+        }
+        // Pre-call history snapshot [5, 4, 3, 2, 1].
+        h.merge_after_return(2, &[5, 4, 3, 2, 1]);
+        assert_eq!(h.snapshot(), vec![50, 40, 5, 4, 3]);
+    }
+
+    #[test]
+    fn merge_with_short_saved_history() {
+        let mut h: PathHistory<u16> = PathHistory::new(4);
+        h.push(1);
+        h.push(2);
+        h.merge_after_return(1, &[9]);
+        assert_eq!(h.snapshot(), vec![2, 9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _: PathHistory<u16> = PathHistory::new(0);
+    }
+}

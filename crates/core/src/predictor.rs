@@ -1,0 +1,532 @@
+//! The bounded, hybrid, path-based next trace predictor (§3 of the paper).
+//!
+//! Two tables run in parallel:
+//!
+//! * the **correlating table**, indexed by a DOLC hash of the path history,
+//!   tagged with 10 bits of the preceding trace's hashed identifier, holding
+//!   a predicted trace and a +1/−2 two-bit counter;
+//! * the **secondary table**, indexed by the hashed identifier of the most
+//!   recent trace alone, holding a predicted trace and a 4-bit counter.
+//!
+//! Selection: a saturated secondary counter wins outright (and a correct
+//! saturated secondary suppresses the correlated update, keeping
+//! single-successor traces out of the big table); otherwise a tag hit uses
+//! the correlating table; otherwise the secondary serves as warm-start.
+
+use crate::{
+    Counter, PathHistory, Prediction, PredictorConfig, ReturnHistoryStack, Source, StoredTarget,
+    Target, TracePredictor,
+};
+use ntp_trace::{HashedId, TraceId, TraceRecord};
+
+#[derive(Copy, Clone, Default)]
+struct CorrEntry {
+    target: u64,
+    alt: u64,
+    ctr: Counter,
+    tag: u16,
+    valid: bool,
+    has_alt: bool,
+}
+
+#[derive(Copy, Clone, Default)]
+struct SecEntry {
+    target: u64,
+    ctr: Counter,
+    valid: bool,
+}
+
+/// Table indexes captured at prediction time.
+///
+/// In a real pipeline the table entry trained at retirement is the one read
+/// at prediction; capturing the indexes (rather than recomputing them from a
+/// possibly-repaired history) models that. Immediate-update callers never
+/// see this type — [`TracePredictor::update`] captures and consumes one
+/// internally.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IndexSnapshot {
+    corr_index: u32,
+    tag: u16,
+    sec_index: u32,
+}
+
+/// A checkpoint of the speculative front-end state (history register and
+/// return history stack), used by the execution engine to repair after a
+/// misprediction.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    history: Vec<HashedId>,
+    rhs: Option<Vec<Vec<HashedId>>>,
+}
+
+/// The bounded hybrid path-based next trace predictor.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_core::{NextTracePredictor, PredictorConfig, TracePredictor};
+/// use ntp_trace::TraceRecord;
+///
+/// let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
+/// let pred = p.predict();
+/// assert!(pred.target.is_none(), "cold predictor has no opinion");
+/// ```
+pub struct NextTracePredictor {
+    cfg: PredictorConfig,
+    history: PathHistory<HashedId>,
+    rhs: Option<ReturnHistoryStack<HashedId>>,
+    corr: Vec<CorrEntry>,
+    sec: Vec<SecEntry>,
+}
+
+impl NextTracePredictor {
+    /// Builds a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`PredictorConfig::validate`]).
+    pub fn new(cfg: PredictorConfig) -> NextTracePredictor {
+        cfg.validate();
+        NextTracePredictor {
+            history: PathHistory::new(cfg.history_capacity()),
+            rhs: cfg.rhs.map(ReturnHistoryStack::new),
+            corr: vec![CorrEntry::default(); cfg.corr_entries()],
+            sec: vec![SecEntry::default(); cfg.secondary_entries()],
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// The key under which `id` would be stored (full packed identifier or
+    /// its hash, per [`StoredTarget`]).
+    fn key_of(&self, id: TraceId) -> u64 {
+        match self.cfg.stored_target {
+            StoredTarget::Full => id.packed(),
+            StoredTarget::Hashed => id.hashed().0 as u64,
+        }
+    }
+
+    fn target_of(&self, key: u64) -> Target {
+        match self.cfg.stored_target {
+            StoredTarget::Full => Target::Full(TraceId::from_packed(key)),
+            StoredTarget::Hashed => Target::Hashed(HashedId(key as u16)),
+        }
+    }
+
+    /// Captures the table indexes implied by the current history.
+    pub fn indices(&self) -> IndexSnapshot {
+        let corr_index = self.cfg.dolc.index(&self.history, self.cfg.index_bits);
+        let newest = self.history.newest().unwrap_or_default();
+        IndexSnapshot {
+            corr_index,
+            tag: newest.low_bits(self.cfg.tag_bits) as u16,
+            sec_index: newest.low_bits(self.cfg.secondary_index_bits),
+        }
+    }
+
+    /// Predicts using previously captured indexes (the engine's read port).
+    pub fn predict_at(&self, idx: IndexSnapshot) -> Prediction {
+        let corr = &self.corr[idx.corr_index as usize];
+        let sec = &self.sec[idx.sec_index as usize];
+        let corr_usable = corr.valid && corr.tag == idx.tag;
+        let sec_wins = sec.valid && sec.ctr.is_saturated(self.cfg.secondary_counter);
+
+        let alternate = if self.cfg.alternate && corr_usable && corr.has_alt {
+            Some(self.target_of(corr.alt))
+        } else {
+            None
+        };
+
+        if sec_wins || !corr_usable {
+            if sec.valid {
+                Prediction {
+                    target: Some(self.target_of(sec.target)),
+                    alternate,
+                    source: Source::Secondary,
+                }
+            } else if corr_usable {
+                Prediction {
+                    target: Some(self.target_of(corr.target)),
+                    alternate,
+                    source: Source::Correlated,
+                }
+            } else {
+                Prediction {
+                    alternate,
+                    ..Prediction::cold()
+                }
+            }
+        } else {
+            Prediction {
+                target: Some(self.target_of(corr.target)),
+                alternate,
+                source: Source::Correlated,
+            }
+        }
+    }
+
+    /// Trains the tables for the prediction made at `idx`, given the trace
+    /// that actually executed. Does not touch the history register.
+    pub fn train_at(&mut self, idx: IndexSnapshot, actual: &TraceRecord) {
+        let key = self.key_of(actual.id());
+        let sec_spec = self.cfg.secondary_counter;
+        let prim_spec = self.cfg.primary_counter;
+
+        // Evaluate suppression with the secondary's *pre-update* state.
+        let sec = &mut self.sec[idx.sec_index as usize];
+        let suppress_corr =
+            sec.valid && sec.ctr.is_saturated(sec_spec) && sec.target == key;
+
+        if sec.valid {
+            if sec.target == key {
+                sec.ctr.on_correct(sec_spec);
+            } else if sec.ctr.on_incorrect(sec_spec) {
+                sec.target = key;
+            }
+        } else {
+            *sec = SecEntry {
+                target: key,
+                ctr: Counter::new(),
+                valid: true,
+            };
+        }
+
+        if suppress_corr {
+            return;
+        }
+
+        let alternate = self.cfg.alternate;
+        let corr = &mut self.corr[idx.corr_index as usize];
+        if corr.valid && corr.tag == idx.tag {
+            if corr.target == key {
+                corr.ctr.on_correct(prim_spec);
+            } else if corr.ctr.on_incorrect(prim_spec) {
+                // Counter was zero: demote the old target to the alternate
+                // slot and install the actual trace (§6).
+                if alternate {
+                    corr.alt = corr.target;
+                    corr.has_alt = true;
+                }
+                corr.target = key;
+            } else if alternate {
+                corr.alt = key;
+                corr.has_alt = true;
+            }
+        } else {
+            // Invalid or aliased by a different path: steal the entry.
+            *corr = CorrEntry {
+                target: key,
+                alt: 0,
+                ctr: Counter::new(),
+                tag: idx.tag,
+                valid: true,
+                has_alt: false,
+            };
+        }
+    }
+
+    /// Shifts `trace` into the path history and performs return-history-
+    /// stack pushes/pops. In immediate-update mode this runs at update; the
+    /// engine runs it speculatively at fetch with the *predicted* trace.
+    pub fn advance_history(&mut self, id: TraceId, calls: u8, ends_in_return: bool) {
+        self.history.push(id.hashed());
+        if let Some(rhs) = &mut self.rhs {
+            rhs.on_trace(&mut self.history, calls, ends_in_return);
+        }
+    }
+
+    /// Captures the speculative front-end state.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            history: self.history.snapshot(),
+            rhs: self.rhs.as_ref().map(ReturnHistoryStack::snapshot),
+        }
+    }
+
+    /// Restores a [`Checkpoint`] (misprediction repair).
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        self.history.restore(&cp.history);
+        if let (Some(rhs), Some(saved)) = (&mut self.rhs, &cp.rhs) {
+            rhs.restore(saved.clone());
+        }
+    }
+
+    /// Read access to the path history (for tests and diagnostics).
+    pub fn history(&self) -> &PathHistory<HashedId> {
+        &self.history
+    }
+}
+
+impl TracePredictor for NextTracePredictor {
+    fn predict(&self) -> Prediction {
+        self.predict_at(self.indices())
+    }
+
+    fn update(&mut self, actual: &TraceRecord) {
+        let idx = self.indices();
+        self.train_at(idx, actual);
+        self.advance_history(actual.id(), actual.call_count(), actual.ends_in_return());
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        if let Some(rhs) = &mut self.rhs {
+            rhs.clear();
+        }
+        self.corr.fill(CorrEntry::default());
+        self.sec.fill(SecEntry::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntp_trace::TraceId;
+
+    fn rec(pc: u32, bits: u8, n: u8) -> TraceRecord {
+        TraceRecord::new(TraceId::new(pc, bits, n), 8, 0, false, false)
+    }
+
+    fn rec_callret(pc: u32, calls: u8, ret: bool) -> TraceRecord {
+        TraceRecord::new(TraceId::new(pc, 0, 0), 8, calls, ret, ret)
+    }
+
+    fn cfg_small() -> PredictorConfig {
+        PredictorConfig {
+            secondary_index_bits: 8,
+            ..PredictorConfig::paper(12, 3)
+        }
+    }
+
+    #[test]
+    fn learns_a_repeating_sequence() {
+        let mut p = NextTracePredictor::new(cfg_small());
+        let seq = [
+            rec(0x0040_0000, 0b01, 2),
+            rec(0x0040_0100, 0b10, 2),
+            rec(0x0040_0200, 0b00, 1),
+        ];
+        for _ in 0..3 {
+            for r in &seq {
+                p.update(r);
+            }
+        }
+        // Going around again, every successor should be predicted.
+        for k in 0..6 {
+            let next = seq[k % 3];
+            let pred = p.predict();
+            assert!(pred.is_correct(next.id()), "step {k}: {pred:?}");
+            p.update(&next);
+        }
+    }
+
+    #[test]
+    fn secondary_serves_cold_correlated_entries() {
+        // Depth-3 paths take several visits to warm; the secondary predictor
+        // (indexed by last trace only) learns after one visit.
+        let mut p = NextTracePredictor::new(cfg_small());
+        let a = rec(0x0040_0004, 0, 0);
+        let b = rec(0x0040_0128, 0, 0);
+        p.update(&a);
+        p.update(&b); // secondary now knows a → b
+        // New path context (different older history) but same last trace.
+        p.update(&rec(0x0040_1450, 0, 0));
+        p.update(&a);
+        let pred = p.predict();
+        assert_eq!(pred.source, Source::Secondary);
+        assert!(pred.is_correct(b.id()));
+    }
+
+    #[test]
+    fn saturated_secondary_suppresses_correlated_update() {
+        let mut p = NextTracePredictor::new(cfg_small());
+        let b = rec(0x0040_0400, 0, 0);
+        let c = rec(0x0040_0800, 0, 0);
+        // Fixed (empty-history) context; saturate the secondary on b.
+        let idx = p.indices();
+        for _ in 0..20 {
+            p.train_at(idx, &b);
+        }
+        let pred = p.predict_at(idx);
+        assert_eq!(pred.source, Source::Secondary);
+        assert!(pred.is_correct(b.id()));
+
+        // Plant a sentinel in the correlated slot; a suppressed update must
+        // leave it untouched.
+        p.corr[idx.corr_index as usize] = CorrEntry {
+            target: 12345,
+            alt: 0,
+            ctr: Counter::new(),
+            tag: idx.tag,
+            valid: true,
+            has_alt: false,
+        };
+        p.train_at(idx, &b); // secondary saturated AND correct ⇒ suppressed
+        assert_eq!(p.corr[idx.corr_index as usize].target, 12345);
+
+        p.train_at(idx, &c); // secondary wrong ⇒ correlated trains (replace at ctr 0)
+        assert_eq!(p.corr[idx.corr_index as usize].target, p.key_of(c.id()));
+    }
+
+    #[test]
+    fn counter_protects_against_single_anomaly() {
+        let mut p = NextTracePredictor::new(PredictorConfig {
+            rhs: None,
+            secondary_index_bits: 8,
+            secondary_counter: crate::CounterSpec {
+                bits: 4,
+                inc: 1,
+                dec: 8,
+            },
+            ..PredictorConfig::paper(12, 0)
+        });
+        let a = rec(0x0040_0000, 0, 0);
+        let b = rec(0x0040_0400, 0, 0);
+        let z = rec(0x0040_0800, 0, 0);
+        // Teach a → b until confident (counter ≥ 2).
+        p.update(&a);
+        for _ in 0..4 {
+            p.update(&b);
+            p.update(&a);
+        }
+        // One anomalous successor.
+        p.update(&z);
+        p.update(&a);
+        let pred = p.predict();
+        assert!(
+            pred.is_correct(b.id()),
+            "one anomaly must not replace a confident target: {pred:?}"
+        );
+    }
+
+    #[test]
+    fn rhs_disambiguates_return_successors_by_caller() {
+        // Two call sites invoke the same long subroutine; the trace after
+        // the return depends on the caller. The subroutine is longer than
+        // the history, so without the RHS the post-return context is
+        // caller-independent and the successor is unpredictable; with the
+        // RHS the pre-call path is restored and both successors are learned.
+        let cfg = PredictorConfig::paper(12, 3);
+        let subs: Vec<_> = (0..6).map(|k| rec(0x0040_1004 + k * 0x34, 0, 0)).collect();
+        let ret = rec_callret(0x0040_2008, 0, true);
+        let x1 = rec(0x0040_0004, 0, 0);
+        let call_x = rec_callret(0x0040_0250, 1, false);
+        let after_x = rec(0x0040_0374, 0, 0);
+        let y1 = rec(0x0040_0528, 0, 0);
+        let call_y = rec_callret(0x0040_0650, 1, false);
+        let after_y = rec(0x0040_0794, 0, 0);
+
+        let mispredicts = |p: &mut NextTracePredictor| -> u32 {
+            let mut wrong = 0;
+            for round in 0..12 {
+                for (one, call, after) in [(x1, call_x, after_x), (y1, call_y, after_y)] {
+                    p.update(&one);
+                    p.update(&call);
+                    for s in &subs {
+                        p.update(s);
+                    }
+                    p.update(&ret);
+                    let pred = p.predict();
+                    if round >= 2 && !pred.is_correct(after.id()) {
+                        wrong += 1;
+                    }
+                    p.update(&after);
+                }
+            }
+            wrong
+        };
+        let with = mispredicts(&mut NextTracePredictor::new(cfg));
+        let without = mispredicts(&mut NextTracePredictor::new(PredictorConfig {
+            rhs: None,
+            ..cfg
+        }));
+        assert_eq!(with, 0, "RHS predictor learns both return successors");
+        assert!(
+            without >= 10,
+            "without the RHS the post-return context is ambiguous: {without}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let mut p = NextTracePredictor::new(cfg_small());
+        p.update(&rec(0x0040_0000, 0, 0));
+        p.update(&rec_callret(0x0040_0100, 1, false));
+        let cp = p.checkpoint();
+        let before: Vec<_> = p.history().iter_newest_first().copied().collect();
+        p.update(&rec(0x0041_0000, 0, 0));
+        p.update(&rec_callret(0x0041_0100, 0, true));
+        p.restore(&cp);
+        let after: Vec<_> = p.history().iter_newest_first().copied().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn alternate_tracks_second_choice() {
+        let mut p = NextTracePredictor::new(PredictorConfig {
+            secondary_index_bits: 8,
+            // Disable secondary dominance by making saturation unreachable
+            // in this short test: heavy traffic alternates successors, so
+            // the 4-bit counter never saturates anyway.
+            ..PredictorConfig::paper_with_alternate(12, 0)
+        });
+        let a = rec(0x0040_0000, 0, 0);
+        let b = rec(0x0040_0400, 0, 0);
+        let c = rec(0x0040_0800, 0, 0);
+        // a alternates between successors b and c.
+        p.update(&a);
+        for _ in 0..8 {
+            p.update(&b);
+            p.update(&a);
+            p.update(&c);
+            p.update(&a);
+        }
+        let pred = p.predict();
+        let (Some(t), Some(alt)) = (pred.target, pred.alternate) else {
+            panic!("expected primary and alternate: {pred:?}");
+        };
+        let covers =
+            |x: Target| x.matches(b.id()) || x.matches(c.id());
+        assert!(covers(t) && covers(alt));
+        assert_ne!(t, alt, "alternate differs from primary");
+    }
+
+    #[test]
+    fn cost_reduced_predictor_matches_on_hash() {
+        let mut p = NextTracePredictor::new(PredictorConfig {
+            stored_target: StoredTarget::Hashed,
+            secondary_index_bits: 8,
+            ..PredictorConfig::paper(12, 1)
+        });
+        let a = rec(0x0040_0000, 0, 0);
+        let b = rec(0x0040_0400, 0, 0);
+        for _ in 0..3 {
+            p.update(&a);
+            p.update(&b);
+        }
+        p.update(&a);
+        let pred = p.predict();
+        assert!(matches!(pred.target, Some(Target::Hashed(_))));
+        assert!(pred.is_correct(b.id()));
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut p = NextTracePredictor::new(cfg_small());
+        let a = rec(0x0040_0000, 0, 0);
+        let b = rec(0x0040_0400, 0, 0);
+        for _ in 0..3 {
+            p.update(&a);
+            p.update(&b);
+        }
+        p.reset();
+        assert!(p.history().is_empty());
+        let pred = p.predict();
+        assert_eq!(pred.source, Source::Cold);
+    }
+}

@@ -1,0 +1,207 @@
+//! Accuracy accounting and the replay evaluation driver.
+
+use crate::{Prediction, Source, TracePredictor};
+use ntp_trace::TraceRecord;
+use std::fmt;
+
+/// Accuracy statistics accumulated over a replayed trace stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Predictions made (one per trace after the first).
+    pub predictions: u64,
+    /// Primary prediction named the actual next trace.
+    pub correct: u64,
+    /// Primary was wrong but the alternate (§6) was right.
+    pub alternate_correct: u64,
+    /// Predictions served by the correlating table.
+    pub from_correlated: u64,
+    /// Predictions served by the secondary table.
+    pub from_secondary: u64,
+    /// Cold predictions (no table had anything).
+    pub cold: u64,
+    /// Correct predictions served by the correlating table.
+    pub correlated_correct: u64,
+    /// Correct predictions served by the secondary table.
+    pub secondary_correct: u64,
+}
+
+impl PredictorStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> PredictorStats {
+        PredictorStats::default()
+    }
+
+    /// Scores one prediction against the actual trace.
+    pub fn score(&mut self, pred: &Prediction, actual: &TraceRecord) {
+        self.predictions += 1;
+        let id = actual.id();
+        let hit = pred.is_correct(id);
+        if hit {
+            self.correct += 1;
+        } else if pred.alternate_correct(id) {
+            self.alternate_correct += 1;
+        }
+        match pred.source {
+            Source::Correlated => {
+                self.from_correlated += 1;
+                if hit {
+                    self.correlated_correct += 1;
+                }
+            }
+            Source::Secondary => {
+                self.from_secondary += 1;
+                if hit {
+                    self.secondary_correct += 1;
+                }
+            }
+            Source::Cold => self.cold += 1,
+        }
+    }
+
+    /// Primary misprediction rate in percent (the paper's headline metric).
+    pub fn mispredict_pct(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            100.0 * (self.predictions - self.correct) as f64 / self.predictions as f64
+        }
+    }
+
+    /// Rate at which *both* primary and alternate missed, in percent
+    /// (Figure 8's second series).
+    pub fn both_mispredict_pct(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            100.0 * (self.predictions - self.correct - self.alternate_correct) as f64
+                / self.predictions as f64
+        }
+    }
+
+    /// Fraction of mispredictions rescued by the alternate.
+    pub fn alternate_rescue_fraction(&self) -> f64 {
+        let miss = self.predictions - self.correct;
+        if miss == 0 {
+            0.0
+        } else {
+            self.alternate_correct as f64 / miss as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &PredictorStats) {
+        self.predictions += other.predictions;
+        self.correct += other.correct;
+        self.alternate_correct += other.alternate_correct;
+        self.from_correlated += other.from_correlated;
+        self.from_secondary += other.from_secondary;
+        self.cold += other.cold;
+        self.correlated_correct += other.correlated_correct;
+        self.secondary_correct += other.secondary_correct;
+    }
+}
+
+impl fmt::Display for PredictorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} predictions, {:.2}% mispredict (corr {}, sec {}, cold {})",
+            self.predictions,
+            self.mispredict_pct(),
+            self.from_correlated,
+            self.from_secondary,
+            self.cold
+        )
+    }
+}
+
+/// Replays a recorded trace stream through a predictor with immediate
+/// updates (the methodology of §4.1) and returns accuracy statistics.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_core::{evaluate, NextTracePredictor, PredictorConfig};
+/// use ntp_trace::{TraceId, TraceRecord};
+///
+/// let records: Vec<TraceRecord> = (0..100)
+///     .map(|k| TraceRecord::new(TraceId::new(0x0040_0000 + (k % 4) * 64, 0, 0), 16, 0, false, false))
+///     .collect();
+/// let mut p = NextTracePredictor::new(PredictorConfig::paper(12, 3));
+/// let stats = evaluate(&mut p, &records);
+/// assert!(stats.mispredict_pct() < 20.0, "a 4-cycle is easy: {stats}");
+/// ```
+pub fn evaluate<P: TracePredictor + ?Sized>(
+    predictor: &mut P,
+    records: &[TraceRecord],
+) -> PredictorStats {
+    let mut stats = PredictorStats::new();
+    for r in records {
+        let pred = predictor.predict();
+        stats.score(&pred, r);
+        predictor.update(r);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Target;
+    use ntp_trace::TraceId;
+
+    fn rec(pc: u32) -> TraceRecord {
+        TraceRecord::new(TraceId::new(pc, 0, 0), 8, 0, false, false)
+    }
+
+    #[test]
+    fn score_buckets_by_source() {
+        let mut s = PredictorStats::new();
+        let actual = rec(0x0040_0000);
+        let hit = Prediction {
+            target: Some(Target::Full(actual.id())),
+            alternate: None,
+            source: Source::Correlated,
+        };
+        let miss_with_alt = Prediction {
+            target: Some(Target::Full(rec(0x0041_0000).id())),
+            alternate: Some(Target::Full(actual.id())),
+            source: Source::Secondary,
+        };
+        s.score(&hit, &actual);
+        s.score(&miss_with_alt, &actual);
+        s.score(&Prediction::cold(), &actual);
+        assert_eq!(s.predictions, 3);
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.alternate_correct, 1);
+        assert_eq!(s.cold, 1);
+        assert!((s.mispredict_pct() - 66.666).abs() < 0.1);
+        assert!((s.both_mispredict_pct() - 33.333).abs() < 0.1);
+        assert!((s.alternate_rescue_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = PredictorStats {
+            predictions: 10,
+            correct: 9,
+            ..PredictorStats::new()
+        };
+        let b = PredictorStats {
+            predictions: 10,
+            correct: 1,
+            ..PredictorStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.predictions, 20);
+        assert!((a.mispredict_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = PredictorStats::new();
+        assert_eq!(s.mispredict_pct(), 0.0);
+        assert_eq!(s.both_mispredict_pct(), 0.0);
+        assert_eq!(s.alternate_rescue_fraction(), 0.0);
+    }
+}

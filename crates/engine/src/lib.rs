@@ -1,0 +1,41 @@
+//! # ntp-engine — execution-engine models around the predictor
+//!
+//! Three consumers of next-trace prediction:
+//!
+//! * [`TraceCache`] — a set-associative cache of traces (Rotenberg et al.),
+//!   indexed by hashed trace identifiers;
+//! * [`DelayedUpdateEngine`] — the §5.4 protocol: speculative history with
+//!   misprediction repair, table training at retirement, and a simple
+//!   8-wide/64-entry-window cycle model (Table 4);
+//! * [`FetchEngine`] — predictor + trace cache delivering instructions,
+//!   reporting fetch bandwidth (the metric trace caches exist to raise);
+//! * [`TraceProcessor`] — a throughput model of the trace-processor
+//!   architecture this predictor was designed for (parallel processing
+//!   elements fed by the sequencer).
+//!
+//! # Example
+//!
+//! ```
+//! use ntp_core::{NextTracePredictor, PredictorConfig};
+//! use ntp_engine::{DelayedUpdateEngine, EngineConfig};
+//! use ntp_trace::{TraceId, TraceRecord};
+//!
+//! let stream: Vec<TraceRecord> = (0..200)
+//!     .map(|k| TraceRecord::new(TraceId::new(0x0040_0004 + (k % 4) * 68, 0, 0), 12, 0, false, false))
+//!     .collect();
+//! let predictor = NextTracePredictor::new(PredictorConfig::paper(12, 3));
+//! let stats = DelayedUpdateEngine::new(predictor, EngineConfig::default()).run(&stream);
+//! println!("IPC {:.2}, mispredict {:.2}%", stats.ipc(), stats.prediction.mispredict_pct());
+//! ```
+
+#![warn(missing_docs)]
+
+mod delayed;
+mod fetch;
+mod processor;
+mod trace_cache;
+
+pub use delayed::{DelayedUpdateEngine, EngineConfig, EngineStats};
+pub use fetch::{FetchConfig, FetchEngine, FetchStats};
+pub use processor::{TraceProcessor, TraceProcessorConfig, TraceProcessorStats};
+pub use trace_cache::{TraceCache, TraceCacheConfig, TraceCacheStats};

@@ -1,0 +1,206 @@
+//! A set-associative trace cache (Rotenberg, Bennett & Smith, MICRO-29).
+//!
+//! Stores completed traces keyed by their full identifier; indexed by the
+//! low bits of the hashed identifier, exactly the index the cost-reduced
+//! predictor of §5.5 stores in its tables.
+
+use ntp_trace::{TraceId, TraceRecord};
+
+/// Geometry of a [`TraceCache`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceCacheConfig {
+    /// log2 of the number of sets.
+    pub set_bits: u32,
+    /// Ways per set.
+    pub assoc: usize,
+}
+
+impl Default for TraceCacheConfig {
+    fn default() -> TraceCacheConfig {
+        // 256 sets x 4 ways x (16 instrs) ≈ the paper's "64KB trace cache".
+        TraceCacheConfig {
+            set_bits: 8,
+            assoc: 4,
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Line {
+    key: u64,
+    record: TraceRecord,
+    lru: u64,
+}
+
+/// Cache hit/miss counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Lines evicted by fills.
+    pub evictions: u64,
+}
+
+impl TraceCacheStats {
+    /// Hit rate in 0..=1.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative trace cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_engine::{TraceCache, TraceCacheConfig};
+/// use ntp_trace::{TraceId, TraceRecord};
+///
+/// let mut tc = TraceCache::new(TraceCacheConfig::default());
+/// let r = TraceRecord::new(TraceId::new(0x0040_0000, 0b1, 1), 9, 0, false, false);
+/// assert!(tc.lookup(r.id()).is_none());
+/// tc.insert(&r);
+/// assert_eq!(tc.lookup(r.id()).unwrap().len, 9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceCache {
+    sets: Vec<Vec<Line>>,
+    cfg: TraceCacheConfig,
+    tick: u64,
+    stats: TraceCacheStats,
+}
+
+impl TraceCache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_bits > 16` or `assoc` is 0.
+    pub fn new(cfg: TraceCacheConfig) -> TraceCache {
+        assert!(cfg.set_bits <= 16, "index comes from a 16-bit hashed id");
+        assert!(cfg.assoc > 0);
+        TraceCache {
+            sets: vec![Vec::with_capacity(cfg.assoc); 1 << cfg.set_bits],
+            cfg,
+            tick: 0,
+            stats: TraceCacheStats::default(),
+        }
+    }
+
+    /// The geometry in force.
+    pub fn config(&self) -> TraceCacheConfig {
+        self.cfg
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> TraceCacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, id: TraceId) -> usize {
+        id.hashed().low_bits(self.cfg.set_bits) as usize
+    }
+
+    /// Looks up a trace by identifier, updating LRU and counters.
+    pub fn lookup(&mut self, id: TraceId) -> Option<TraceRecord> {
+        self.tick += 1;
+        let tick = self.tick;
+        let key = id.packed();
+        let set = self.set_of(id);
+        for line in &mut self.sets[set] {
+            if line.key == key {
+                line.lru = tick;
+                self.stats.hits += 1;
+                return Some(line.record);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts (or refreshes) a trace after it has been built.
+    pub fn insert(&mut self, record: &TraceRecord) {
+        self.tick += 1;
+        let key = record.id().packed();
+        let set = self.set_of(record.id());
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.key == key) {
+            line.record = *record;
+            line.lru = self.tick;
+            return;
+        }
+        let line = Line {
+            key,
+            record: *record,
+            lru: self.tick,
+        };
+        if lines.len() < self.cfg.assoc {
+            lines.push(line);
+        } else {
+            let victim = lines
+                .iter_mut()
+                .min_by_key(|l| l.lru)
+                .expect("assoc > 0 so the set is nonempty");
+            *victim = line;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pc: u32) -> TraceRecord {
+        TraceRecord::new(TraceId::new(pc, 0, 0), 8, 0, false, false)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut tc = TraceCache::new(TraceCacheConfig::default());
+        let r = rec(0x0040_0004);
+        tc.insert(&r);
+        assert!(tc.lookup(r.id()).is_some());
+        assert_eq!(tc.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut tc = TraceCache::new(TraceCacheConfig {
+            set_bits: 1,
+            assoc: 2,
+        });
+        // Three traces mapping to the same set (hashed low bit equal).
+        let a = rec(0x0040_0000);
+        let b = rec(0x0040_0020);
+        let c = rec(0x0040_0040);
+        assert_eq!(
+            a.id().hashed().low_bits(1),
+            b.id().hashed().low_bits(1),
+        );
+        tc.insert(&a);
+        tc.insert(&b);
+        let _ = tc.lookup(a.id()); // touch a, making b the LRU
+        tc.insert(&c);
+        assert!(tc.lookup(a.id()).is_some());
+        assert!(tc.lookup(b.id()).is_none(), "b was evicted");
+        assert!(tc.lookup(c.id()).is_some());
+        assert_eq!(tc.stats().evictions, 1);
+    }
+
+    #[test]
+    fn distinct_branch_bits_are_distinct_traces() {
+        let mut tc = TraceCache::new(TraceCacheConfig::default());
+        let t = TraceRecord::new(TraceId::new(0x0040_0000, 0b01, 2), 8, 0, false, false);
+        let n = TraceRecord::new(TraceId::new(0x0040_0000, 0b10, 2), 8, 0, false, false);
+        tc.insert(&t);
+        assert!(tc.lookup(n.id()).is_none());
+    }
+}

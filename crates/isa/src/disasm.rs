@@ -1,0 +1,83 @@
+//! Disassembly of encoded instruction words back to assembly text.
+
+use crate::{decode, DecodeError, Instr};
+
+/// Disassembles a single instruction word at address `pc`.
+///
+/// Branch and jump targets are rendered as absolute hexadecimal addresses,
+/// which requires knowing `pc`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid instruction.
+///
+/// ```
+/// use ntp_isa::{encode, Instr, Reg, disasm::disassemble_at};
+/// let w = encode(&Instr::Beq(Reg::V0, Reg::ZERO, 3));
+/// assert_eq!(disassemble_at(w, 0x100).unwrap(), "beq v0, zero, 0x110");
+/// ```
+pub fn disassemble_at(word: u32, pc: u32) -> Result<String, DecodeError> {
+    let instr = decode(word)?;
+    Ok(render(&instr, pc))
+}
+
+/// Renders a decoded instruction at address `pc`, resolving direct targets to
+/// absolute addresses.
+pub fn render(instr: &Instr, pc: u32) -> String {
+    match instr.direct_target(pc) {
+        Some(target) => {
+            let m = instr.mnemonic();
+            match instr {
+                Instr::Beq(s, t, _)
+                | Instr::Bne(s, t, _)
+                | Instr::Blt(s, t, _)
+                | Instr::Bge(s, t, _)
+                | Instr::Bltu(s, t, _)
+                | Instr::Bgeu(s, t, _) => format!("{m} {s}, {t}, 0x{target:x}"),
+                _ => format!("{m} 0x{target:x}"),
+            }
+        }
+        None => instr.to_string(),
+    }
+}
+
+/// Disassembles a contiguous block of instruction words beginning at `base`,
+/// one line per word, including addresses.
+///
+/// Undecodable words render as `.word 0x????????`.
+pub fn disassemble_block(words: &[u32], base: u32) -> String {
+    let mut out = String::new();
+    for (n, &w) in words.iter().enumerate() {
+        let pc = base + (n as u32) * 4;
+        let text = disassemble_at(w, pc).unwrap_or_else(|_| format!(".word 0x{w:08x}"));
+        out.push_str(&format!("{pc:08x}:  {text}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode, Reg};
+
+    #[test]
+    fn renders_branch_targets_absolutely() {
+        let i = Instr::Bne(Reg::A0, Reg::ZERO, -1);
+        assert_eq!(render(&i, 0x200), "bne a0, zero, 0x200");
+    }
+
+    #[test]
+    fn renders_jump_targets() {
+        let i = Instr::Jal(0x100);
+        assert_eq!(render(&i, 0x0), "jal 0x400");
+    }
+
+    #[test]
+    fn block_disassembly_includes_bad_words() {
+        let words = vec![encode(&Instr::Halt), 0xFFFF_FFFF];
+        let text = disassemble_block(&words, 0x400000);
+        assert!(text.contains("halt"));
+        assert!(text.contains(".word 0xffffffff"));
+        assert!(text.contains("00400004"));
+    }
+}

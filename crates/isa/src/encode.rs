@@ -1,0 +1,326 @@
+//! Binary encoding and decoding of TRISC instructions.
+//!
+//! The layout is MIPS-like: a 6-bit opcode in bits `[31:26]`, with R-type
+//! instructions using `opcode = 0` and a 6-bit function code in bits `[5:0]`.
+//!
+//! ```text
+//! R-type:  op[31:26] rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]
+//! I-type:  op[31:26] rs[25:21] rt[20:16] imm[15:0]
+//! J-type:  op[31:26] target[25:0]
+//! ```
+
+use crate::{Instr, Reg};
+use std::fmt;
+
+/// Error returned by [`decode`] when a word is not a valid instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word 0x{:08x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Primary opcodes.
+const OP_RTYPE: u32 = 0x00;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLT: u32 = 0x06;
+const OP_BGE: u32 = 0x07;
+const OP_ADDI: u32 = 0x08;
+const OP_SLTI: u32 = 0x0a;
+const OP_SLTIU: u32 = 0x0b;
+const OP_ANDI: u32 = 0x0c;
+const OP_ORI: u32 = 0x0d;
+const OP_XORI: u32 = 0x0e;
+const OP_LUI: u32 = 0x0f;
+const OP_BLTU: u32 = 0x16;
+const OP_BGEU: u32 = 0x17;
+const OP_LB: u32 = 0x20;
+const OP_LH: u32 = 0x21;
+const OP_LW: u32 = 0x23;
+const OP_LBU: u32 = 0x24;
+const OP_LHU: u32 = 0x25;
+const OP_SB: u32 = 0x28;
+const OP_SH: u32 = 0x29;
+const OP_SW: u32 = 0x2b;
+
+// R-type function codes.
+const F_SLL: u32 = 0x00;
+const F_SRL: u32 = 0x02;
+const F_SRA: u32 = 0x03;
+const F_SLLV: u32 = 0x04;
+const F_SRLV: u32 = 0x06;
+const F_SRAV: u32 = 0x07;
+const F_JR: u32 = 0x08;
+const F_JALR: u32 = 0x09;
+const F_MUL: u32 = 0x18;
+const F_DIV: u32 = 0x1a;
+const F_DIVU: u32 = 0x1b;
+const F_REM: u32 = 0x1c;
+const F_REMU: u32 = 0x1d;
+const F_ADD: u32 = 0x20;
+const F_SUB: u32 = 0x22;
+const F_AND: u32 = 0x24;
+const F_OR: u32 = 0x25;
+const F_XOR: u32 = 0x26;
+const F_NOR: u32 = 0x27;
+const F_SLT: u32 = 0x2a;
+const F_SLTU: u32 = 0x2b;
+const F_OUT: u32 = 0x3e;
+const F_HALT: u32 = 0x3f;
+
+fn r(rs: Reg, rt: Reg, rd: Reg, shamt: u8, funct: u32) -> u32 {
+    (OP_RTYPE << 26)
+        | ((rs.number() as u32) << 21)
+        | ((rt.number() as u32) << 16)
+        | ((rd.number() as u32) << 11)
+        | (((shamt & 31) as u32) << 6)
+        | funct
+}
+
+fn i(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | ((rs.number() as u32) << 21) | ((rt.number() as u32) << 16) | imm as u32
+}
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// ```
+/// use ntp_isa::{encode, decode, Instr, Reg};
+/// let instr = Instr::Addi(Reg::V0, Reg::ZERO, -7);
+/// assert_eq!(decode(encode(&instr)).unwrap(), instr);
+/// ```
+pub fn encode(instr: &Instr) -> u32 {
+    use Instr::*;
+    match *instr {
+        Add(d, s, t) => r(s, t, d, 0, F_ADD),
+        Sub(d, s, t) => r(s, t, d, 0, F_SUB),
+        And(d, s, t) => r(s, t, d, 0, F_AND),
+        Or(d, s, t) => r(s, t, d, 0, F_OR),
+        Xor(d, s, t) => r(s, t, d, 0, F_XOR),
+        Nor(d, s, t) => r(s, t, d, 0, F_NOR),
+        Slt(d, s, t) => r(s, t, d, 0, F_SLT),
+        Sltu(d, s, t) => r(s, t, d, 0, F_SLTU),
+        Sllv(d, s, t) => r(s, t, d, 0, F_SLLV),
+        Srlv(d, s, t) => r(s, t, d, 0, F_SRLV),
+        Srav(d, s, t) => r(s, t, d, 0, F_SRAV),
+        Mul(d, s, t) => r(s, t, d, 0, F_MUL),
+        Div(d, s, t) => r(s, t, d, 0, F_DIV),
+        Divu(d, s, t) => r(s, t, d, 0, F_DIVU),
+        Rem(d, s, t) => r(s, t, d, 0, F_REM),
+        Remu(d, s, t) => r(s, t, d, 0, F_REMU),
+        Sll(d, s, sh) => r(Reg::ZERO, s, d, sh, F_SLL),
+        Srl(d, s, sh) => r(Reg::ZERO, s, d, sh, F_SRL),
+        Sra(d, s, sh) => r(Reg::ZERO, s, d, sh, F_SRA),
+        Addi(d, s, imm) => i(OP_ADDI, s, d, imm as u16),
+        Slti(d, s, imm) => i(OP_SLTI, s, d, imm as u16),
+        Sltiu(d, s, imm) => i(OP_SLTIU, s, d, imm as u16),
+        Andi(d, s, imm) => i(OP_ANDI, s, d, imm),
+        Ori(d, s, imm) => i(OP_ORI, s, d, imm),
+        Xori(d, s, imm) => i(OP_XORI, s, d, imm),
+        Lui(d, imm) => i(OP_LUI, Reg::ZERO, d, imm),
+        Lw(d, b, off) => i(OP_LW, b, d, off as u16),
+        Lh(d, b, off) => i(OP_LH, b, d, off as u16),
+        Lhu(d, b, off) => i(OP_LHU, b, d, off as u16),
+        Lb(d, b, off) => i(OP_LB, b, d, off as u16),
+        Lbu(d, b, off) => i(OP_LBU, b, d, off as u16),
+        Sw(src, b, off) => i(OP_SW, b, src, off as u16),
+        Sh(src, b, off) => i(OP_SH, b, src, off as u16),
+        Sb(src, b, off) => i(OP_SB, b, src, off as u16),
+        Beq(s, t, off) => i(OP_BEQ, s, t, off as u16),
+        Bne(s, t, off) => i(OP_BNE, s, t, off as u16),
+        Blt(s, t, off) => i(OP_BLT, s, t, off as u16),
+        Bge(s, t, off) => i(OP_BGE, s, t, off as u16),
+        Bltu(s, t, off) => i(OP_BLTU, s, t, off as u16),
+        Bgeu(s, t, off) => i(OP_BGEU, s, t, off as u16),
+        J(t) => (OP_J << 26) | (t & 0x03FF_FFFF),
+        Jal(t) => (OP_JAL << 26) | (t & 0x03FF_FFFF),
+        Jr(s) => r(s, Reg::ZERO, Reg::ZERO, 0, F_JR),
+        Jalr(d, s) => r(s, Reg::ZERO, d, 0, F_JALR),
+        Halt => r(Reg::ZERO, Reg::ZERO, Reg::ZERO, 0, F_HALT),
+        Out(s) => r(s, Reg::ZERO, Reg::ZERO, 0, F_OUT),
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or function code is undefined, or if
+/// fields that must be zero are not (e.g. the `rt` field of `jr`).
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let op = word >> 26;
+    let rs = Reg::new_masked(((word >> 21) & 31) as u8);
+    let rt = Reg::new_masked(((word >> 16) & 31) as u8);
+    let rd = Reg::new_masked(((word >> 11) & 31) as u8);
+    let shamt = ((word >> 6) & 31) as u8;
+    let imm = word as u16;
+    let simm = imm as i16;
+    let err = Err(DecodeError { word });
+
+    let instr = match op {
+        OP_RTYPE => {
+            let funct = word & 0x3f;
+            match funct {
+                F_ADD => Add(rd, rs, rt),
+                F_SUB => Sub(rd, rs, rt),
+                F_AND => And(rd, rs, rt),
+                F_OR => Or(rd, rs, rt),
+                F_XOR => Xor(rd, rs, rt),
+                F_NOR => Nor(rd, rs, rt),
+                F_SLT => Slt(rd, rs, rt),
+                F_SLTU => Sltu(rd, rs, rt),
+                F_SLLV => Sllv(rd, rs, rt),
+                F_SRLV => Srlv(rd, rs, rt),
+                F_SRAV => Srav(rd, rs, rt),
+                F_MUL => Mul(rd, rs, rt),
+                F_DIV => Div(rd, rs, rt),
+                F_DIVU => Divu(rd, rs, rt),
+                F_REM => Rem(rd, rs, rt),
+                F_REMU => Remu(rd, rs, rt),
+                F_SLL => Sll(rd, rt, shamt),
+                F_SRL => Srl(rd, rt, shamt),
+                F_SRA => Sra(rd, rt, shamt),
+                F_JR => {
+                    if rt != Reg::ZERO || rd != Reg::ZERO || shamt != 0 {
+                        return err;
+                    }
+                    Jr(rs)
+                }
+                F_JALR => {
+                    if rt != Reg::ZERO || shamt != 0 {
+                        return err;
+                    }
+                    Jalr(rd, rs)
+                }
+                F_HALT => {
+                    if word != (F_HALT) {
+                        return err;
+                    }
+                    Halt
+                }
+                F_OUT => {
+                    if rt != Reg::ZERO || rd != Reg::ZERO || shamt != 0 {
+                        return err;
+                    }
+                    Out(rs)
+                }
+                _ => return err,
+            }
+        }
+        OP_ADDI => Addi(rt, rs, simm),
+        OP_SLTI => Slti(rt, rs, simm),
+        OP_SLTIU => Sltiu(rt, rs, simm),
+        OP_ANDI => Andi(rt, rs, imm),
+        OP_ORI => Ori(rt, rs, imm),
+        OP_XORI => Xori(rt, rs, imm),
+        OP_LUI => {
+            if rs != Reg::ZERO {
+                return err;
+            }
+            Lui(rt, imm)
+        }
+        OP_LW => Lw(rt, rs, simm),
+        OP_LH => Lh(rt, rs, simm),
+        OP_LHU => Lhu(rt, rs, simm),
+        OP_LB => Lb(rt, rs, simm),
+        OP_LBU => Lbu(rt, rs, simm),
+        OP_SW => Sw(rt, rs, simm),
+        OP_SH => Sh(rt, rs, simm),
+        OP_SB => Sb(rt, rs, simm),
+        OP_BEQ => Beq(rs, rt, simm),
+        OP_BNE => Bne(rs, rt, simm),
+        OP_BLT => Blt(rs, rt, simm),
+        OP_BGE => Bge(rs, rt, simm),
+        OP_BLTU => Bltu(rs, rt, simm),
+        OP_BGEU => Bgeu(rs, rt, simm),
+        OP_J => J(word & 0x03FF_FFFF),
+        OP_JAL => Jal(word & 0x03FF_FFFF),
+        _ => return err,
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regs() -> Vec<Reg> {
+        vec![
+            Reg::ZERO,
+            Reg::V0,
+            Reg::A0,
+            Reg::new(13).unwrap(),
+            Reg::SP,
+            Reg::RA,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_shapes() {
+        let rs = regs();
+        let mut all = Vec::new();
+        for &d in &rs {
+            for &s in &rs {
+                for &t in &rs {
+                    all.extend([
+                        Instr::Add(d, s, t),
+                        Instr::Sub(d, s, t),
+                        Instr::Slt(d, s, t),
+                        Instr::Mul(d, s, t),
+                        Instr::Divu(d, s, t),
+                        Instr::Remu(d, s, t),
+                        Instr::Sllv(d, s, t),
+                    ]);
+                }
+                for imm in [0i16, 1, -1, 32767, -32768, 1234] {
+                    all.extend([
+                        Instr::Addi(d, s, imm),
+                        Instr::Slti(d, s, imm),
+                        Instr::Lw(d, s, imm),
+                        Instr::Sb(d, s, imm),
+                        Instr::Beq(d, s, imm),
+                        Instr::Bgeu(d, s, imm),
+                    ]);
+                }
+                all.push(Instr::Jalr(d, s));
+            }
+            all.push(Instr::Jr(d));
+            all.push(Instr::Out(d));
+            all.push(Instr::Lui(d, 0xBEEF));
+        }
+        all.push(Instr::J(0x00FF_1234));
+        all.push(Instr::Jal(0x03FF_FFFF));
+        all.push(Instr::Halt);
+        for instr in all {
+            let w = encode(&instr);
+            assert_eq!(decode(w), Ok(instr), "word 0x{w:08x}");
+        }
+    }
+
+    #[test]
+    fn invalid_words_rejected() {
+        // Undefined primary opcode.
+        assert!(decode(0xFC00_0000).is_err());
+        // Undefined funct.
+        assert!(decode(0x0000_0001).is_err());
+        // jr with non-zero rd field.
+        let w = (1u32 << 11) | 0x08;
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn halt_is_all_funct() {
+        assert_eq!(encode(&Instr::Halt), 0x3f);
+        assert_eq!(decode(0x3f), Ok(Instr::Halt));
+    }
+}

@@ -1,0 +1,233 @@
+//! A flat binary image format for assembled programs, so workloads can be
+//! shipped and loaded without re-assembling.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "NTPB"            4 bytes
+//! version u32 = 1
+//! text_base / entry / data_base   3 x u32
+//! n_text  u32 (instruction words)
+//! n_data  u32 (data bytes)
+//! n_syms  u32
+//! text    n_text x u32 (encoded instructions)
+//! data    n_data bytes
+//! symbols n_syms x { addr u32, len u16, name bytes }
+//! ```
+
+use crate::{decode, encode, Program};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Magic bytes identifying an image.
+pub const IMAGE_MAGIC: &[u8; 4] = b"NTPB";
+
+/// Current image format version.
+pub const IMAGE_VERSION: u32 = 1;
+
+/// Error produced while parsing an image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageError {
+    /// The magic bytes or version did not match.
+    BadHeader,
+    /// The image ended before its declared contents.
+    Truncated,
+    /// An instruction word failed to decode.
+    BadInstruction {
+        /// Index of the offending word in the text section.
+        index: usize,
+        /// The word itself.
+        word: u32,
+    },
+    /// A symbol name was not valid UTF-8.
+    BadSymbolName,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BadHeader => f.write_str("not an NTPB image (bad magic or version)"),
+            ImageError::Truncated => f.write_str("image truncated"),
+            ImageError::BadInstruction { index, word } => {
+                write!(f, "undecodable instruction word #{index}: {word:#010x}")
+            }
+            ImageError::BadSymbolName => f.write_str("symbol name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl Program {
+    /// Serializes the program to the flat image format.
+    pub fn to_image(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(IMAGE_MAGIC);
+        out.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.text_base.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&self.data_base.to_le_bytes());
+        out.extend_from_slice(&(self.instrs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
+        for i in &self.instrs {
+            out.extend_from_slice(&encode(i).to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+        // Deterministic symbol order.
+        let mut syms: Vec<(&String, &u32)> = self.symbols.iter().collect();
+        syms.sort();
+        for (name, &addr) in syms {
+            out.extend_from_slice(&addr.to_le_bytes());
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out
+    }
+
+    /// Parses a program from the flat image format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ImageError`] on malformed input.
+    pub fn from_image(bytes: &[u8]) -> Result<Program, ImageError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != IMAGE_MAGIC {
+            return Err(ImageError::BadHeader);
+        }
+        if r.u32()? != IMAGE_VERSION {
+            return Err(ImageError::BadHeader);
+        }
+        let text_base = r.u32()?;
+        let entry = r.u32()?;
+        let data_base = r.u32()?;
+        let n_text = r.u32()? as usize;
+        let n_data = r.u32()? as usize;
+        let n_syms = r.u32()? as usize;
+
+        let mut instrs = Vec::with_capacity(n_text.min(1 << 22));
+        for index in 0..n_text {
+            let word = r.u32()?;
+            let i = decode(word).map_err(|_| ImageError::BadInstruction { index, word })?;
+            instrs.push(i);
+        }
+        let data = r.take(n_data)?.to_vec();
+        let mut symbols = HashMap::with_capacity(n_syms.min(1 << 20));
+        for _ in 0..n_syms {
+            let addr = r.u32()?;
+            let len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(len)?)
+                .map_err(|_| ImageError::BadSymbolName)?
+                .to_string();
+            symbols.insert(name, addr);
+        }
+        Ok(Program {
+            text_base,
+            instrs,
+            data_base,
+            data,
+            entry,
+            symbols,
+        })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        let end = self.pos.checked_add(n).ok_or(ImageError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ImageError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            "
+main:   la   t0, table
+        lw   v0, 4(t0)
+        jal  f
+        out  v0
+        halt
+f:      addi v0, v0, 1
+        ret
+        .data
+table:  .word 10, 20, 30
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample();
+        let image = p.to_image();
+        let back = Program::from_image(&image).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn image_is_deterministic() {
+        assert_eq!(sample().to_image(), sample().to_image());
+    }
+
+    #[test]
+    fn loaded_image_encodes_identically() {
+        let p = sample();
+        let back = Program::from_image(&p.to_image()).unwrap();
+        assert_eq!(back.encode_text(), p.encode_text());
+        assert_eq!(back.symbol("table"), p.symbol("table"));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut img = sample().to_image();
+        img[0] = b'X';
+        assert_eq!(Program::from_image(&img), Err(ImageError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let img = sample().to_image();
+        for cut in [0, 3, 8, 20, img.len() - 1] {
+            assert!(
+                Program::from_image(&img[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_instruction_rejected() {
+        let mut img = sample().to_image();
+        // First text word starts right after the 32-byte header.
+        img[32..36].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        assert!(matches!(
+            Program::from_image(&img),
+            Err(ImageError::BadInstruction { index: 0, .. })
+        ));
+    }
+}

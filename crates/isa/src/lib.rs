@@ -1,0 +1,50 @@
+//! # ntp-isa — the TRISC instruction set
+//!
+//! TRISC is a small 32-bit RISC instruction set (MIPS-flavoured, like the
+//! SimpleScalar ISA used by the paper this repository reproduces) with:
+//!
+//! * 32 general-purpose registers ([`Reg`]), `r0` hardwired to zero;
+//! * fixed-width 32-bit instructions ([`Instr`]) with full binary
+//!   [`encode`]/[`decode`] support and a [`disasm`] module;
+//! * a two-pass assembler ([`asm::assemble`]) with labels, data directives
+//!   and the usual pseudo-instructions;
+//! * explicit control-flow classification ([`ControlKind`]) distinguishing
+//!   conditional branches, direct jumps/calls, indirect jumps/calls and
+//!   returns — the properties trace selection and next-trace prediction
+//!   care about.
+//!
+//! # Example
+//!
+//! ```
+//! use ntp_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     "
+//! main:   addi a0, zero, 5
+//!         jal  double
+//!         out  v0
+//!         halt
+//! double: add  v0, a0, a0
+//!         ret
+//! ",
+//! )?;
+//! assert_eq!(program.instrs.len(), 6);
+//! assert!(program.symbol("double").is_some());
+//! # Ok::<(), ntp_isa::asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+mod encode;
+mod image;
+mod instr;
+mod program;
+mod reg;
+
+pub use encode::{decode, encode, DecodeError};
+pub use image::{ImageError, IMAGE_MAGIC, IMAGE_VERSION};
+pub use instr::{ControlKind, Instr};
+pub use program::{Program, DATA_BASE, STACK_TOP, TEXT_BASE};
+pub use reg::Reg;

@@ -1,0 +1,190 @@
+//! Architectural registers of the TRISC ISA.
+
+use std::fmt;
+
+/// One of the 32 architectural registers, `r0`–`r31`.
+///
+/// `r0` is hardwired to zero. The software calling convention mirrors MIPS:
+/// `v0`/`v1` (`r2`/`r3`) hold return values, `a0`–`a3` (`r4`–`r7`) hold
+/// arguments, `t0`–`t9` are caller-saved, `s0`–`s7` are callee-saved,
+/// `sp` = `r30`, `fp` = `r29`, `ra` = `r31`.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_isa::Reg;
+/// let a0 = Reg::from_name("a0").unwrap();
+/// assert_eq!(a0, Reg::new(4).unwrap());
+/// assert_eq!(a0.name(), "a0");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// First return-value register `v0` (`r2`).
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register `v1` (`r3`).
+    pub const V1: Reg = Reg(3);
+    /// First argument register `a0` (`r4`).
+    pub const A0: Reg = Reg(4);
+    /// Second argument register `a1` (`r5`).
+    pub const A1: Reg = Reg(5);
+    /// Third argument register `a2` (`r6`).
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register `a3` (`r7`).
+    pub const A3: Reg = Reg(7);
+    /// Frame pointer `fp` (`r29`).
+    pub const FP: Reg = Reg(29);
+    /// Stack pointer `sp` (`r30`).
+    pub const SP: Reg = Reg(30);
+    /// Return-address register `ra` (`r31`); `jal`/`jalr` write it, `jr ra` returns.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its number, returning `None` if `n >= 32`.
+    pub fn new(n: u8) -> Option<Reg> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// Creates a register from its number without bounds checking the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `n >= 32`; in release builds the value is
+    /// masked to 5 bits.
+    pub fn new_masked(n: u8) -> Reg {
+        debug_assert!(n < 32, "register number out of range: {n}");
+        Reg(n & 31)
+    }
+
+    /// The register number, 0–31.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as a `usize`, for register-file indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Looks up a register by name: `r12`, or an ABI alias like `a0`/`sp`/`ra`.
+    pub fn from_name(name: &str) -> Option<Reg> {
+        if let Some(rest) = name.strip_prefix('r') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Reg::new(n);
+            }
+        }
+        let n = match name {
+            "zero" => 0,
+            "at" => 1,
+            "v0" => 2,
+            "v1" => 3,
+            "a0" => 4,
+            "a1" => 5,
+            "a2" => 6,
+            "a3" => 7,
+            "t0" => 8,
+            "t1" => 9,
+            "t2" => 10,
+            "t3" => 11,
+            "t4" => 12,
+            "t5" => 13,
+            "t6" => 14,
+            "t7" => 15,
+            "s0" => 16,
+            "s1" => 17,
+            "s2" => 18,
+            "s3" => 19,
+            "s4" => 20,
+            "s5" => 21,
+            "s6" => 22,
+            "s7" => 23,
+            "t8" => 24,
+            "t9" => 25,
+            "k0" => 26,
+            "k1" => 27,
+            "gp" => 28,
+            "fp" => 29,
+            "sp" => 30,
+            "ra" => 31,
+            _ => return None,
+        };
+        Some(Reg(n))
+    }
+
+    /// The canonical ABI name of this register.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "fp", "sp", "ra",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({}={})", self.0, self.name())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_names_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_name(&format!("r{}", r.number())), Some(r));
+        }
+    }
+
+    #[test]
+    fn abi_names_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_name(r.name()), Some(r), "alias {}", r.name());
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::from_name("r32"), None);
+        assert_eq!(Reg::from_name("x5"), None);
+        assert_eq!(Reg::from_name(""), None);
+    }
+
+    #[test]
+    fn well_known_aliases() {
+        assert_eq!(Reg::from_name("sp"), Some(Reg::SP));
+        assert_eq!(Reg::from_name("ra"), Some(Reg::RA));
+        assert_eq!(Reg::from_name("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::SP.number(), 30);
+        assert_eq!(Reg::RA.number(), 31);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+}

@@ -1,0 +1,45 @@
+//! # ntp-sim — functional simulation of TRISC programs
+//!
+//! This crate plays the role SimpleScalar's functional simulator played in
+//! the original paper: it executes an assembled [`ntp_isa::Program`] and
+//! produces the dynamic instruction stream — in particular the control-flow
+//! events ([`ControlEvent`]) that trace selection and all predictors consume.
+//!
+//! The machine is deliberately simple: in-order, one instruction per
+//! [`Machine::step`], with a segmented memory ([`Memory`]) holding read-only
+//! text, a data segment and a downward-growing stack.
+//!
+//! # Example
+//!
+//! ```
+//! use ntp_isa::asm::assemble;
+//! use ntp_sim::{Machine, StopReason};
+//!
+//! let p = assemble(
+//!     "
+//! main:   li   t0, 10
+//! loop:   addi t0, t0, -1
+//!         bnez t0, loop
+//!         out  t0
+//!         halt
+//! ",
+//! )?;
+//! let mut branches = 0u32;
+//! let mut m = Machine::new(p);
+//! let stop = m.run_with(1_000, |step| {
+//!     if step.control.is_some() {
+//!         branches += 1;
+//!     }
+//! })?;
+//! assert_eq!(stop, StopReason::Halted);
+//! assert_eq!(branches, 10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod machine;
+mod memory;
+
+pub use machine::{ControlEvent, Machine, SimError, Step, StopReason};
+pub use memory::{Memory, MemoryConfig};

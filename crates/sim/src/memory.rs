@@ -1,0 +1,227 @@
+//! Segmented byte-addressable memory for the TRISC machine.
+
+use crate::SimError;
+use ntp_isa::STACK_TOP;
+
+/// Capacity configuration for a [`Memory`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Bytes of data segment (default 16 MiB).
+    pub data_capacity: u32,
+    /// Bytes of stack segment (default 4 MiB), growing down from
+    /// [`ntp_isa::STACK_TOP`].
+    pub stack_capacity: u32,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> MemoryConfig {
+        MemoryConfig {
+            data_capacity: 16 << 20,
+            stack_capacity: 4 << 20,
+        }
+    }
+}
+
+/// Byte-addressable memory with three segments: read-only text, a data
+/// segment (initialized data + heap) and a downward-growing stack.
+///
+/// Accesses must be naturally aligned; unaligned or out-of-segment accesses
+/// return [`SimError::MemFault`].
+#[derive(Clone, Debug)]
+pub struct Memory {
+    text: Vec<u8>,
+    text_base: u32,
+    data: Vec<u8>,
+    data_base: u32,
+    stack: Vec<u8>,
+    stack_base: u32,
+}
+
+impl Memory {
+    /// Creates memory with the given text/data images and capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initialized data image exceeds `config.data_capacity`.
+    pub fn new(
+        text: Vec<u8>,
+        text_base: u32,
+        data_image: &[u8],
+        data_base: u32,
+        config: MemoryConfig,
+    ) -> Memory {
+        assert!(
+            data_image.len() <= config.data_capacity as usize,
+            "data image ({} bytes) exceeds data capacity ({})",
+            data_image.len(),
+            config.data_capacity
+        );
+        let mut data = vec![0u8; config.data_capacity as usize];
+        data[..data_image.len()].copy_from_slice(data_image);
+        Memory {
+            text,
+            text_base,
+            data,
+            data_base,
+            stack: vec![0u8; config.stack_capacity as usize],
+            stack_base: STACK_TOP - config.stack_capacity,
+        }
+    }
+
+    fn locate(&self, addr: u32, len: u32) -> Option<(&[u8], usize)> {
+        let end = addr.checked_add(len)?;
+        if addr >= self.data_base && end <= self.data_base + self.data.len() as u32 {
+            Some((&self.data, (addr - self.data_base) as usize))
+        } else if addr >= self.stack_base && end <= self.stack_base + self.stack.len() as u32 {
+            Some((&self.stack, (addr - self.stack_base) as usize))
+        } else if addr >= self.text_base && end <= self.text_base + self.text.len() as u32 {
+            Some((&self.text, (addr - self.text_base) as usize))
+        } else {
+            None
+        }
+    }
+
+    fn locate_mut(&mut self, addr: u32, len: u32) -> Option<(&mut [u8], usize)> {
+        let end = addr.checked_add(len)?;
+        if addr >= self.data_base && end <= self.data_base + self.data.len() as u32 {
+            Some((&mut self.data, (addr - self.data_base) as usize))
+        } else if addr >= self.stack_base && end <= self.stack_base + self.stack.len() as u32 {
+            Some((&mut self.stack, (addr - self.stack_base) as usize))
+        } else {
+            None
+        }
+    }
+
+    fn fault(addr: u32) -> SimError {
+        SimError::MemFault { addr }
+    }
+
+    /// Loads a byte.
+    pub fn load8(&self, addr: u32) -> Result<u8, SimError> {
+        let (seg, off) = self.locate(addr, 1).ok_or_else(|| Self::fault(addr))?;
+        Ok(seg[off])
+    }
+
+    /// Loads a naturally-aligned halfword (little-endian).
+    pub fn load16(&self, addr: u32) -> Result<u16, SimError> {
+        if addr & 1 != 0 {
+            return Err(Self::fault(addr));
+        }
+        let (seg, off) = self.locate(addr, 2).ok_or_else(|| Self::fault(addr))?;
+        Ok(u16::from_le_bytes([seg[off], seg[off + 1]]))
+    }
+
+    /// Loads a naturally-aligned word (little-endian).
+    pub fn load32(&self, addr: u32) -> Result<u32, SimError> {
+        if addr & 3 != 0 {
+            return Err(Self::fault(addr));
+        }
+        let (seg, off) = self.locate(addr, 4).ok_or_else(|| Self::fault(addr))?;
+        Ok(u32::from_le_bytes([
+            seg[off],
+            seg[off + 1],
+            seg[off + 2],
+            seg[off + 3],
+        ]))
+    }
+
+    /// Stores a byte. Text is not writable.
+    pub fn store8(&mut self, addr: u32, v: u8) -> Result<(), SimError> {
+        let (seg, off) = self.locate_mut(addr, 1).ok_or_else(|| Self::fault(addr))?;
+        seg[off] = v;
+        Ok(())
+    }
+
+    /// Stores a naturally-aligned halfword.
+    pub fn store16(&mut self, addr: u32, v: u16) -> Result<(), SimError> {
+        if addr & 1 != 0 {
+            return Err(Self::fault(addr));
+        }
+        let (seg, off) = self.locate_mut(addr, 2).ok_or_else(|| Self::fault(addr))?;
+        seg[off..off + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Stores a naturally-aligned word.
+    pub fn store32(&mut self, addr: u32, v: u32) -> Result<(), SimError> {
+        if addr & 3 != 0 {
+            return Err(Self::fault(addr));
+        }
+        let (seg, off) = self.locate_mut(addr, 4).ok_or_else(|| Self::fault(addr))?;
+        seg[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntp_isa::{DATA_BASE, TEXT_BASE};
+
+    fn mem() -> Memory {
+        Memory::new(
+            vec![1, 2, 3, 4],
+            TEXT_BASE,
+            &[10, 20, 30, 40],
+            DATA_BASE,
+            MemoryConfig {
+                data_capacity: 4096,
+                stack_capacity: 4096,
+            },
+        )
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let mut m = mem();
+        m.store32(DATA_BASE + 8, 0xDEADBEEF).unwrap();
+        assert_eq!(m.load32(DATA_BASE + 8).unwrap(), 0xDEADBEEF);
+        m.store16(DATA_BASE + 12, 0xBEAD).unwrap();
+        assert_eq!(m.load16(DATA_BASE + 12).unwrap(), 0xBEAD);
+        m.store8(DATA_BASE + 14, 0x7F).unwrap();
+        assert_eq!(m.load8(DATA_BASE + 14).unwrap(), 0x7F);
+    }
+
+    #[test]
+    fn initialized_image_visible() {
+        let m = mem();
+        assert_eq!(m.load32(DATA_BASE).unwrap(), u32::from_le_bytes([10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn stack_accessible() {
+        let mut m = mem();
+        m.store32(STACK_TOP - 8, 99).unwrap();
+        assert_eq!(m.load32(STACK_TOP - 8).unwrap(), 99);
+    }
+
+    #[test]
+    fn text_readable_not_writable() {
+        let mut m = mem();
+        assert_eq!(m.load32(TEXT_BASE).unwrap(), u32::from_le_bytes([1, 2, 3, 4]));
+        assert!(m.store32(TEXT_BASE, 0).is_err());
+    }
+
+    #[test]
+    fn unaligned_faults() {
+        let m = mem();
+        assert!(m.load32(DATA_BASE + 1).is_err());
+        assert!(m.load16(DATA_BASE + 1).is_err());
+    }
+
+    #[test]
+    fn out_of_segment_faults() {
+        let mut m = mem();
+        assert!(m.load32(0).is_err());
+        assert!(m.load32(DATA_BASE + 4096).is_err());
+        assert!(m.store8(STACK_TOP - 4096 - 1, 0).is_err());
+        assert!(m.load32(u32::MAX - 2).is_err());
+    }
+
+    #[test]
+    fn cross_segment_end_faults() {
+        let m = mem();
+        // Word straddling the end of data capacity.
+        assert!(m.load32(DATA_BASE + 4094).is_err());
+    }
+}

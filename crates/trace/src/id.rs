@@ -1,0 +1,220 @@
+//! Trace naming: 36-bit trace identifiers and their 16-bit hashed form.
+
+use std::fmt;
+
+/// Number of bits in a packed [`TraceId`] (30 PC bits + 6 outcome bits).
+pub const TRACE_ID_BITS: u32 = 36;
+
+/// Number of bits in a [`HashedId`].
+pub const HASHED_ID_BITS: u32 = 16;
+
+/// A trace identifier, per §3.1 of the paper: the PC of the first instruction
+/// plus the outcomes of up to six embedded conditional branches.
+///
+/// Instructions with indirect targets are never internal to a trace, so this
+/// pair names a trace uniquely under a deterministic selection policy.
+/// Outcome bits beyond the last conditional branch are zero.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId {
+    /// Address of the first instruction in the trace.
+    pub start_pc: u32,
+    /// Bit `i` holds the outcome of the `i`-th conditional branch
+    /// (1 = taken); bits beyond [`TraceId::branch_count`] are zero.
+    pub branch_bits: u8,
+    /// Number of conditional branches embedded in the trace (0–6).
+    pub branch_count: u8,
+}
+
+impl TraceId {
+    /// Builds an identifier, masking `branch_bits` to `branch_count` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch_count > 6`.
+    pub fn new(start_pc: u32, branch_bits: u8, branch_count: u8) -> TraceId {
+        assert!(branch_count <= 6, "a trace holds at most 6 branches");
+        let mask = (1u16 << branch_count) as u8 - 1;
+        TraceId {
+            start_pc,
+            branch_bits: branch_bits & mask,
+            branch_count,
+        }
+    }
+
+    /// The 36-bit packed form: 30 bits of word-aligned PC and 6 outcome bits.
+    ///
+    /// This is what a hardware table entry would store (the paper's "36-bit
+    /// identifier").
+    pub fn packed(self) -> u64 {
+        (((self.start_pc >> 2) as u64 & 0x3FFF_FFFF) << 6) | (self.branch_bits as u64 & 0x3F)
+    }
+
+    /// Reconstructs an identifier from its packed form.
+    ///
+    /// The branch count is not stored in hardware; the returned value uses
+    /// the position of the highest set outcome bit as a lower bound (0 if no
+    /// branch was taken). Equality of trace IDs in packed form is what the
+    /// predictor tables rely on.
+    pub fn from_packed(packed: u64) -> TraceId {
+        let branch_bits = (packed & 0x3F) as u8;
+        let count = 8 - branch_bits.leading_zeros() as u8;
+        TraceId {
+            start_pc: (((packed >> 6) & 0x3FFF_FFFF) as u32) << 2,
+            branch_bits,
+            branch_count: count,
+        }
+    }
+
+    /// The outcome of the `i`-th conditional branch in the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= branch_count`.
+    pub fn outcome(self, i: usize) -> bool {
+        assert!(i < self.branch_count as usize);
+        (self.branch_bits >> i) & 1 == 1
+    }
+
+    /// The 16-bit hashed identifier used in path history registers, table
+    /// tags and trace-cache indexing (§3.2 of the paper):
+    ///
+    /// * bits `[1:0]`: outcomes of the first two conditional branches;
+    /// * bits `[3:2]`: the two least-significant *word* bits of the start PC
+    ///   (byte bits are always zero);
+    /// * bits `[15:4]`: the remaining outcome bits XORed with the next
+    ///   least-significant PC bits.
+    pub fn hashed(self) -> HashedId {
+        let b = self.branch_bits as u32;
+        let low2 = b & 0b11;
+        let pc_low = (self.start_pc >> 2) & 0b11;
+        let rest = (b >> 2) & 0xF;
+        let upper = ((self.start_pc >> 4) & 0xFFF) ^ rest;
+        HashedId(((upper << 4) | (pc_low << 2) | low2) as u16)
+    }
+}
+
+impl fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceId({self})")
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.start_pc)?;
+        f.write_str(":")?;
+        for i in 0..self.branch_count {
+            f.write_str(if (self.branch_bits >> i) & 1 == 1 { "T" } else { "N" })?;
+        }
+        Ok(())
+    }
+}
+
+/// The 16-bit hashed form of a [`TraceId`].
+///
+/// Path history registers hold these; the secondary predictor indexes with
+/// one; the correlating-table tag holds the low 10 bits of one; and the
+/// cost-reduced predictor stores one instead of a full trace ID.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct HashedId(pub u16);
+
+impl HashedId {
+    /// The low `n` bits, used for tags and table indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16`.
+    pub fn low_bits(self, n: u32) -> u32 {
+        assert!(n <= 16);
+        (self.0 as u32) & ((1u32 << n) - 1).min(0xFFFF)
+    }
+}
+
+impl fmt::Debug for HashedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HashedId({:#06x})", self.0)
+    }
+}
+
+impl fmt::Display for HashedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+impl From<TraceId> for HashedId {
+    fn from(id: TraceId) -> HashedId {
+        id.hashed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_roundtrip_preserves_identity() {
+        let id = TraceId::new(0x0040_1234, 0b101101, 6);
+        let back = TraceId::from_packed(id.packed());
+        assert_eq!(back.start_pc, id.start_pc);
+        assert_eq!(back.branch_bits, id.branch_bits);
+    }
+
+    #[test]
+    fn new_masks_stray_bits() {
+        let id = TraceId::new(0x400000, 0xFF, 3);
+        assert_eq!(id.branch_bits, 0b111);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_branches_panics() {
+        let _ = TraceId::new(0, 0, 7);
+    }
+
+    #[test]
+    fn outcome_indexing() {
+        let id = TraceId::new(0x400000, 0b0000_0101, 4);
+        assert!(id.outcome(0));
+        assert!(!id.outcome(1));
+        assert!(id.outcome(2));
+        assert!(!id.outcome(3));
+    }
+
+    #[test]
+    fn hash_separates_first_two_outcomes() {
+        // The two low bits of the hash are exactly the first two outcomes.
+        for bits in 0..4u8 {
+            let id = TraceId::new(0x0040_0000, bits, 2);
+            assert_eq!(id.hashed().0 & 0b11, bits as u16);
+        }
+    }
+
+    #[test]
+    fn hash_mixes_pc() {
+        let a = TraceId::new(0x0040_0000, 0, 0).hashed();
+        let b = TraceId::new(0x0040_0010, 0, 0).hashed();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_differs_for_later_outcomes() {
+        let a = TraceId::new(0x0040_0000, 0b000100, 6).hashed();
+        let b = TraceId::new(0x0040_0000, 0b000000, 6).hashed();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn low_bits_mask() {
+        let h = HashedId(0xABCD);
+        assert_eq!(h.low_bits(10), 0xABCD & 0x3FF);
+        assert_eq!(h.low_bits(16), 0xABCD);
+    }
+
+    #[test]
+    fn display_forms() {
+        let id = TraceId::new(0x0040_0004, 0b01, 2);
+        assert_eq!(id.to_string(), "0x00400004:TN");
+        assert_eq!(format!("{}", id.hashed()), format!("{:#06x}", id.hashed().0));
+    }
+}

@@ -1,0 +1,123 @@
+//! Compact trace records for cheap replay.
+//!
+//! A full [`Trace`] carries per-control-instruction detail (~200 bytes) that
+//! only streaming consumers need. Predictor accuracy sweeps replay the same
+//! trace sequence dozens of times, so they cache the 8-byte [`TraceRecord`]
+//! form — everything a next-trace predictor (including its return history
+//! stack) observes.
+
+use crate::{Trace, TraceId};
+
+/// The compact (8-byte) form of a trace, sufficient to drive any next-trace
+/// predictor.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TraceRecord {
+    /// Start PC of the trace.
+    pub start_pc: u32,
+    /// Embedded conditional branch outcomes (bit `i` = branch `i` taken).
+    pub branch_bits: u8,
+    /// Number of embedded conditional branches.
+    pub branch_count: u8,
+    /// Instructions in the trace.
+    pub len: u8,
+    /// Packed flags: bits `[2:0]` call count (saturating at 7), bit 3
+    /// ends-in-return, bit 4 ends-in-indirect.
+    flags: u8,
+}
+
+impl TraceRecord {
+    /// Builds a record directly (for synthetic streams and tests; real
+    /// streams convert from [`Trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds 16, or `call_count > 7`.
+    pub fn new(
+        id: TraceId,
+        len: u8,
+        call_count: u8,
+        ends_in_return: bool,
+        ends_in_indirect: bool,
+    ) -> TraceRecord {
+        assert!((1..=16).contains(&len), "trace length must be 1..=16");
+        assert!(call_count <= 7, "call count saturates at 7");
+        TraceRecord {
+            start_pc: id.start_pc,
+            branch_bits: id.branch_bits,
+            branch_count: id.branch_count,
+            len,
+            flags: call_count
+                | (u8::from(ends_in_return) << 3)
+                | (u8::from(ends_in_indirect) << 4),
+        }
+    }
+
+    /// The trace's identifier.
+    pub fn id(&self) -> TraceId {
+        TraceId::new(self.start_pc, self.branch_bits, self.branch_count)
+    }
+
+    /// Number of calls in the trace (saturated at 7).
+    pub fn call_count(&self) -> u8 {
+        self.flags & 0b111
+    }
+
+    /// True if the trace ends in a return.
+    pub fn ends_in_return(&self) -> bool {
+        self.flags & 0b1000 != 0
+    }
+
+    /// True if the trace ends in any indirect-target instruction.
+    pub fn ends_in_indirect(&self) -> bool {
+        self.flags & 0b1_0000 != 0
+    }
+}
+
+impl From<&Trace> for TraceRecord {
+    fn from(t: &Trace) -> TraceRecord {
+        let id = t.id();
+        let calls = t.call_count().min(7);
+        let flags = calls
+            | (u8::from(t.ends_in_return()) << 3)
+            | (u8::from(t.ends_in_indirect()) << 4);
+        TraceRecord {
+            start_pc: id.start_pc,
+            branch_bits: id.branch_bits,
+            branch_count: id.branch_count,
+            len: t.len() as u8,
+            flags,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_traces, TraceConfig};
+    use ntp_isa::asm::assemble;
+    use ntp_sim::Machine;
+
+    #[test]
+    fn record_preserves_predictor_visible_state() {
+        let p = assemble("main: jal f\n halt\nf: jal g\n ret\ng: ret\n").unwrap();
+        let mut m = Machine::new(p);
+        let mut pairs = Vec::new();
+        run_traces(&mut m, 100, TraceConfig::default(), |t| {
+            pairs.push((*t, TraceRecord::from(t)));
+        })
+        .unwrap();
+        assert!(!pairs.is_empty());
+        for (t, r) in pairs {
+            assert_eq!(r.id(), t.id());
+            assert_eq!(r.len as usize, t.len());
+            assert_eq!(r.call_count(), t.call_count().min(7));
+            assert_eq!(r.ends_in_return(), t.ends_in_return());
+            assert_eq!(r.ends_in_indirect(), t.ends_in_indirect());
+        }
+    }
+
+    #[test]
+    fn record_is_small() {
+        assert_eq!(std::mem::size_of::<TraceRecord>(), 8);
+    }
+}

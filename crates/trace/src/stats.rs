@@ -1,0 +1,205 @@
+//! Aggregate statistics over a trace stream (the paper's Tables 1 and 2
+//! inputs: instruction counts, average trace length, static trace count,
+//! branches per trace).
+
+use crate::Trace;
+use ntp_isa::ControlKind;
+use std::collections::HashSet;
+
+/// Streaming statistics accumulator for traces.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_trace::TraceStats;
+/// let stats = TraceStats::new();
+/// assert_eq!(stats.traces(), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    traces: u64,
+    instrs: u64,
+    cond_branches: u64,
+    calls: u64,
+    returns: u64,
+    indirect: u64,
+    static_ids: HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> TraceStats {
+        TraceStats::default()
+    }
+
+    /// Folds one trace into the statistics.
+    pub fn record(&mut self, trace: &Trace) {
+        self.traces += 1;
+        self.instrs += trace.len() as u64;
+        self.cond_branches += trace.branch_count() as u64;
+        self.calls += trace.call_count() as u64;
+        if trace.ends_in_return() {
+            self.returns += 1;
+        }
+        if trace.ends_in_indirect() {
+            self.indirect += 1;
+        }
+        self.static_ids.insert(trace.id().packed());
+    }
+
+    /// Dynamic traces observed.
+    pub fn traces(&self) -> u64 {
+        self.traces
+    }
+
+    /// Instructions covered by those traces.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Conditional branches embedded in traces.
+    pub fn cond_branches(&self) -> u64 {
+        self.cond_branches
+    }
+
+    /// Call instructions observed.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Traces ending in a return.
+    pub fn returns(&self) -> u64 {
+        self.returns
+    }
+
+    /// Traces ending in any indirect-target instruction.
+    pub fn indirect_endings(&self) -> u64 {
+        self.indirect
+    }
+
+    /// Distinct trace identifiers seen (the paper's "static traces").
+    pub fn static_traces(&self) -> usize {
+        self.static_ids.len()
+    }
+
+    /// Mean instructions per trace.
+    pub fn avg_trace_len(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.traces as f64
+        }
+    }
+
+    /// Mean conditional branches per trace (Table 2's "Number of Branches
+    /// per Trace").
+    pub fn branches_per_trace(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.cond_branches as f64 / self.traces as f64
+        }
+    }
+}
+
+/// Classifies every control event kind for instruction-mix reporting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ControlMix {
+    /// Conditional branches retired.
+    pub cond_branches: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+    /// Direct jumps.
+    pub jumps: u64,
+    /// Direct calls.
+    pub calls: u64,
+    /// Indirect jumps (excluding returns).
+    pub indirect_jumps: u64,
+    /// Indirect calls.
+    pub indirect_calls: u64,
+    /// Returns.
+    pub returns: u64,
+    /// All instructions retired.
+    pub instrs: u64,
+}
+
+impl ControlMix {
+    /// Creates an empty mix.
+    pub fn new() -> ControlMix {
+        ControlMix::default()
+    }
+
+    /// Folds one retired instruction into the mix.
+    pub fn record(&mut self, step: &ntp_sim::Step) {
+        self.instrs += 1;
+        if let Some(ev) = step.control {
+            match ev.kind {
+                ControlKind::CondBranch => {
+                    self.cond_branches += 1;
+                    if ev.taken {
+                        self.taken_branches += 1;
+                    }
+                }
+                ControlKind::Jump => self.jumps += 1,
+                ControlKind::Call => self.calls += 1,
+                ControlKind::IndirectJump => self.indirect_jumps += 1,
+                ControlKind::IndirectCall => self.indirect_calls += 1,
+                ControlKind::Return => self.returns += 1,
+                ControlKind::None => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_traces, TraceConfig};
+    use ntp_isa::asm::assemble;
+    use ntp_sim::Machine;
+
+    #[test]
+    fn loop_statistics() {
+        let src = "
+main:   li   t0, 10
+loop:   addi t0, t0, -1
+        bnez t0, loop
+        halt
+";
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new(p);
+        let mut stats = TraceStats::new();
+        run_traces(&mut m, 10_000, TraceConfig::default(), |t| stats.record(t)).unwrap();
+        // li (1 instr) + 10 iterations of (addi + bnez) + halt = 22.
+        assert_eq!(stats.instrs(), 22);
+        assert_eq!(stats.cond_branches(), 10);
+        assert!(stats.traces() >= 2);
+        assert!(stats.avg_trace_len() > 1.0);
+        assert!(stats.static_traces() >= 2);
+        assert!(stats.branches_per_trace() > 0.0);
+    }
+
+    #[test]
+    fn control_mix_counts() {
+        let src = "
+main:   jal  f
+        la   t0, f2
+        jalr t0
+        beqz zero, over
+over:   j    end
+end:    halt
+f:      ret
+f2:     ret
+";
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new(p);
+        let mut mix = ControlMix::new();
+        m.run_with(100, |s| mix.record(s)).unwrap();
+        assert_eq!(mix.calls, 1);
+        assert_eq!(mix.indirect_calls, 1);
+        assert_eq!(mix.returns, 2);
+        assert_eq!(mix.jumps, 1);
+        assert_eq!(mix.cond_branches, 1);
+        assert_eq!(mix.taken_branches, 1);
+    }
+}

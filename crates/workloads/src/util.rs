@@ -1,0 +1,106 @@
+//! Shared helpers: deterministic input generation and data-section
+//! formatting.
+
+/// The 32-bit linear congruential generator used both by workload host code
+/// (in Rust, to generate embedded inputs) and inside several TRISC programs
+/// (mirrored instruction-for-instruction).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Lcg {
+    state: u32,
+}
+
+/// LCG multiplier (Numerical Recipes).
+pub const LCG_MUL: u32 = 1664525;
+/// LCG increment (Numerical Recipes).
+pub const LCG_ADD: u32 = 1013904223;
+
+impl Lcg {
+    /// Seeds the generator.
+    pub fn new(seed: u32) -> Lcg {
+        Lcg { state: seed }
+    }
+
+    /// Advances and returns the full 32-bit state.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self.state.wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD);
+        self.state
+    }
+
+    /// A value in `0..bound` (bound must be nonzero). Uses the high bits,
+    /// which have the longest period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0);
+        (self.next_u32() >> 8) % bound
+    }
+}
+
+/// Formats a slice of words as `.word` directives, 8 per line.
+pub fn words_directive(words: &[u32]) -> String {
+    let mut out = String::with_capacity(words.len() * 12);
+    for chunk in words.chunks(8) {
+        out.push_str("        .word ");
+        for (k, w) in chunk.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("0x{w:x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a slice of bytes as `.byte` directives, 16 per line.
+pub fn bytes_directive(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 6);
+    for chunk in bytes.chunks(16) {
+        out.push_str("        .byte ");
+        for (k, b) in chunk.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{b}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut l = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(l.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn directives_assemble() {
+        let src = format!(
+            "main: halt\n.data\nw:\n{}b:\n{}",
+            words_directive(&[1, 2, 3, 0xFFFF_FFFF]),
+            bytes_directive(&[0, 255, 7])
+        );
+        let p = ntp_isa::asm::assemble(&src).unwrap();
+        assert_eq!(&p.data[0..4], &1u32.to_le_bytes());
+        assert_eq!(p.data[16], 0);
+        assert_eq!(p.data[17], 255);
+    }
+}

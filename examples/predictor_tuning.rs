@@ -1,0 +1,77 @@
+//! Explore the predictor's design space on one workload: history depth,
+//! table size, return history stack, and the cost-reduced entry format.
+//!
+//! ```text
+//! cargo run --release -p ntp --example predictor_tuning
+//! ```
+
+use ntp::core::{
+    evaluate, NextTracePredictor, PredictorConfig, RhsConfig, StoredTarget,
+};
+use ntp::trace::{run_traces, TraceConfig, TraceRecord};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 8 rounds (~3M instructions) so the depth trend is past warm-up.
+    let workload = ntp::workloads::cc::build(8);
+    println!("workload: {} — {}\n", workload.name, workload.analog_of);
+
+    let mut machine = workload.machine();
+    let mut records: Vec<TraceRecord> = Vec::new();
+    run_traces(&mut machine, 20_000_000, TraceConfig::default(), |t| {
+        records.push(TraceRecord::from(t));
+    })?;
+
+    let score = |cfg: PredictorConfig| -> f64 {
+        let mut p = NextTracePredictor::new(cfg);
+        evaluate(&mut p, &records).mispredict_pct()
+    };
+
+    println!("history depth (2^15 entries, hybrid+RHS):");
+    for depth in 0..=7 {
+        let m = score(PredictorConfig::paper(15, depth));
+        println!("  depth {depth}: {m:6.2}%  {}", bar(m));
+    }
+
+    println!("\ntable size (depth 7):");
+    for bits in [12, 15, 18] {
+        let m = score(PredictorConfig::paper(bits, 7));
+        println!("  2^{bits}: {m:6.2}%  {}", bar(m));
+    }
+
+    println!("\nreturn history stack (2^15, depth 7):");
+    let with = score(PredictorConfig::paper(15, 7));
+    let without = score(PredictorConfig {
+        rhs: None,
+        ..PredictorConfig::paper(15, 7)
+    });
+    let deep = score(PredictorConfig {
+        rhs: Some(RhsConfig { max_depth: 64 }),
+        ..PredictorConfig::paper(15, 7)
+    });
+    println!("  off:      {without:6.2}%");
+    println!("  depth 16: {with:6.2}%");
+    println!("  depth 64: {deep:6.2}%");
+
+    println!("\nentry format (2^15, depth 7):");
+    let full = PredictorConfig::paper(15, 7);
+    let hashed = PredictorConfig {
+        stored_target: StoredTarget::Hashed,
+        ..full
+    };
+    println!(
+        "  full 36-bit targets:   {:6.2}%  ({} KB table)",
+        score(full),
+        full.corr_table_bits() / 8192
+    );
+    println!(
+        "  hashed 16-bit targets: {:6.2}%  ({} KB table)",
+        score(hashed),
+        hashed.corr_table_bits() / 8192
+    );
+    Ok(())
+}
+
+/// A crude text bar so trends are visible at a glance.
+fn bar(pct: f64) -> String {
+    "#".repeat((pct / 2.0).round() as usize)
+}

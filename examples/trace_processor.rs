@@ -1,0 +1,52 @@
+//! What next-trace prediction buys at the system level: a trace-processor
+//! throughput model (the architecture the predictor was designed for).
+//!
+//! Sweeps processing-element count × predictor depth on a real workload and
+//! prints the resulting IPC — prediction accuracy is the lever that lets
+//! extra PEs pay off.
+//!
+//! ```text
+//! cargo run --release -p ntp --example trace_processor
+//! ```
+
+use ntp::core::{NextTracePredictor, PredictorConfig};
+use ntp::engine::{TraceProcessor, TraceProcessorConfig};
+use ntp::trace::{run_traces, TraceConfig, TraceRecord};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = ntp::workloads::m88ksim::build(6);
+    println!("workload: {} — {}\n", workload.name, workload.description);
+
+    let mut machine = workload.machine();
+    let mut records: Vec<TraceRecord> = Vec::new();
+    run_traces(&mut machine, 20_000_000, TraceConfig::default(), |t| {
+        records.push(TraceRecord::from(t));
+    })?;
+
+    println!(
+        "{:<8}{:>14}{:>14}{:>14}",
+        "PEs", "depth 0 IPC", "depth 7 IPC", "speedup"
+    );
+    for pes in [1usize, 2, 4, 8] {
+        let mut ipc = [0.0f64; 2];
+        for (k, depth) in [0usize, 7].into_iter().enumerate() {
+            let mut tp = TraceProcessor::new(
+                NextTracePredictor::new(PredictorConfig::paper(15, depth)),
+                TraceProcessorConfig {
+                    pe_count: pes,
+                    ..TraceProcessorConfig::default()
+                },
+            );
+            ipc[k] = tp.run(&records).ipc();
+        }
+        println!(
+            "{:<8}{:>14.2}{:>14.2}{:>13.2}x",
+            pes,
+            ipc[0],
+            ipc[1],
+            ipc[1] / ipc[0]
+        );
+    }
+    println!("\nDeeper path history turns extra PEs into throughput.");
+    Ok(())
+}

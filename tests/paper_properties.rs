@@ -1,0 +1,201 @@
+//! Qualitative claims of the paper, asserted as tests at tiny scale.
+//!
+//! These check *shape*, not absolute rates: who wins, and in which
+//! direction each mechanism moves accuracy.
+
+use ntp::core::{
+    evaluate, NextTracePredictor, PredictorConfig, PredictorStats,
+    UnboundedConfig, UnboundedPredictor,
+};
+use ntp::trace::{run_traces, TraceConfig, TraceRecord};
+use ntp::workloads::{suite, ScalePreset, Workload};
+
+fn records_of(w: &Workload) -> Vec<TraceRecord> {
+    let mut m = w.machine();
+    let mut records = Vec::new();
+    run_traces(&mut m, 50_000_000, TraceConfig::default(), |t| {
+        records.push(TraceRecord::from(t));
+    })
+    .unwrap();
+    records
+}
+
+fn mean<F: FnMut(&[TraceRecord]) -> PredictorStats>(mut f: F) -> f64 {
+    let suite = suite(ScalePreset::Tiny);
+    let mut total = 0.0;
+    for w in &suite {
+        total += f(&records_of(w)).mispredict_pct();
+    }
+    total / suite.len() as f64
+}
+
+#[test]
+fn hybrid_improves_on_correlated_alone_unbounded() {
+    // §5.2: "For all benchmarks, the hybrid predictor has a higher
+    // prediction accuracy than using the correlated predictor alone."
+    // (We assert it for the suite mean.)
+    let corr = mean(|r| {
+        let mut p = UnboundedPredictor::new(UnboundedConfig::correlated_only(5));
+        evaluate(&mut p, r)
+    });
+    let hybrid = mean(|r| {
+        let mut p = UnboundedPredictor::new(UnboundedConfig::hybrid_no_rhs(5));
+        evaluate(&mut p, r)
+    });
+    assert!(hybrid <= corr, "hybrid {hybrid} vs correlated {corr}");
+}
+
+#[test]
+fn deeper_history_helps_at_large_tables() {
+    // §5.2/§5.3: misprediction falls with history depth when capacity is
+    // ample.
+    let d0 = mean(|r| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(18, 0));
+        evaluate(&mut p, r)
+    });
+    let d7 = mean(|r| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(18, 7));
+        evaluate(&mut p, r)
+    });
+    assert!(d7 < d0, "depth 7 {d7} vs depth 0 {d0}");
+}
+
+#[test]
+fn bigger_tables_do_not_hurt() {
+    // §5.3: at fixed depth, mean misprediction is ordered by table size.
+    let m12 = mean(|r| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(12, 7));
+        evaluate(&mut p, r)
+    });
+    let m15 = mean(|r| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
+        evaluate(&mut p, r)
+    });
+    let m18 = mean(|r| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(18, 7));
+        evaluate(&mut p, r)
+    });
+    assert!(m15 <= m12 + 0.2, "{m15} vs {m12}");
+    assert!(m18 <= m15 + 0.2, "{m18} vs {m15}");
+}
+
+#[test]
+fn rhs_helps_the_recursive_parser() {
+    // §5.2: the RHS most helps call-heavy code whose post-return flow
+    // correlates with the pre-call path (gcc in the paper; cc here).
+    let w = ntp::workloads::by_name("cc", ScalePreset::Tiny);
+    let records = records_of(&w);
+    let mut with = UnboundedPredictor::new(UnboundedConfig::paper(5));
+    let with_stats = evaluate(&mut with, &records);
+    let mut without = UnboundedPredictor::new(UnboundedConfig::hybrid_no_rhs(5));
+    let without_stats = evaluate(&mut without, &records);
+    assert!(
+        with_stats.mispredict_pct() < without_stats.mispredict_pct(),
+        "RHS {} vs no-RHS {}",
+        with_stats.mispredict_pct(),
+        without_stats.mispredict_pct()
+    );
+}
+
+#[test]
+fn alternate_prediction_rescues_mispredictions() {
+    // §6: a large share of primary misses are caught by the alternate.
+    let w = ntp::workloads::by_name("compress", ScalePreset::Tiny);
+    let records = records_of(&w);
+    let mut p = NextTracePredictor::new(PredictorConfig::paper_with_alternate(15, 2));
+    let stats = evaluate(&mut p, &records);
+    assert!(stats.both_mispredict_pct() < stats.mispredict_pct());
+    assert!(
+        stats.alternate_rescue_fraction() > 0.2,
+        "rescue fraction {}",
+        stats.alternate_rescue_fraction()
+    );
+}
+
+#[test]
+fn cost_reduced_predictor_is_nearly_free() {
+    // §5.5: storing the hashed index instead of the full identifier should
+    // not change accuracy significantly.
+    let w = ntp::workloads::by_name("go", ScalePreset::Tiny);
+    let records = records_of(&w);
+    let full_cfg = PredictorConfig::paper(15, 7);
+    let mut full = NextTracePredictor::new(full_cfg);
+    let fs = evaluate(&mut full, &records);
+    let mut hashed = NextTracePredictor::new(PredictorConfig {
+        stored_target: ntp::core::StoredTarget::Hashed,
+        ..full_cfg
+    });
+    let hs = evaluate(&mut hashed, &records);
+    assert!(
+        (fs.mispredict_pct() - hs.mispredict_pct()).abs() < 1.0,
+        "full {} vs hashed {}",
+        fs.mispredict_pct(),
+        hs.mispredict_pct()
+    );
+}
+
+#[test]
+fn mispredictions_cluster_within_traces() {
+    // §5.1: the sequential baseline's trace misprediction rate is lower
+    // than branches-per-trace times the branch misprediction rate.
+    use ntp::baselines::SequentialTracePredictor;
+    let w = ntp::workloads::by_name("go", ScalePreset::Tiny);
+    let mut m = w.machine();
+    let mut seq = SequentialTracePredictor::paper();
+    run_traces(&mut m, 50_000_000, TraceConfig::default(), |t| seq.observe(t)).unwrap();
+    let s = seq.stats();
+    let independent_bound = s.branches_per_trace() * s.branch_mispredict_pct();
+    assert!(
+        s.trace_mispredict_pct() < independent_bound,
+        "clustering: {} vs {}",
+        s.trace_mispredict_pct(),
+        independent_bound
+    );
+}
+
+#[test]
+fn huge_bounded_table_approaches_unbounded() {
+    // Cross-validation of the two predictor implementations: with a 2^18
+    // table, full 16-bit tags and a small trace working set, the bounded
+    // hybrid should behave like the unbounded model at the same depth
+    // (differences come only from DOLC folding and the finite secondary).
+    let w = ntp::workloads::by_name("compress", ScalePreset::Tiny);
+    let records = records_of(&w);
+    let mut bounded = NextTracePredictor::new(PredictorConfig {
+        tag_bits: 16,
+        ..PredictorConfig::paper(18, 3)
+    });
+    let b = evaluate(&mut bounded, &records);
+    let mut unbounded = UnboundedPredictor::new(UnboundedConfig::paper(3));
+    let u = evaluate(&mut unbounded, &records);
+    let diff = (b.mispredict_pct() - u.mispredict_pct()).abs();
+    assert!(
+        diff < 3.0,
+        "bounded {} vs unbounded {} (diff {diff})",
+        b.mispredict_pct(),
+        u.mispredict_pct()
+    );
+}
+
+#[test]
+fn sequential_baseline_is_not_a_strawman() {
+    // The idealized sequential predictor must beat the realizable
+    // single-access multiple-branch predictors on the branchiest
+    // benchmark, or our "26% better than sequential" claim is hollow.
+    use ntp::baselines::{MultiGAg, SequentialTracePredictor};
+    let w = ntp::workloads::by_name("cc", ScalePreset::Tiny);
+    let mut m = w.machine();
+    let mut seq = SequentialTracePredictor::paper();
+    let mut gag = MultiGAg::new(14);
+    run_traces(&mut m, 50_000_000, TraceConfig::default(), |t| {
+        seq.observe(t);
+        gag.observe(t);
+    })
+    .unwrap();
+    assert!(
+        seq.stats().trace_mispredict_pct() <= gag.stats().trace_mispredict_pct() + 0.5,
+        "sequential {} vs multiported GAg {}",
+        seq.stats().trace_mispredict_pct(),
+        gag.stats().trace_mispredict_pct()
+    );
+}

@@ -1,0 +1,254 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the stack.
+
+use ntp::core::{Counter, CounterSpec, Dolc, PathHistory, ReturnHistoryStack, RhsConfig};
+use ntp::isa::{decode, encode, ControlKind, Instr, Reg};
+use ntp::sim::{ControlEvent, Step};
+use ntp::trace::{HashedId, TraceBuilder, TraceConfig, TraceId};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Add(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Sub(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Sltu(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Instr::Mul(a, b, c)),
+        (r(), r(), 0u8..32).prop_map(|(a, b, s)| Instr::Sll(a, b, s)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Addi(a, b, i)),
+        (r(), r(), any::<u16>()).prop_map(|(a, b, i)| Instr::Ori(a, b, i)),
+        (r(), any::<u16>()).prop_map(|(a, i)| Instr::Lui(a, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Lw(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Sb(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Beq(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Instr::Bgeu(a, b, i)),
+        (0u32..(1 << 26)).prop_map(Instr::J),
+        (0u32..(1 << 26)).prop_map(Instr::Jal),
+        r().prop_map(Instr::Jr),
+        (r(), r()).prop_map(|(a, b)| Instr::Jalr(a, b)),
+        Just(Instr::Halt),
+        r().prop_map(Instr::Out),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let word = encode(&instr);
+        prop_assert_eq!(decode(word), Ok(instr));
+    }
+
+    #[test]
+    fn trace_id_packing_roundtrip(
+        pc in (0x0040_0000u32..0x0080_0000).prop_map(|p| p & !3),
+        bits in 0u8..64,
+        count in 0u8..=6,
+    ) {
+        let id = TraceId::new(pc, bits, count);
+        let back = TraceId::from_packed(id.packed());
+        prop_assert_eq!(back.start_pc, id.start_pc);
+        prop_assert_eq!(back.branch_bits, id.branch_bits);
+        // Hash low two bits are the first two outcomes.
+        prop_assert_eq!(id.hashed().0 & 0b11, (id.branch_bits & 0b11) as u16);
+    }
+
+    #[test]
+    fn dolc_index_always_fits(
+        ids in prop::collection::vec(any::<u16>(), 0..8),
+        depth in 0usize..=7,
+        bits_sel in 0usize..3,
+    ) {
+        let bits = [12u32, 15, 18][bits_sel];
+        let dolc = Dolc::standard(depth, bits);
+        let mut h: PathHistory<HashedId> = PathHistory::new(8);
+        for v in ids {
+            h.push(HashedId(v));
+        }
+        prop_assert!(dolc.index(&h, bits) < (1u32 << bits));
+    }
+
+    #[test]
+    fn dolc_ignores_history_beyond_depth(
+        ids in prop::collection::vec(any::<u16>(), 8),
+        depth in 0usize..=6,
+        tweak in any::<u16>(),
+    ) {
+        let dolc = Dolc::standard(depth, 15);
+        let mut a: PathHistory<HashedId> = PathHistory::new(8);
+        let mut b: PathHistory<HashedId> = PathHistory::new(8);
+        for (k, v) in ids.iter().enumerate() {
+            a.push(HashedId(*v));
+            // Change only entries older than the depth window.
+            let altered = if k < 8 - (depth + 1) { v ^ tweak } else { *v };
+            b.push(HashedId(altered));
+        }
+        prop_assert_eq!(dolc.index(&a, 15), dolc.index(&b, 15));
+    }
+
+    #[test]
+    fn counter_never_leaves_range(
+        events in prop::collection::vec(any::<bool>(), 0..200),
+        bits in 1u8..=4,
+        inc in 1u8..=3,
+        dec in 1u8..=15,
+    ) {
+        let spec = CounterSpec { bits, inc, dec };
+        let mut c = Counter::new();
+        for correct in events {
+            if correct {
+                c.on_correct(spec);
+            } else {
+                let _ = c.on_incorrect(spec);
+            }
+            prop_assert!(c.value() <= spec.max());
+        }
+    }
+
+    #[test]
+    fn path_history_matches_model(
+        ops in prop::collection::vec(any::<u16>(), 0..64),
+        cap in 1usize..=8,
+    ) {
+        let mut h: PathHistory<u16> = PathHistory::new(cap);
+        let mut model: Vec<u16> = Vec::new();
+        for v in ops {
+            h.push(v);
+            model.insert(0, v);
+            model.truncate(cap);
+            prop_assert_eq!(h.snapshot(), model.clone());
+            prop_assert_eq!(h.newest().unwrap(), model[0]);
+        }
+    }
+
+    #[test]
+    fn rhs_depth_bounded(
+        events in prop::collection::vec((0u8..3, any::<bool>()), 0..100),
+        max_depth in 1usize..=8,
+    ) {
+        let mut h: PathHistory<u16> = PathHistory::new(4);
+        h.push(1);
+        let mut rhs: ReturnHistoryStack<u16> =
+            ReturnHistoryStack::new(RhsConfig { max_depth });
+        for (calls, ret) in events {
+            rhs.on_trace(&mut h, calls, ret);
+            prop_assert!(rhs.depth() <= max_depth);
+            prop_assert!(h.len() <= h.capacity());
+        }
+    }
+}
+
+/// Builds a synthetic retired-instruction step.
+fn step(pc: u32, kind: ControlKind, taken: bool) -> Step {
+    let instr = match kind {
+        ControlKind::None => Instr::Add(Reg::ZERO, Reg::ZERO, Reg::ZERO),
+        ControlKind::CondBranch => Instr::Beq(Reg::ZERO, Reg::ZERO, 1),
+        ControlKind::Jump => Instr::J(pc >> 2),
+        ControlKind::Call => Instr::Jal(pc >> 2),
+        ControlKind::IndirectJump => Instr::Jr(Reg::V0),
+        ControlKind::IndirectCall => Instr::Jalr(Reg::RA, Reg::V0),
+        ControlKind::Return => Instr::Jr(Reg::RA),
+    };
+    let control = (kind != ControlKind::None).then_some(ControlEvent {
+        kind,
+        taken: taken || kind != ControlKind::CondBranch,
+        target: pc.wrapping_add(64),
+    });
+    Step { pc, instr, control }
+}
+
+fn arb_kind() -> impl Strategy<Value = ControlKind> {
+    prop_oneof![
+        5 => Just(ControlKind::None),
+        2 => Just(ControlKind::CondBranch),
+        1 => Just(ControlKind::Jump),
+        1 => Just(ControlKind::Call),
+        1 => Just(ControlKind::Return),
+        1 => Just(ControlKind::IndirectJump),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn trace_builder_invariants_on_arbitrary_streams(
+        kinds in prop::collection::vec((arb_kind(), any::<bool>()), 1..400),
+    ) {
+        let mut builder = TraceBuilder::new(TraceConfig::default());
+        let mut total_in = 0usize;
+        let mut total_out = 0usize;
+        let mut pc = 0x0040_0000u32;
+        let mut traces = Vec::new();
+        for (kind, taken) in kinds {
+            total_in += 1;
+            if let Some(t) = builder.push(&step(pc, kind, taken)) {
+                traces.push(t);
+            }
+            pc = pc.wrapping_add(4);
+        }
+        if let Some(t) = builder.flush() {
+            traces.push(t);
+        }
+        for t in &traces {
+            total_out += t.len();
+            prop_assert!(t.len() <= 16);
+            prop_assert!(t.branch_count() <= 6);
+            let controls = t.controls();
+            for c in &controls[..controls.len().saturating_sub(1)] {
+                prop_assert!(!c.kind.is_indirect());
+            }
+        }
+        prop_assert_eq!(total_in, total_out, "every instruction lands in exactly one trace");
+    }
+}
+
+proptest! {
+    /// Full tooling roundtrip: instruction list → disassembly text →
+    /// assembler → identical instruction list. Exercises the assembler's
+    /// numeric-target paths and the disassembler together.
+    #[test]
+    fn disassemble_reassemble_roundtrip(
+        instrs in prop::collection::vec(arb_instr(), 1..40),
+    ) {
+        use ntp::isa::{asm::assemble, disasm, TEXT_BASE};
+        // Rewrite control-flow targets so they land inside this block
+        // (the assembler validates branch range and jump region).
+        let n = instrs.len() as u32;
+        let fixed: Vec<Instr> = instrs
+            .iter()
+            .enumerate()
+            .map(|(k, i)| match *i {
+                Instr::Beq(a, b, _) => Instr::Beq(a, b, -(k as i16)),
+                Instr::Bgeu(a, b, _) => Instr::Bgeu(a, b, (n - k as u32 - 1) as i16),
+                Instr::J(_) => Instr::J(TEXT_BASE >> 2),
+                Instr::Jal(_) => Instr::Jal((TEXT_BASE >> 2) + n - 1),
+                other => other,
+            })
+            .collect();
+        let mut text = String::new();
+        for (k, i) in fixed.iter().enumerate() {
+            let pc = TEXT_BASE + (k as u32) * 4;
+            text.push_str("        ");
+            text.push_str(&disasm::render(i, pc));
+            text.push('\n');
+        }
+        let program = assemble(&text).expect("disassembly is valid assembly");
+        prop_assert_eq!(program.instrs, fixed);
+    }
+
+    /// Encoded programs decode back through `Program::encode_text`.
+    #[test]
+    fn program_binary_roundtrip(instrs in prop::collection::vec(arb_instr(), 1..64)) {
+        use ntp::isa::decode;
+        let mut p = ntp::isa::Program::new();
+        p.instrs = instrs.clone();
+        let words = p.encode_text();
+        let back: Vec<Instr> = words
+            .iter()
+            .map(|&w| decode(w).expect("encoded instructions decode"))
+            .collect();
+        prop_assert_eq!(back, instrs);
+    }
+}
