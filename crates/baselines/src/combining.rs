@@ -97,7 +97,7 @@ mod tests {
         for k in 0..n {
             out.push((0x100, true)); // always taken
             out.push((0x200, k % 2 == 0)); // alternating
-            // A noisy branch that churns global history.
+                                           // A noisy branch that churns global history.
             let noise = (k.wrapping_mul(2654435761)) >> 13 & 1 == 1;
             out.push((0x300, noise));
         }

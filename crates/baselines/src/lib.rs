@@ -27,6 +27,7 @@ mod multibranch;
 mod pht;
 mod sequential;
 mod targets;
+mod telemetry;
 
 pub use combining::Combining;
 pub use direction::{Bimodal, DirectionPredictor, GAg, Gshare};

@@ -337,8 +337,7 @@ sb:     addi t0, t0, -1
         })
         .unwrap();
         assert!(
-            gsh.stats().trace_mispredict_pct()
-                <= gag.stats().trace_mispredict_pct() + 1.0,
+            gsh.stats().trace_mispredict_pct() <= gag.stats().trace_mispredict_pct() + 1.0,
             "gshare {} vs gag {}",
             gsh.stats().trace_mispredict_pct(),
             gag.stats().trace_mispredict_pct()

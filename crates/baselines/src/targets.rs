@@ -165,7 +165,10 @@ mod tests {
             itb.update(0x500, next);
             last = next;
         }
-        assert!(wrong <= 2, "correlated ITB tracks alternating targets: {wrong}");
+        assert!(
+            wrong <= 2,
+            "correlated ITB tracks alternating targets: {wrong}"
+        );
     }
 
     #[test]

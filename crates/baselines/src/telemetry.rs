@@ -1,0 +1,103 @@
+//! Telemetry integration: [`ToJson`] for the baseline predictors' stats, so
+//! Table-2 comparison columns serialize alongside the path-based results.
+
+use crate::{MultiBranchStats, SequentialStats};
+use ntp_telemetry::{Json, ToJson};
+
+impl ToJson for SequentialStats {
+    /// Raw counters plus the three Table-2 rates.
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("traces", Json::U64(self.traces))
+            .with("trace_mispredicts", Json::U64(self.trace_mispredicts))
+            .with("branches", Json::U64(self.branches))
+            .with("branch_mispredicts", Json::U64(self.branch_mispredicts))
+            .with("indirects", Json::U64(self.indirects))
+            .with("indirect_mispredicts", Json::U64(self.indirect_mispredicts))
+            .with("returns", Json::U64(self.returns))
+            .with("return_mispredicts", Json::U64(self.return_mispredicts))
+            .with(
+                "trace_mispredict_pct",
+                Json::F64(self.trace_mispredict_pct()),
+            )
+            .with(
+                "branch_mispredict_pct",
+                Json::F64(self.branch_mispredict_pct()),
+            )
+            .with("branches_per_trace", Json::F64(self.branches_per_trace()))
+    }
+}
+
+impl ToJson for MultiBranchStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("traces", Json::U64(self.traces))
+            .with("trace_mispredicts", Json::U64(self.trace_mispredicts))
+            .with("branches", Json::U64(self.branches))
+            .with("branch_mispredicts", Json::U64(self.branch_mispredicts))
+            .with(
+                "trace_mispredict_pct",
+                Json::F64(self.trace_mispredict_pct()),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stats_serialize_rates() {
+        let s = SequentialStats {
+            traces: 200,
+            trace_mispredicts: 30,
+            branches: 900,
+            branch_mispredicts: 45,
+            indirects: 10,
+            indirect_mispredicts: 2,
+            returns: 50,
+            return_mispredicts: 1,
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("traces").and_then(Json::as_u64), Some(200));
+        assert!(
+            (j.get("trace_mispredict_pct")
+                .and_then(Json::as_f64)
+                .unwrap()
+                - 15.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (j.get("branch_mispredict_pct")
+                .and_then(Json::as_f64)
+                .unwrap()
+                - 5.0)
+                .abs()
+                < 1e-12
+        );
+        assert!((j.get("branches_per_trace").and_then(Json::as_f64).unwrap() - 4.5).abs() < 1e-12);
+        let parsed = ntp_telemetry::json::parse(&j.pretty()).unwrap();
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn multibranch_stats_serialize() {
+        let s = MultiBranchStats {
+            traces: 100,
+            trace_mispredicts: 25,
+            branches: 400,
+            branch_mispredicts: 40,
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("branch_mispredicts").and_then(Json::as_u64), Some(40));
+        assert!(
+            (j.get("trace_mispredict_pct")
+                .and_then(Json::as_f64)
+                .unwrap()
+                - 25.0)
+                .abs()
+                < 1e-12
+        );
+    }
+}

@@ -12,7 +12,13 @@ fn stream(n: usize) -> Vec<TraceRecord> {
         .map(|_| {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
             let pc = 0x0040_0000 + ((x >> 8) % 200) * 24;
-            TraceRecord::new(TraceId::new(pc, ((x >> 3) & 7) as u8, 3), 13, 0, false, false)
+            TraceRecord::new(
+                TraceId::new(pc, ((x >> 3) & 7) as u8, 3),
+                13,
+                0,
+                false,
+                false,
+            )
         })
         .collect()
 }

@@ -3,4 +3,5 @@
 fn main() {
     let data = ntp_bench::capture_suite();
     print!("{}", ntp_bench::exp::confidence(&data));
+    ntp_bench::report::emit_from_cli(&data);
 }

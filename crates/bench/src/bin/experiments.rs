@@ -4,6 +4,10 @@
 //! ```text
 //! NTP_SCALE=default cargo run --release -p ntp-bench --bin experiments
 //! ```
+//!
+//! Pass `--json <dir>` (or set `NTP_JSON=1`) to also write one
+//! machine-readable `BENCH_<name>.json` per benchmark — see
+//! OBSERVABILITY.md for the schema.
 
 use ntp_bench::exp;
 
@@ -22,4 +26,5 @@ fn main() {
     print!("{}", exp::selection_study());
     print!("{}", exp::trace_processor(&data));
     print!("{}", exp::headline(&data));
+    ntp_bench::report::emit_from_cli(&data);
 }

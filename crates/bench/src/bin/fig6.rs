@@ -4,4 +4,5 @@
 fn main() {
     let data = ntp_bench::capture_suite();
     print!("{}", ntp_bench::exp::fig6(&data));
+    ntp_bench::report::emit_from_cli(&data);
 }

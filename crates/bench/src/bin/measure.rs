@@ -1,7 +1,10 @@
 //! Reports per-round instruction costs of each workload (used to calibrate
 //! the scale presets).
 
+use std::fmt::Write as _;
+
 fn main() {
+    let mut text = String::new();
     for name in ["compress", "cc", "go", "jpeg", "m88ksim", "xlisp"] {
         let w = ntp_workloads::by_name(name, ntp_workloads::ScalePreset::Tiny);
         let mut m = w.machine();
@@ -10,11 +13,15 @@ fn main() {
             "jpeg" => 4,
             _ => 2,
         };
-        println!(
+        writeln!(
+            text,
             "{name}: total {} instrs, {} per round, static {} instrs",
             m.icount(),
             m.icount() / rounds,
             w.program.len()
-        );
+        )
+        .unwrap();
     }
+    print!("{text}");
+    ntp_bench::report::emit_text_from_cli("measure", &text);
 }

@@ -2,5 +2,7 @@
 //! paper explicitly defers this question).
 
 fn main() {
-    print!("{}", ntp_bench::exp::selection_study());
+    let text = ntp_bench::exp::selection_study();
+    print!("{text}");
+    ntp_bench::report::emit_text_from_cli("selection_study", &text);
 }

@@ -1,5 +1,7 @@
 //! Prints the DOLC index-generation configurations (Table 3).
 
 fn main() {
-    print!("{}", ntp_bench::exp::table3());
+    let text = ntp_bench::exp::table3();
+    print!("{text}");
+    ntp_bench::report::emit_text_from_cli("table3", &text);
 }

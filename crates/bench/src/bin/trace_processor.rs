@@ -3,4 +3,5 @@
 fn main() {
     let data = ntp_bench::capture_suite();
     print!("{}", ntp_bench::exp::trace_processor(&data));
+    ntp_bench::report::emit_from_cli(&data);
 }

@@ -169,12 +169,7 @@ pub fn fig7(data: &[BenchData]) -> String {
             d.name,
             d.seq_stats.trace_mispredict_pct()
         );
-        s += &row(&[
-            "depth".into(),
-            "2^12".into(),
-            "2^15".into(),
-            "2^18".into(),
-        ]);
+        s += &row(&["depth".into(), "2^12".into(), "2^15".into(), "2^18".into()]);
         s.push('\n');
         for depth in DEPTHS {
             let mut cells = vec![format!("{depth}")];
@@ -243,8 +238,7 @@ pub fn fig8(data: &[BenchData]) -> String {
         ]);
         s.push('\n');
         for depth in DEPTHS {
-            let mut p =
-                NextTracePredictor::new(PredictorConfig::paper_with_alternate(15, depth));
+            let mut p = NextTracePredictor::new(PredictorConfig::paper_with_alternate(15, depth));
             let stats = evaluate(&mut p, &d.records);
             s += &row(&[
                 format!("{depth}"),
@@ -390,7 +384,8 @@ pub fn ablations(data: &[BenchData]) -> String {
 /// the high-confidence class and misprediction inside each class.
 pub fn confidence(data: &[BenchData]) -> String {
     use ntp_core::{evaluate_with_confidence, ConfidenceConfig, ConfidenceEstimator};
-    let mut s = header("Extension: prediction confidence (2^14 resetting counters, 2^15 predictor)");
+    let mut s =
+        header("Extension: prediction confidence (2^14 resetting counters, 2^15 predictor)");
     s += &row(&[
         "bench".into(),
         "cover%".into(),
@@ -493,8 +488,7 @@ pub fn selection_study() -> String {
             let d = capture_with(&w, budget, cfg);
             let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
             let stats = evaluate(&mut p, &d.records);
-            let fetch_rate =
-                d.trace_stats.avg_trace_len() * (1.0 - stats.mispredict_pct() / 100.0);
+            let fetch_rate = d.trace_stats.avg_trace_len() * (1.0 - stats.mispredict_pct() / 100.0);
             s += &format!(
                 "{:<22}{:>9.1}{:>9}{:>7.2}{:>9.2}{:>11.2}\n",
                 label,

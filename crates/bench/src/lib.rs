@@ -14,10 +14,12 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod report;
 
 use ntp_baselines::{
     MultiBranchStats, MultiGAg, SequentialStats, SequentialTracePredictor, TraceGshare,
 };
+use ntp_telemetry::{PhaseTimes, ScopeTimer};
 use ntp_trace::{ControlMix, RedundancyStats, TraceBuilder, TraceConfig, TraceRecord, TraceStats};
 use ntp_workloads::{suite, ScalePreset, Workload};
 
@@ -45,6 +47,8 @@ pub struct BenchData {
     pub mix: ControlMix,
     /// Instructions simulated.
     pub icount: u64,
+    /// Wall-clock phase timings of the capture pass (`simulate`).
+    pub phases: PhaseTimes,
 }
 
 /// Runs one benchmark once with the paper's selection policy.
@@ -72,27 +76,31 @@ pub fn capture_with(workload: &Workload, budget: u64, cfg: TraceConfig) -> Bench
     let mut mb = TraceGshare::new(14);
     let mut gag = MultiGAg::new(14);
     let mut mix = ControlMix::new();
+    let mut phases = PhaseTimes::new();
 
-    machine
-        .run_with(budget, |step| {
-            mix.record(step);
-            if let Some(trace) = builder.push(step) {
-                records.push(TraceRecord::from(&trace));
-                trace_stats.record(&trace);
-                redundancy.record(&trace);
-                seq.observe(&trace);
-                mb.observe(&trace);
-                gag.observe(&trace);
-            }
-        })
-        .expect("workload executes without faults");
-    if let Some(trace) = builder.flush() {
-        records.push(TraceRecord::from(&trace));
-        trace_stats.record(&trace);
-        redundancy.record(&trace);
-        seq.observe(&trace);
-        mb.observe(&trace);
-        gag.observe(&trace);
+    {
+        let _t = ScopeTimer::new(&mut phases, "simulate");
+        machine
+            .run_with(budget, |step| {
+                mix.record(step);
+                if let Some(trace) = builder.push(step) {
+                    records.push(TraceRecord::from(&trace));
+                    trace_stats.record(&trace);
+                    redundancy.record(&trace);
+                    seq.observe(&trace);
+                    mb.observe(&trace);
+                    gag.observe(&trace);
+                }
+            })
+            .expect("workload executes without faults");
+        if let Some(trace) = builder.flush() {
+            records.push(TraceRecord::from(&trace));
+            trace_stats.record(&trace);
+            redundancy.record(&trace);
+            seq.observe(&trace);
+            mb.observe(&trace);
+            gag.observe(&trace);
+        }
     }
 
     BenchData {
@@ -106,6 +114,7 @@ pub fn capture_with(workload: &Workload, budget: u64, cfg: TraceConfig) -> Bench
         gag_stats: gag.stats().clone(),
         mix,
         icount: machine.icount(),
+        phases,
     }
 }
 
@@ -140,7 +149,9 @@ pub fn capture_suite() -> Vec<BenchData> {
         .iter()
         .map(|w| {
             eprintln!("[capture] simulating {} …", w.name);
-            capture(w, budget)
+            let d = capture(w, budget);
+            eprintln!("[phase] {}: {}", d.name, d.phases.summary_line());
+            d
         })
         .collect()
 }

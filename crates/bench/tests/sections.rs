@@ -47,9 +47,10 @@ fn figure_sections_cover_all_depths() {
     let fig7 = exp::fig7(&data);
     for depth in 0..=7 {
         assert!(
-            fig7.lines().any(|l| l.trim_start().starts_with(&format!("{depth} "))
-                || l.trim_start().starts_with(&format!("{depth}\t"))
-                || l.starts_with(&format!("{depth}         "))),
+            fig7.lines()
+                .any(|l| l.trim_start().starts_with(&format!("{depth} "))
+                    || l.trim_start().starts_with(&format!("{depth}\t"))
+                    || l.starts_with(&format!("{depth}         "))),
             "fig7 has a row for depth {depth}:\n{fig7}"
         );
     }

@@ -6,12 +6,17 @@
 //! ntp run <file.s|file.bin> [--budget N]
 //! ntp predict <file.s|file.bin|@workload> [--depth D] [--bits B] [--budget N]
 //! ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]
+//! ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]
 //! ntp workloads                        list the built-in benchmarks
 //! ```
 
-use ntp_core::{evaluate, NextTracePredictor, PredictorConfig};
+use ntp_core::{
+    evaluate, evaluate_with_sink, predictor_section, NextTracePredictor, PredictorConfig,
+};
+use ntp_engine::{DelayedUpdateEngine, EngineConfig};
 use ntp_isa::{asm::assemble, disasm, Program, IMAGE_MAGIC};
 use ntp_sim::Machine;
+use ntp_telemetry::{Json, NullSink, PhaseTimes, Report, RunManifest, ScopeTimer, ToJson};
 use ntp_trace::{run_traces, TraceConfig, TraceRecord, TraceStats};
 use std::process::ExitCode;
 
@@ -37,6 +42,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(rest),
         "predict" => cmd_predict(rest),
         "trace" => cmd_trace(rest),
+        "report" => cmd_report(rest),
         "workloads" => cmd_workloads(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -53,6 +59,7 @@ fn usage() -> String {
      ntp run <file.s|file.bin> [--budget N]\n  \
      ntp predict <file.s|file.bin|@workload> [--depth D] [--bits B] [--budget N]\n  \
      ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]\n  \
+     ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]\n  \
      ntp workloads"
         .to_string()
 }
@@ -216,10 +223,184 @@ fn cmd_trace(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Scans for `--json <value>`, returning the string verbatim (unlike
+/// [`flag_value`], which parses numbers).
+fn flag_str<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.windows(2)
+        .find(|p| p[0] == name)
+        .map(|p| p[1].as_str())
+}
+
+/// Simulates `spec`, replays the predictor and the delayed-update engine
+/// over the captured trace stream, and bundles everything into a
+/// machine-readable [`Report`] (the same shape `BENCH_*.json` files use —
+/// see OBSERVABILITY.md).
+fn build_report(spec: &str, budget: u64, bits: u32, depth: usize) -> Result<Report, String> {
+    let program = load(spec)?;
+    let mut phases = PhaseTimes::new();
+    let mut machine = Machine::new(program);
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut stats = TraceStats::new();
+    {
+        let _t = ScopeTimer::new(&mut phases, "simulate");
+        run_traces(&mut machine, budget, TraceConfig::default(), |t| {
+            records.push(TraceRecord::from(t));
+            stats.record(t);
+        })
+        .map_err(|e| e.to_string())?;
+    }
+
+    let mut report = Report::new(RunManifest::capture(
+        spec.trim_start_matches('@'),
+        "cli",
+        budget,
+        &format!("paper({bits},{depth})"),
+    ));
+    report.phases_mut().merge(&phases);
+    report.section(
+        "capture",
+        Json::object()
+            .with("icount", Json::U64(machine.icount()))
+            .with("records", Json::U64(records.len() as u64)),
+    );
+    report.section("trace_stats", stats.to_json());
+
+    let cfg = PredictorConfig::paper(bits, depth);
+    let mut predictor = NextTracePredictor::new(cfg);
+    let (pstats, streaks) = {
+        let _t = ScopeTimer::new(report.phases_mut(), "replay");
+        evaluate_with_sink(&mut predictor, &records, &mut NullSink)
+    };
+    report.section("predictor", predictor_section(&predictor, &pstats));
+    report.section("mispredict_streaks", streaks.to_json());
+
+    let engine_stats = {
+        let _t = ScopeTimer::new(report.phases_mut(), "engine");
+        DelayedUpdateEngine::new(NextTracePredictor::new(cfg), EngineConfig::default())
+            .run(&records)
+    };
+    report.section("engine", engine_stats.to_json());
+    Ok(report)
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let input = positional(rest)?;
+    let budget = flag_value(rest, "--budget")?.unwrap_or(10_000_000);
+    let depth = flag_value(rest, "--depth")?.unwrap_or(7) as usize;
+    let bits = flag_value(rest, "--bits")?.unwrap_or(15) as u32;
+    let report = build_report(input, budget, bits, depth)?;
+
+    match flag_str(rest, "--json") {
+        Some("-") => {
+            println!("{}", report.to_json().pretty());
+        }
+        Some(path) => {
+            let mut text = report.to_json().pretty();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("[json] wrote {path}");
+        }
+        None => {
+            let j = report.to_json();
+            let pct = |sec: &str, key: &str| {
+                j.get(sec)
+                    .and_then(|s| s.get("stats"))
+                    .or_else(|| j.get(sec))
+                    .and_then(|s| s.get(key))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            println!(
+                "{}: {} traces from {} instructions",
+                input,
+                j.get("capture")
+                    .and_then(|c| c.get("records"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                j.get("capture")
+                    .and_then(|c| c.get("icount"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            );
+            println!(
+                "predictor paper({bits},{depth}): {:.2}% misprediction",
+                pct("predictor", "mispredict_pct")
+            );
+            println!("engine: {}", engine_line(&j));
+            println!("phases: {}", report.phases().summary_line());
+            println!("(re-run with `--json -` for the full machine-readable report)");
+        }
+    }
+    Ok(())
+}
+
+/// One-line engine summary pulled back out of the JSON tree.
+fn engine_line(j: &Json) -> String {
+    let get = |key: &str| {
+        j.get("engine")
+            .and_then(|e| e.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    format!(
+        "ipc {:.2}, squash cycles {}",
+        get("ipc"),
+        get("squash_cycles")
+    )
+}
+
 fn cmd_workloads() -> Result<(), String> {
     for w in ntp_workloads::suite(ntp_workloads::ScalePreset::Tiny) {
         println!("{:<10}{}", w.name, w.analog_of);
     }
     println!("\nuse as `ntp predict @<name>`");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `ntp report @compress --json -` round-trips through the JSON
+    /// parser: the pretty-printed report re-parses into the same values.
+    #[test]
+    fn report_json_round_trips_through_parser() {
+        let report = build_report("@compress", 300_000, 15, 7).expect("report builds");
+        let text = report.to_json().pretty();
+        let parsed = ntp_telemetry::json::parse(&text).expect("report parses");
+        let icount = parsed
+            .get("capture")
+            .and_then(|c| c.get("icount"))
+            .and_then(Json::as_u64)
+            .expect("capture.icount present");
+        assert!(icount > 0);
+        for key in [
+            "manifest",
+            "phases_ms",
+            "capture",
+            "trace_stats",
+            "predictor",
+            "mispredict_streaks",
+            "engine",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing section {key}");
+        }
+        assert!(parsed
+            .get("predictor")
+            .and_then(|p| p.get("stats"))
+            .and_then(|s| s.get("mispredict_pct"))
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn flag_str_finds_values() {
+        let args: Vec<String> = ["x", "--json", "-", "--budget", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_str(&args, "--json"), Some("-"));
+        assert_eq!(flag_str(&args, "--budget"), Some("5"));
+        assert_eq!(flag_str(&args, "--depth"), None);
+    }
 }

@@ -34,7 +34,11 @@ fn asm_run_roundtrip() {
     std::fs::write(&src, SAMPLE).unwrap();
 
     let out = ntp(&["asm", src.to_str().unwrap(), "-o", bin.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("instructions"));
 
     // Run from source and from the image: identical output (sum 1..=25).
@@ -63,7 +67,11 @@ fn dis_produces_assembly() {
 #[test]
 fn predict_reports_rates() {
     let out = ntp(&["predict", "@compress", "--depth", "3", "--budget", "300000"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("path-based predictor (2^15, depth 3)"));
     assert!(text.contains("sequential baseline"));
@@ -98,7 +106,11 @@ fn errors_exit_nonzero() {
 #[test]
 fn trace_dumps_trace_stream() {
     let out = ntp(&["trace", "@m88ksim", "--budget", "5000", "--limit", "10"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.lines().count() <= 10);
     assert!(text.contains("len="));

@@ -72,7 +72,10 @@ impl Dolc {
             if bits == 0 {
                 return;
             }
-            let v = history.get(slot).map(|h| h.low_bits(bits.min(16))).unwrap_or(0);
+            let v = history
+                .get(slot)
+                .map(|h| h.low_bits(bits.min(16)))
+                .unwrap_or(0);
             acc = (acc << bits) | v as u128;
             width += bits;
         };
@@ -235,7 +238,11 @@ mod tests {
             for depth in 0..=7usize {
                 let d = Dolc::standard(depth, w);
                 assert_eq!(d.depth, depth);
-                assert!(d.parts(w) <= 3, "{d} needs {} parts at {w} bits", d.parts(w));
+                assert!(
+                    d.parts(w) <= 3,
+                    "{d} needs {} parts at {w} bits",
+                    d.parts(w)
+                );
                 // Index always fits.
                 let h = hist(&[0xFFFF; 8]);
                 assert!(d.index(&h, w) < (1 << w));

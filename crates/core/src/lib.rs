@@ -48,6 +48,7 @@ mod prediction;
 mod predictor;
 mod rhs;
 mod stats;
+mod telemetry;
 mod unbounded;
 
 pub use confidence::{
@@ -58,7 +59,10 @@ pub use counter::{Counter, CounterSpec};
 pub use dolc::Dolc;
 pub use history::PathHistory;
 pub use prediction::{Prediction, Source, Target, TracePredictor};
-pub use predictor::{Checkpoint, IndexSnapshot, NextTracePredictor};
+pub use predictor::{
+    AliasingCounters, Checkpoint, IndexSnapshot, NextTracePredictor, TableOccupancy,
+};
 pub use rhs::{ReturnHistoryStack, RhsConfig};
 pub use stats::{evaluate, PredictorStats};
+pub use telemetry::{evaluate_with_sink, predictor_section};
 pub use unbounded::{UnboundedConfig, UnboundedPredictor};

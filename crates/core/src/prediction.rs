@@ -88,4 +88,10 @@ pub trait TracePredictor {
 
     /// Forgets all state (tables and history).
     fn reset(&mut self);
+
+    /// Current path-history occupancy, for telemetry. Predictors without a
+    /// path history (baselines) keep the default of 0.
+    fn history_len(&self) -> usize {
+        0
+    }
 }

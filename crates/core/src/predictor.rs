@@ -59,6 +59,60 @@ pub struct Checkpoint {
     rhs: Option<Vec<Vec<HashedId>>>,
 }
 
+/// Table-pressure counters accumulated on the training path.
+///
+/// A *steal* replaces a valid correlating entry whose tag belonged to a
+/// different path — destructive aliasing, the effect §5.2's unbounded model
+/// removes. A *cold fill* claims a never-used entry. The ratio of steals to
+/// fills is the direct measure of how undersized the table is for a
+/// workload.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AliasingCounters {
+    /// Valid correlating entries overwritten for a different path (tag
+    /// mismatch).
+    pub steals: u64,
+    /// Invalid correlating entries claimed for the first time.
+    pub cold_fills: u64,
+    /// Secondary entries claimed for the first time.
+    pub sec_fills: u64,
+}
+
+/// Point-in-time valid-entry counts for both tables.
+///
+/// Captured by [`NextTracePredictor::occupancy`]; an O(entries) sweep, so
+/// meant for end-of-run reporting, not the hot path.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableOccupancy {
+    /// Valid correlating-table entries.
+    pub corr_valid: u64,
+    /// Correlating-table capacity.
+    pub corr_capacity: u64,
+    /// Valid secondary-table entries.
+    pub sec_valid: u64,
+    /// Secondary-table capacity.
+    pub sec_capacity: u64,
+}
+
+impl TableOccupancy {
+    /// Correlating-table fill fraction in [0, 1].
+    pub fn corr_fraction(&self) -> f64 {
+        if self.corr_capacity == 0 {
+            0.0
+        } else {
+            self.corr_valid as f64 / self.corr_capacity as f64
+        }
+    }
+
+    /// Secondary-table fill fraction in [0, 1].
+    pub fn sec_fraction(&self) -> f64 {
+        if self.sec_capacity == 0 {
+            0.0
+        } else {
+            self.sec_valid as f64 / self.sec_capacity as f64
+        }
+    }
+}
+
 /// The bounded hybrid path-based next trace predictor.
 ///
 /// # Examples
@@ -77,6 +131,7 @@ pub struct NextTracePredictor {
     rhs: Option<ReturnHistoryStack<HashedId>>,
     corr: Vec<CorrEntry>,
     sec: Vec<SecEntry>,
+    aliasing: AliasingCounters,
 }
 
 impl NextTracePredictor {
@@ -93,6 +148,7 @@ impl NextTracePredictor {
             rhs: cfg.rhs.map(ReturnHistoryStack::new),
             corr: vec![CorrEntry::default(); cfg.corr_entries()],
             sec: vec![SecEntry::default(); cfg.secondary_entries()],
+            aliasing: AliasingCounters::default(),
             cfg,
         }
     }
@@ -179,8 +235,7 @@ impl NextTracePredictor {
 
         // Evaluate suppression with the secondary's *pre-update* state.
         let sec = &mut self.sec[idx.sec_index as usize];
-        let suppress_corr =
-            sec.valid && sec.ctr.is_saturated(sec_spec) && sec.target == key;
+        let suppress_corr = sec.valid && sec.ctr.is_saturated(sec_spec) && sec.target == key;
 
         if sec.valid {
             if sec.target == key {
@@ -194,6 +249,7 @@ impl NextTracePredictor {
                 ctr: Counter::new(),
                 valid: true,
             };
+            self.aliasing.sec_fills += 1;
         }
 
         if suppress_corr {
@@ -219,6 +275,7 @@ impl NextTracePredictor {
             }
         } else {
             // Invalid or aliased by a different path: steal the entry.
+            let stolen = corr.valid;
             *corr = CorrEntry {
                 target: key,
                 alt: 0,
@@ -227,6 +284,11 @@ impl NextTracePredictor {
                 valid: true,
                 has_alt: false,
             };
+            if stolen {
+                self.aliasing.steals += 1;
+            } else {
+                self.aliasing.cold_fills += 1;
+            }
         }
     }
 
@@ -260,6 +322,23 @@ impl NextTracePredictor {
     pub fn history(&self) -> &PathHistory<HashedId> {
         &self.history
     }
+
+    /// Training-path aliasing counters accumulated since construction (or
+    /// the last [`TracePredictor::reset`]).
+    pub fn aliasing(&self) -> AliasingCounters {
+        self.aliasing
+    }
+
+    /// Sweeps both tables and reports valid-entry counts. O(entries); call
+    /// at end of run, not per prediction.
+    pub fn occupancy(&self) -> TableOccupancy {
+        TableOccupancy {
+            corr_valid: self.corr.iter().filter(|e| e.valid).count() as u64,
+            corr_capacity: self.corr.len() as u64,
+            sec_valid: self.sec.iter().filter(|e| e.valid).count() as u64,
+            sec_capacity: self.sec.len() as u64,
+        }
+    }
 }
 
 impl TracePredictor for NextTracePredictor {
@@ -280,6 +359,11 @@ impl TracePredictor for NextTracePredictor {
         }
         self.corr.fill(CorrEntry::default());
         self.sec.fill(SecEntry::default());
+        self.aliasing = AliasingCounters::default();
+    }
+
+    fn history_len(&self) -> usize {
+        self.history.len()
     }
 }
 
@@ -334,7 +418,7 @@ mod tests {
         let b = rec(0x0040_0128, 0, 0);
         p.update(&a);
         p.update(&b); // secondary now knows a → b
-        // New path context (different older history) but same last trace.
+                      // New path context (different older history) but same last trace.
         p.update(&rec(0x0040_1450, 0, 0));
         p.update(&a);
         let pred = p.predict();
@@ -490,8 +574,7 @@ mod tests {
         let (Some(t), Some(alt)) = (pred.target, pred.alternate) else {
             panic!("expected primary and alternate: {pred:?}");
         };
-        let covers =
-            |x: Target| x.matches(b.id()) || x.matches(c.id());
+        let covers = |x: Target| x.matches(b.id()) || x.matches(c.id());
         assert!(covers(t) && covers(alt));
         assert_ne!(t, alt, "alternate differs from primary");
     }
@@ -513,6 +596,49 @@ mod tests {
         let pred = p.predict();
         assert!(matches!(pred.target, Some(Target::Hashed(_))));
         assert!(pred.is_correct(b.id()));
+    }
+
+    #[test]
+    fn aliasing_counters_split_fills_from_steals() {
+        // A tiny 2^1-entry correlating table forces steals quickly.
+        let mut p = NextTracePredictor::new(PredictorConfig {
+            index_bits: 1,
+            dolc: crate::Dolc {
+                depth: 3,
+                older: 4,
+                last: 6,
+                current: 8,
+            },
+            secondary_index_bits: 8,
+            ..PredictorConfig::paper(12, 3)
+        });
+        for k in 0..64u32 {
+            p.update(&rec(0x0040_0000 + k * 0x40, 0, 0));
+        }
+        let a = p.aliasing();
+        assert!(a.cold_fills >= 1, "{a:?}");
+        assert!(a.cold_fills <= 2, "only two entries can fill cold: {a:?}");
+        assert!(a.steals > 0, "64 distinct paths through 2 entries: {a:?}");
+        assert!(a.sec_fills > 0, "{a:?}");
+
+        let occ = p.occupancy();
+        assert_eq!(occ.corr_capacity, 2);
+        assert_eq!(occ.corr_valid, 2);
+        assert!((occ.corr_fraction() - 1.0).abs() < 1e-12);
+        assert!(occ.sec_valid > 0 && occ.sec_valid <= occ.sec_capacity);
+
+        p.reset();
+        assert_eq!(p.aliasing(), AliasingCounters::default());
+        assert_eq!(p.occupancy().corr_valid, 0);
+    }
+
+    #[test]
+    fn history_len_reports_occupancy() {
+        let mut p = NextTracePredictor::new(cfg_small());
+        assert_eq!(p.history_len(), 0);
+        p.update(&rec(0x0040_0000, 0, 0));
+        p.update(&rec(0x0040_0400, 0, 0));
+        assert_eq!(p.history_len(), 2);
     }
 
     #[test]

@@ -189,8 +189,7 @@ mod tests {
     #[test]
     fn overflow_drops_oldest() {
         let mut h = hist(&[1], 4);
-        let mut rhs: ReturnHistoryStack<u16> =
-            ReturnHistoryStack::new(RhsConfig { max_depth: 2 });
+        let mut rhs: ReturnHistoryStack<u16> = ReturnHistoryStack::new(RhsConfig { max_depth: 2 });
         h.push(10);
         rhs.on_trace(&mut h, 1, false);
         h.push(20);

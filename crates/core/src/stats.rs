@@ -204,4 +204,102 @@ mod tests {
         assert_eq!(s.both_mispredict_pct(), 0.0);
         assert_eq!(s.alternate_rescue_fraction(), 0.0);
     }
+
+    #[test]
+    fn merge_preserves_alternate_accounting() {
+        // Shard A: 4 predictions, 1 primary hit, 2 alternate rescues.
+        let a0 = PredictorStats {
+            predictions: 4,
+            correct: 1,
+            alternate_correct: 2,
+            from_correlated: 3,
+            cold: 1,
+            correlated_correct: 1,
+            ..PredictorStats::new()
+        };
+        // Shard B: 6 predictions, 3 primary hits, 1 alternate rescue.
+        let b = PredictorStats {
+            predictions: 6,
+            correct: 3,
+            alternate_correct: 1,
+            from_secondary: 6,
+            secondary_correct: 3,
+            ..PredictorStats::new()
+        };
+        let mut a = a0.clone();
+        a.merge(&b);
+        assert_eq!(a.alternate_correct, 3);
+        assert_eq!(a.from_correlated, 3);
+        assert_eq!(a.from_secondary, 6);
+        assert_eq!(a.correlated_correct, 1);
+        assert_eq!(a.secondary_correct, 3);
+        // 10 predictions, 4 correct, 3 alternate rescues.
+        assert!((a.mispredict_pct() - 60.0).abs() < 1e-9);
+        assert!((a.both_mispredict_pct() - 30.0).abs() < 1e-9);
+        assert!((a.alternate_rescue_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let full = PredictorStats {
+            predictions: 7,
+            correct: 2,
+            alternate_correct: 1,
+            from_correlated: 4,
+            from_secondary: 2,
+            cold: 1,
+            correlated_correct: 1,
+            secondary_correct: 1,
+        };
+        // empty.merge(full) == full (and the zero-prediction guard held
+        // before the merge).
+        let mut acc = PredictorStats::new();
+        assert_eq!(acc.mispredict_pct(), 0.0, "guard before merging");
+        acc.merge(&full);
+        assert_eq!(acc, full);
+        // full.merge(empty) == full.
+        let mut again = full.clone();
+        again.merge(&PredictorStats::new());
+        assert_eq!(again, full);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_accumulator() {
+        // Scoring in two shards then merging must equal one accumulator —
+        // the contract the engine's per-shard registries rely on.
+        let actual = rec(0x0040_0000);
+        let other = rec(0x0041_0000);
+        let preds = [
+            Prediction {
+                target: Some(Target::Full(actual.id())),
+                alternate: None,
+                source: Source::Correlated,
+            },
+            Prediction {
+                target: Some(Target::Full(other.id())),
+                alternate: Some(Target::Full(actual.id())),
+                source: Source::Secondary,
+            },
+            Prediction::cold(),
+            Prediction {
+                target: Some(Target::Full(other.id())),
+                alternate: Some(Target::Full(other.id())),
+                source: Source::Correlated,
+            },
+        ];
+        let mut whole = PredictorStats::new();
+        for p in &preds {
+            whole.score(p, &actual);
+        }
+        let mut left = PredictorStats::new();
+        let mut right = PredictorStats::new();
+        for p in &preds[..2] {
+            left.score(p, &actual);
+        }
+        for p in &preds[2..] {
+            right.score(p, &actual);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
 }

@@ -6,7 +6,10 @@
 //! address. This model bounds the accuracy attainable by any finite
 //! correlating table of the same depth.
 
-use crate::{Counter, CounterSpec, PathHistory, Prediction, ReturnHistoryStack, RhsConfig, Source, Target, TracePredictor};
+use crate::{
+    Counter, CounterSpec, PathHistory, Prediction, ReturnHistoryStack, RhsConfig, Source, Target,
+    TracePredictor,
+};
 use ntp_trace::{TraceId, TraceRecord};
 use std::collections::HashMap;
 

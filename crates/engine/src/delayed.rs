@@ -41,7 +41,7 @@ impl Default for EngineConfig {
 }
 
 /// Results of a delayed-update run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Prediction accuracy accounting (same shape as immediate-update
     /// evaluation, so Table 4 compares directly).
@@ -50,6 +50,12 @@ pub struct EngineStats {
     pub cycles: u64,
     /// Instructions fetched and retired.
     pub instrs: u64,
+    /// Cycles fetch stalled on a full instruction window (included in
+    /// `cycles`).
+    pub stall_cycles: u64,
+    /// Cycles lost to misprediction-resolution bubbles (included in
+    /// `cycles`).
+    pub squash_cycles: u64,
 }
 
 impl EngineStats {
@@ -138,6 +144,7 @@ impl DelayedUpdateEngine {
             while self.occupancy + rec.len as u32 > self.cfg.window {
                 self.retire_one_cycle();
                 stats.cycles += 1;
+                stats.stall_cycles += 1;
             }
 
             // Predict with the *current* (possibly stale) tables and the
@@ -171,6 +178,7 @@ impl DelayedUpdateEngine {
                 for _ in 0..self.cfg.mispredict_penalty {
                     self.retire_one_cycle();
                     stats.cycles += 1;
+                    stats.squash_cycles += 1;
                 }
             }
         }
@@ -246,6 +254,33 @@ mod tests {
         let b = run(&stable);
         assert!(a.cycles > b.cycles, "{} vs {}", a.cycles, b.cycles);
         assert!(a.ipc() < b.ipc());
+    }
+
+    #[test]
+    fn cycle_breakdown_accounts_stalls_and_squashes() {
+        let noisy: Vec<TraceRecord> = (0..500u32)
+            .map(|k| rec(0x0040_0004 + (k.wrapping_mul(2654435761) % 200) * 0x24))
+            .collect();
+        let mut e = DelayedUpdateEngine::new(
+            NextTracePredictor::new(PredictorConfig::paper(12, 3)),
+            EngineConfig {
+                issue_width: 4,
+                window: 24,
+                mispredict_penalty: 8,
+            },
+        );
+        let stats = e.run(&noisy);
+        assert!(stats.squash_cycles > 0, "noisy stream must squash");
+        assert!(
+            stats.stall_cycles > 0,
+            "12-instr traces in a 24-slot window stall"
+        );
+        assert!(
+            stats.stall_cycles + stats.squash_cycles <= stats.cycles,
+            "breakdown is a subset of total cycles"
+        );
+        let missed = stats.prediction.predictions - stats.prediction.correct;
+        assert_eq!(stats.squash_cycles, missed * 8, "penalty per miss");
     }
 
     #[test]

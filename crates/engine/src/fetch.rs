@@ -33,7 +33,7 @@ impl Default for FetchConfig {
 }
 
 /// Bandwidth results of a fetch run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FetchStats {
     /// Cycles spent.
     pub cycles: u64,
@@ -187,7 +187,11 @@ mod tests {
         let noisy: Vec<TraceRecord> = (0..1000u32)
             .map(|k| {
                 TraceRecord::new(
-                    TraceId::new(0x0040_0004 + (k.wrapping_mul(2654435761) % 300) * 0x24, 0, 0),
+                    TraceId::new(
+                        0x0040_0004 + (k.wrapping_mul(2654435761) % 300) * 0x24,
+                        0,
+                        0,
+                    ),
                     14,
                     0,
                     false,

@@ -33,6 +33,7 @@
 mod delayed;
 mod fetch;
 mod processor;
+mod telemetry;
 mod trace_cache;
 
 pub use delayed::{DelayedUpdateEngine, EngineConfig, EngineStats};

@@ -41,7 +41,7 @@ impl Default for TraceProcessorConfig {
 }
 
 /// Results of a trace-processor run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceProcessorStats {
     /// Cycle the last trace retired.
     pub cycles: u64,
@@ -144,8 +144,7 @@ impl TraceProcessor {
                 // The wrong prediction is discovered when this trace's
                 // control flow resolves; everything younger is wrong-path,
                 // so the sequencer restarts after the squash.
-                next_dispatch =
-                    next_dispatch.max(finish + self.cfg.squash_penalty as u64);
+                next_dispatch = next_dispatch.max(finish + self.cfg.squash_penalty as u64);
                 for t in pe_busy_until.iter_mut() {
                     *t = (*t).min(finish);
                 }
@@ -218,7 +217,11 @@ mod tests {
         let noisy: Vec<TraceRecord> = (0..2000u32)
             .map(|k| {
                 TraceRecord::new(
-                    TraceId::new(0x0040_0004 + (k.wrapping_mul(2654435761) % 300) * 0x24, 0, 0),
+                    TraceId::new(
+                        0x0040_0004 + (k.wrapping_mul(2654435761) % 300) * 0x24,
+                        0,
+                        0,
+                    ),
                     12,
                     0,
                     false,

@@ -1,0 +1,230 @@
+//! Telemetry integration for the engine models: `Display` one-liners for
+//! run summaries and [`ToJson`] trees for `BENCH_*.json` reports.
+//!
+//! Every stats struct in this crate renders the same way in both forms:
+//! raw counters first, derived rates last, so a JSON consumer and a log
+//! reader see the same story.
+
+use crate::{EngineStats, FetchStats, TraceCacheStats, TraceProcessorStats};
+use ntp_telemetry::{Json, ToJson};
+use std::fmt;
+
+impl fmt::Display for EngineStats {
+    /// `ipc 5.33, 1200 cycles (stall 40, squash 80), 6400 instrs; <prediction>`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ipc {:.2}, {} cycles (stall {}, squash {}), {} instrs; {}",
+            self.ipc(),
+            self.cycles,
+            self.stall_cycles,
+            self.squash_cycles,
+            self.instrs,
+            self.prediction
+        )
+    }
+}
+
+impl ToJson for EngineStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("cycles", Json::U64(self.cycles))
+            .with("instrs", Json::U64(self.instrs))
+            .with("stall_cycles", Json::U64(self.stall_cycles))
+            .with("squash_cycles", Json::U64(self.squash_cycles))
+            .with("ipc", Json::F64(self.ipc()))
+            .with("prediction", self.prediction.to_json())
+    }
+}
+
+impl fmt::Display for FetchStats {
+    /// `bandwidth 12.80 instr/cycle, 1000 traces, 5 mispredicts (0.50%), 8 cache misses`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bandwidth {:.2} instr/cycle, {} traces, {} mispredicts ({:.2}%), {} cache misses",
+            self.fetch_bandwidth(),
+            self.traces,
+            self.mispredicts,
+            self.mispredict_pct(),
+            self.cache_misses
+        )
+    }
+}
+
+impl ToJson for FetchStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("cycles", Json::U64(self.cycles))
+            .with("instrs", Json::U64(self.instrs))
+            .with("traces", Json::U64(self.traces))
+            .with("mispredicts", Json::U64(self.mispredicts))
+            .with("cache_misses", Json::U64(self.cache_misses))
+            .with("fetch_bandwidth", Json::F64(self.fetch_bandwidth()))
+            .with("mispredict_pct", Json::F64(self.mispredict_pct()))
+    }
+}
+
+impl fmt::Display for TraceCacheStats {
+    /// `950 hits, 50 misses (hit rate 0.950), 12 evictions`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses (hit rate {:.3}), {} evictions",
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.evictions
+        )
+    }
+}
+
+impl ToJson for TraceCacheStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("hits", Json::U64(self.hits))
+            .with("misses", Json::U64(self.misses))
+            .with("evictions", Json::U64(self.evictions))
+            .with("hit_rate", Json::F64(self.hit_rate()))
+    }
+}
+
+impl fmt::Display for TraceProcessorStats {
+    /// `ipc 9.14, 3200 cycles, 500 traces, 7 mispredicts (1.40%)`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ipc {:.2}, {} cycles, {} traces, {} mispredicts ({:.2}%)",
+            self.ipc(),
+            self.cycles,
+            self.traces,
+            self.mispredicts,
+            self.mispredict_pct()
+        )
+    }
+}
+
+impl ToJson for TraceProcessorStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("cycles", Json::U64(self.cycles))
+            .with("instrs", Json::U64(self.instrs))
+            .with("traces", Json::U64(self.traces))
+            .with("mispredicts", Json::U64(self.mispredicts))
+            .with("ipc", Json::F64(self.ipc()))
+            .with("mispredict_pct", Json::F64(self.mispredict_pct()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntp_core::PredictorStats;
+
+    fn engine_stats() -> EngineStats {
+        EngineStats {
+            prediction: PredictorStats {
+                predictions: 100,
+                correct: 90,
+                from_correlated: 60,
+                from_secondary: 30,
+                cold: 10,
+                ..PredictorStats::new()
+            },
+            cycles: 1200,
+            instrs: 6400,
+            stall_cycles: 40,
+            squash_cycles: 80,
+        }
+    }
+
+    #[test]
+    fn engine_stats_golden_line() {
+        assert_eq!(
+            engine_stats().to_string(),
+            "ipc 5.33, 1200 cycles (stall 40, squash 80), 6400 instrs; \
+             100 predictions, 10.00% mispredict (corr 60, sec 30, cold 10)"
+        );
+    }
+
+    #[test]
+    fn fetch_stats_golden_line() {
+        let s = FetchStats {
+            cycles: 1250,
+            instrs: 16000,
+            traces: 1000,
+            mispredicts: 5,
+            cache_misses: 8,
+        };
+        assert_eq!(
+            s.to_string(),
+            "bandwidth 12.80 instr/cycle, 1000 traces, 5 mispredicts (0.50%), 8 cache misses"
+        );
+    }
+
+    #[test]
+    fn trace_cache_stats_golden_line() {
+        let s = TraceCacheStats {
+            hits: 950,
+            misses: 50,
+            evictions: 12,
+        };
+        assert_eq!(
+            s.to_string(),
+            "950 hits, 50 misses (hit rate 0.950), 12 evictions"
+        );
+    }
+
+    #[test]
+    fn trace_processor_stats_golden_line() {
+        let s = TraceProcessorStats {
+            cycles: 3200,
+            instrs: 29234,
+            traces: 500,
+            mispredicts: 7,
+        };
+        assert_eq!(
+            s.to_string(),
+            "ipc 9.14, 3200 cycles, 500 traces, 7 mispredicts (1.40%)"
+        );
+    }
+
+    #[test]
+    fn zeroed_stats_render_without_panicking() {
+        // Division guards hold in both render paths for all four types.
+        assert!(EngineStats::default().to_string().starts_with("ipc 0.00"));
+        assert!(FetchStats::default()
+            .to_string()
+            .starts_with("bandwidth 0.00"));
+        assert!(TraceCacheStats::default()
+            .to_string()
+            .contains("hit rate 0.000"));
+        assert!(TraceProcessorStats::default()
+            .to_string()
+            .starts_with("ipc 0.00"));
+        for j in [
+            EngineStats::default().to_json(),
+            FetchStats::default().to_json(),
+            TraceCacheStats::default().to_json(),
+            TraceProcessorStats::default().to_json(),
+        ] {
+            assert!(ntp_telemetry::json::parse(&j.render()).is_ok());
+        }
+    }
+
+    #[test]
+    fn json_mirrors_display_fields() {
+        let j = engine_stats().to_json();
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(1200));
+        assert_eq!(j.get("stall_cycles").and_then(Json::as_u64), Some(40));
+        assert_eq!(j.get("squash_cycles").and_then(Json::as_u64), Some(80));
+        let ipc = j.get("ipc").and_then(Json::as_f64).unwrap();
+        assert!((ipc - 6400.0 / 1200.0).abs() < 1e-12);
+        assert_eq!(
+            j.get("prediction")
+                .and_then(|p| p.get("predictions"))
+                .and_then(Json::as_u64),
+            Some(100)
+        );
+    }
+}

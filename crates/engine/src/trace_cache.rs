@@ -181,10 +181,7 @@ mod tests {
         let a = rec(0x0040_0000);
         let b = rec(0x0040_0020);
         let c = rec(0x0040_0040);
-        assert_eq!(
-            a.id().hashed().low_bits(1),
-            b.id().hashed().low_bits(1),
-        );
+        assert_eq!(a.id().hashed().low_bits(1), b.id().hashed().low_bits(1),);
         tc.insert(&a);
         tc.insert(&b);
         let _ = tc.lookup(a.id()); // touch a, making b the LRU

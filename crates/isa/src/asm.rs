@@ -243,9 +243,7 @@ fn strip_comment(line: &str) -> &str {
             }
         } else if c == '"' {
             in_str = true;
-        } else if c == ';'
-            || c == '#'
-            || (c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/')
+        } else if c == ';' || c == '#' || (c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/')
         {
             return &line[..i];
         }
@@ -954,7 +952,7 @@ fn lower(m: &str, ops: &[Operand], line: usize) -> Result<Vec<PInstr>, AsmError>
                 Expr::Const(v) => v,
                 _ => return Err(err(line, "li needs a constant; use la for labels")),
             };
-            if !( -(1i64 << 31)..=(u32::MAX as i64)).contains(&v) {
+            if !(-(1i64 << 31)..=(u32::MAX as i64)).contains(&v) {
                 return Err(err(line, "li constant out of 32-bit range"));
             }
             let v32 = v as u32;
@@ -1022,16 +1020,26 @@ fn emit(
                 return Err(err(line, "jump target outside the 256MB region"));
             }
             let field = (t >> 2) & 0x03FF_FFFF;
-            Ok(if *link { Instr::Jal(field) } else { Instr::J(field) })
+            Ok(if *link {
+                Instr::Jal(field)
+            } else {
+                Instr::J(field)
+            })
         }
         PInstr::WithImm(op, a, b, e) => {
             let v = e.eval(symbols).map_err(|m| err(line, m))?;
             if op.signed() {
                 if !(-32768..=32767).contains(&v) {
-                    return Err(err(line, format!("immediate {v} out of signed 16-bit range")));
+                    return Err(err(
+                        line,
+                        format!("immediate {v} out of signed 16-bit range"),
+                    ));
                 }
             } else if !(0..=65535).contains(&v) {
-                return Err(err(line, format!("immediate {v} out of unsigned 16-bit range")));
+                return Err(err(
+                    line,
+                    format!("immediate {v} out of unsigned 16-bit range"),
+                ));
             }
             Ok(op.build(*a, *b, v))
         }
@@ -1103,7 +1111,10 @@ loop:   addi t0, t0, -1
 ";
         let p = assemble(src).unwrap();
         // bnez expands to bne t0, zero, loop ; offset = loop - (pc+4) = -2 words.
-        assert_eq!(p.instrs[2], Instr::Bne(Reg::from_name("t0").unwrap(), Reg::ZERO, -2));
+        assert_eq!(
+            p.instrs[2],
+            Instr::Bne(Reg::from_name("t0").unwrap(), Reg::ZERO, -2)
+        );
     }
 
     #[test]
@@ -1121,11 +1132,21 @@ buf:    .space 4
         let t0 = Reg::from_name("t0").unwrap();
         assert_eq!(p.instrs[0], Instr::Lui(t0, 0x1000));
         assert_eq!(p.instrs[1], Instr::Ori(t0, t0, 0x0000));
-        assert_eq!(p.instrs[2], Instr::Addi(Reg::from_name("t1").unwrap(), Reg::ZERO, 7));
-        assert_eq!(p.instrs[3], Instr::Lui(Reg::from_name("t2").unwrap(), 0x1234));
+        assert_eq!(
+            p.instrs[2],
+            Instr::Addi(Reg::from_name("t1").unwrap(), Reg::ZERO, 7)
+        );
+        assert_eq!(
+            p.instrs[3],
+            Instr::Lui(Reg::from_name("t2").unwrap(), 0x1234)
+        );
         assert_eq!(
             p.instrs[4],
-            Instr::Ori(Reg::from_name("t2").unwrap(), Reg::from_name("t2").unwrap(), 0x5678)
+            Instr::Ori(
+                Reg::from_name("t2").unwrap(),
+                Reg::from_name("t2").unwrap(),
+                0x5678
+            )
         );
         assert_eq!(p.instrs[5], Instr::Lui(Reg::from_name("t3").unwrap(), 1));
     }
@@ -1216,7 +1237,10 @@ buf:    .word 42
 ";
         let p = assemble(src).unwrap();
         let buf = p.symbol("buf").unwrap();
-        assert_eq!(p.instrs[0], Instr::Lui(Reg::from_name("t0").unwrap(), (buf >> 16) as u16));
+        assert_eq!(
+            p.instrs[0],
+            Instr::Lui(Reg::from_name("t0").unwrap(), (buf >> 16) as u16)
+        );
     }
 
     #[test]

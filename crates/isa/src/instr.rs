@@ -356,7 +356,10 @@ mod tests {
             Instr::Jalr(Reg::RA, Reg::new(8).unwrap()).control_kind(),
             ControlKind::IndirectCall
         );
-        assert_eq!(Instr::Add(Reg::ZERO, Reg::ZERO, Reg::ZERO).control_kind(), ControlKind::None);
+        assert_eq!(
+            Instr::Add(Reg::ZERO, Reg::ZERO, Reg::ZERO).control_kind(),
+            ControlKind::None
+        );
     }
 
     #[test]
@@ -380,7 +383,10 @@ mod tests {
     #[test]
     fn jump_target_splices_region() {
         let j = Instr::J(0x40);
-        assert_eq!(j.direct_target(0x1000_0000), Some(0x1000_0000 & 0xF000_0000 | 0x100));
+        assert_eq!(
+            j.direct_target(0x1000_0000),
+            Some(0x1000_0000 & 0xF000_0000 | 0x100)
+        );
         assert_eq!(Instr::Jr(Reg::RA).direct_target(0), None);
         assert_eq!(Instr::Halt.direct_target(0), None);
     }

@@ -2,7 +2,6 @@
 
 use ntp_isa::asm::{assemble, assemble_with, AsmOptions};
 use ntp_isa::{decode, Instr, Reg};
-use proptest::prelude::*;
 
 fn t(n: u8) -> Reg {
     Reg::new(n).unwrap()
@@ -99,7 +98,7 @@ main:   nop
     assert_eq!(p.instrs[1], Instr::Add(t(8), t(9), Reg::ZERO)); // move
     assert_eq!(p.instrs[3], Instr::Nor(t(8), t(9), Reg::ZERO)); // not
     assert_eq!(p.instrs[4], Instr::Sub(t(8), Reg::ZERO, t(9))); // neg
-    // bgt swaps operands into blt.
+                                                                // bgt swaps operands into blt.
     let bgt = p
         .instrs
         .iter()
@@ -110,10 +109,8 @@ main:   nop
 
 #[test]
 fn numeric_literal_forms() {
-    let p = assemble(
-        "main: li t0, 0x10\n li t1, 0b1010\n li t2, 'A'\n li t3, 1_000\n halt\n",
-    )
-    .unwrap();
+    let p =
+        assemble("main: li t0, 0x10\n li t1, 0b1010\n li t2, 'A'\n li t3, 1_000\n halt\n").unwrap();
     assert_eq!(p.instrs[0], Instr::Addi(t(8), Reg::ZERO, 16));
     assert_eq!(p.instrs[1], Instr::Addi(t(9), Reg::ZERO, 10));
     assert_eq!(p.instrs[2], Instr::Addi(t(10), Reg::ZERO, 65));
@@ -131,7 +128,10 @@ data:   .word 1, 2, 3
 ";
     let p = assemble(src).unwrap();
     let data = p.symbol("data").unwrap();
-    assert_eq!(p.instrs[1], Instr::Ori(t(8), t(8), ((data + 8) & 0xFFFF) as u16));
+    assert_eq!(
+        p.instrs[1],
+        Instr::Ori(t(8), t(8), ((data + 8) & 0xFFFF) as u16)
+    );
 }
 
 #[test]
@@ -156,17 +156,17 @@ fn custom_bases() {
 #[test]
 fn error_paths_are_reported() {
     let cases: &[(&str, &str)] = &[
-        ("main: addi t0, t1\n", "expected"),             // missing operand
-        ("main: add t0, t1, 5\n", "three registers"),    // imm where reg needed
-        ("main: sll t0, t1, 32\n", "shift amount"),      // shift out of range
-        ("main: lw t0, t1\n", "offset(base)"),           // bad mem operand
-        ("main: li t0, 0x1_0000_0000\n", "range"),       // 33-bit literal
-        ("main: .word 1\n", "outside .data"),            // directive in text
+        ("main: addi t0, t1\n", "expected"),          // missing operand
+        ("main: add t0, t1, 5\n", "three registers"), // imm where reg needed
+        ("main: sll t0, t1, 32\n", "shift amount"),   // shift out of range
+        ("main: lw t0, t1\n", "offset(base)"),        // bad mem operand
+        ("main: li t0, 0x1_0000_0000\n", "range"),    // 33-bit literal
+        ("main: .word 1\n", "outside .data"),         // directive in text
         (".data\nx: addi t0, t0, 1\n", "outside .text"), // instr in data
         ("main: jal\n", "expected a target"),
         ("main: halt extra\n", "no operands"),
-        ("main: beq t0, t1, 0x99999998\n", "range"),     // far target
-        ("main: lw t0, 70000(sp)\n", "16-bit"),          // offset too large
+        ("main: beq t0, t1, 0x99999998\n", "range"), // far target
+        ("main: lw t0, 70000(sp)\n", "16-bit"),      // offset too large
         ("main: .align 3\n", "outside .data"),
         ("x: ; comment only\n j y\n", "undefined"),
     ];
@@ -193,28 +193,34 @@ fn branch_range_limits() {
 
 #[test]
 fn data_alignment_behaviour() {
-    let p = assemble(
-        "main: halt\n.data\na: .byte 1\n.align 2\nb: .word 2\n.align 3\nc: .word 3\n",
-    )
-    .unwrap();
+    let p = assemble("main: halt\n.data\na: .byte 1\n.align 2\nb: .word 2\n.align 3\nc: .word 3\n")
+        .unwrap();
     assert_eq!(p.symbol("b").unwrap() % 4, 0);
     assert_eq!(p.symbol("c").unwrap() % 8, 0);
 }
 
-proptest! {
-    /// The decoder never panics, whatever the word.
-    #[test]
-    fn decode_total(word in any::<u32>()) {
-        let _ = decode(word);
-    }
+/// Property-based coverage; compiled only with `--features proptest` (the
+/// dev-dependency is gated so the offline tier-1 build needs no registry).
+#[cfg(feature = "proptest")]
+mod props {
+    use super::decode;
+    use proptest::prelude::*;
 
-    /// If a word decodes, re-encoding reproduces it or a canonical
-    /// equivalent that decodes to the same instruction.
-    #[test]
-    fn decode_encode_stable(word in any::<u32>()) {
-        if let Ok(i) = decode(word) {
-            let w2 = ntp_isa::encode(&i);
-            prop_assert_eq!(decode(w2), Ok(i));
+    proptest! {
+        /// The decoder never panics, whatever the word.
+        #[test]
+        fn decode_total(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        /// If a word decodes, re-encoding reproduces it or a canonical
+        /// equivalent that decodes to the same instruction.
+        #[test]
+        fn decode_encode_stable(word in any::<u32>()) {
+            if let Ok(i) = decode(word) {
+                let w2 = ntp_isa::encode(&i);
+                prop_assert_eq!(decode(w2), Ok(i));
+            }
         }
     }
 }

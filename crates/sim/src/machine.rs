@@ -294,23 +294,33 @@ impl Machine {
             Sltiu(d, s, imm) => alu!(d, (self.reg(s) < imm as i32 as u32) as u32),
             Lui(d, imm) => alu!(d, (imm as u32) << 16),
             Lw(d, b, off) => {
-                let v = self.mem.load32(self.reg(b).wrapping_add(off as i32 as u32))?;
+                let v = self
+                    .mem
+                    .load32(self.reg(b).wrapping_add(off as i32 as u32))?;
                 alu!(d, v)
             }
             Lh(d, b, off) => {
-                let v = self.mem.load16(self.reg(b).wrapping_add(off as i32 as u32))?;
+                let v = self
+                    .mem
+                    .load16(self.reg(b).wrapping_add(off as i32 as u32))?;
                 alu!(d, v as i16 as i32 as u32)
             }
             Lhu(d, b, off) => {
-                let v = self.mem.load16(self.reg(b).wrapping_add(off as i32 as u32))?;
+                let v = self
+                    .mem
+                    .load16(self.reg(b).wrapping_add(off as i32 as u32))?;
                 alu!(d, v as u32)
             }
             Lb(d, b, off) => {
-                let v = self.mem.load8(self.reg(b).wrapping_add(off as i32 as u32))?;
+                let v = self
+                    .mem
+                    .load8(self.reg(b).wrapping_add(off as i32 as u32))?;
                 alu!(d, v as i8 as i32 as u32)
             }
             Lbu(d, b, off) => {
-                let v = self.mem.load8(self.reg(b).wrapping_add(off as i32 as u32))?;
+                let v = self
+                    .mem
+                    .load8(self.reg(b).wrapping_add(off as i32 as u32))?;
                 alu!(d, v as u32)
             }
             Sw(src, b, off) => {
@@ -329,7 +339,11 @@ impl Machine {
                     self.reg(src) as u8,
                 )?;
             }
-            Beq(s, t, _) | Bne(s, t, _) | Blt(s, t, _) | Bge(s, t, _) | Bltu(s, t, _)
+            Beq(s, t, _)
+            | Bne(s, t, _)
+            | Blt(s, t, _)
+            | Bge(s, t, _)
+            | Bltu(s, t, _)
             | Bgeu(s, t, _) => {
                 let (a, b) = (self.reg(s), self.reg(t));
                 let taken = match instr {
@@ -501,10 +515,7 @@ main:   li   t0, 0xF0
         halt
 ",
         );
-        assert_eq!(
-            m.output(),
-            &[0xF00, 0x0F, (-4i32) as u32, (-64i32) as u32]
-        );
+        assert_eq!(m.output(), &[0xF00, 0x0F, (-4i32) as u32, (-64i32) as u32]);
     }
 
     #[test]

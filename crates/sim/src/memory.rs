@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn initialized_image_visible() {
         let m = mem();
-        assert_eq!(m.load32(DATA_BASE).unwrap(), u32::from_le_bytes([10, 20, 30, 40]));
+        assert_eq!(
+            m.load32(DATA_BASE).unwrap(),
+            u32::from_le_bytes([10, 20, 30, 40])
+        );
     }
 
     #[test]
@@ -198,7 +201,10 @@ mod tests {
     #[test]
     fn text_readable_not_writable() {
         let mut m = mem();
-        assert_eq!(m.load32(TEXT_BASE).unwrap(), u32::from_le_bytes([1, 2, 3, 4]));
+        assert_eq!(
+            m.load32(TEXT_BASE).unwrap(),
+            u32::from_le_bytes([1, 2, 3, 4])
+        );
         assert!(m.store32(TEXT_BASE, 0).is_err());
     }
 

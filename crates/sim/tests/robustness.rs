@@ -1,6 +1,10 @@
 //! Simulator robustness: no input program may panic the machine — faults
 //! must surface as `SimError` values.
 
+// Compiled only with `--features proptest`: the proptest dev-dependency
+// is gated so the offline tier-1 build resolves without a registry.
+#![cfg(feature = "proptest")]
+
 use ntp_isa::{decode, Instr, Program};
 use ntp_sim::{Machine, MemoryConfig, SimError};
 use proptest::prelude::*;

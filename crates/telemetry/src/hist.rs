@@ -1,0 +1,279 @@
+//! A power-of-two bucketed histogram for `u64` samples.
+//!
+//! Recording is a handful of integer operations (a `leading_zeros`, an
+//! array add, min/max updates) — cheap enough to sit on simulation hot
+//! paths. Bucket `k` covers `[2^(k-1), 2^k)` (bucket 0 holds zeros), so 65
+//! buckets cover the full `u64` range. Used for trace-length,
+//! misprediction-streak and fetch-bandwidth distributions.
+
+use crate::json::Json;
+use crate::ToJson;
+
+/// Number of buckets: zeros plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// A pow-2 bucketed histogram with exact count/sum/min/max.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_telemetry::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 3, 3, 16] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 16);
+/// assert!((h.mean() - 4.6).abs() < 1e-9);
+/// assert_eq!(h.bucket_count(3), 2, "3 falls in [2,4)");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, otherwise `65 - leading_zeros`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Hot-path safe: no allocation, no branching
+    /// beyond min/max.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a sample `n` times (merging pre-aggregated counts).
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.wrapping_add(v.wrapping_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples in the bucket containing `v`.
+    pub fn bucket_count(&self, v: u64) -> u64 {
+        self.buckets[bucket_of(v)]
+    }
+
+    /// An upper bound on the `q`-quantile (0.0..=1.0): the inclusive top of
+    /// the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`. Exact to within the pow-2 bucket resolution.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_top(k).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates non-empty buckets as `(lo, hi_inclusive, count)`.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(k, n)| (bucket_bottom(k), bucket_top(k), *n))
+    }
+}
+
+/// Lowest value in bucket `k`.
+fn bucket_bottom(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        1 => 1,
+        _ => 1u64 << (k - 1),
+    }
+}
+
+/// Highest value in bucket `k` (inclusive).
+fn bucket_top(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << k) - 1,
+    }
+}
+
+impl ToJson for Histogram {
+    /// `{count, sum, min, max, mean, p50, p99, buckets: [[lo, hi, n], …]}`
+    /// with only non-empty buckets listed.
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("count", Json::U64(self.count))
+            .with("sum", Json::U64(self.sum))
+            .with("min", Json::U64(self.min()))
+            .with("max", Json::U64(self.max))
+            .with("mean", Json::F64(self.mean()))
+            .with("p50", Json::U64(self.quantile_upper_bound(0.5)))
+            .with("p99", Json::U64(self.quantile_upper_bound(0.99)))
+            .with(
+                "buckets",
+                Json::Array(
+                    self.nonempty_buckets()
+                        .map(|(lo, hi, n)| {
+                            Json::Array(vec![Json::U64(lo), Json::U64(hi), Json::U64(n)])
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 2, "2 and 3 share [2,4)");
+        assert_eq!(h.bucket_count(4), 2, "4 and 7 share [4,8)");
+        assert_eq!(h.bucket_count(8), 1);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_from_above() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        assert!((50..=63).contains(&p50), "p50 {p50} within bucket of 50");
+        assert_eq!(h.quantile_upper_bound(1.0), 100, "clamped to observed max");
+        assert_eq!(h.quantile_upper_bound(0.0), 1);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..50u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 0..70u64 {
+            b.record(v * 7 + 1);
+            whole.record(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(9, 4);
+        a.record_n(0, 0);
+        for _ in 0..4 {
+            b.record(9);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+        assert_eq!(h.nonempty_buckets().count(), 0);
+    }
+}

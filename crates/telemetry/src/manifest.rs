@@ -1,0 +1,155 @@
+//! Run metadata: what produced a report, where, and under which knobs —
+//! so a `BENCH_*.json` is interpretable (and regenerable) months later.
+
+use crate::json::Json;
+use crate::ToJson;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Identifying metadata attached to every report.
+///
+/// The `git_rev`, `host` and `unix_time` fields are *volatile*: two runs of
+/// the same workload differ only there (plus `"phases_ms"` timings).
+/// Determinism checks strip them — see [`RunManifest::VOLATILE_KEYS`].
+/// Setting `NTP_DETERMINISTIC=1` pins them at capture time instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunManifest {
+    /// What ran (benchmark or workload name).
+    pub name: String,
+    /// Scale preset in force (`tiny` / `default` / `full`).
+    pub scale: String,
+    /// Instruction budget of the run.
+    pub instr_budget: u64,
+    /// One-line description of the predictor configuration measured.
+    pub predictor: String,
+    /// Git revision of the tree (best effort; `unknown` outside a repo).
+    pub git_rev: String,
+    /// Hostname (best effort).
+    pub host: String,
+    /// Seconds since the Unix epoch at capture.
+    pub unix_time: u64,
+}
+
+impl RunManifest {
+    /// Manifest keys that vary between otherwise-identical runs; strip
+    /// these before byte-comparing reports.
+    pub const VOLATILE_KEYS: [&'static str; 3] = ["git_rev", "host", "unix_time"];
+
+    /// Captures a manifest for `name` from the environment. When
+    /// `NTP_DETERMINISTIC=1` is set, the volatile fields are pinned to
+    /// fixed values so whole reports compare byte-identically.
+    pub fn capture(name: &str, scale: &str, instr_budget: u64, predictor: &str) -> RunManifest {
+        let deterministic = std::env::var("NTP_DETERMINISTIC").is_ok_and(|v| v == "1");
+        let (git_rev, host, unix_time) = if deterministic {
+            ("deterministic".to_string(), "deterministic".to_string(), 0)
+        } else {
+            (
+                git_revision().unwrap_or_else(|| "unknown".to_string()),
+                hostname().unwrap_or_else(|| "unknown".to_string()),
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+            )
+        };
+        RunManifest {
+            name: name.to_string(),
+            scale: scale.to_string(),
+            instr_budget,
+            predictor: predictor.to_string(),
+            git_rev,
+            host,
+            unix_time,
+        }
+    }
+}
+
+impl ToJson for RunManifest {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("name", Json::Str(self.name.clone()))
+            .with("scale", Json::Str(self.scale.clone()))
+            .with("instr_budget", Json::U64(self.instr_budget))
+            .with("predictor", Json::Str(self.predictor.clone()))
+            .with("git_rev", Json::Str(self.git_rev.clone()))
+            .with("host", Json::Str(self.host.clone()))
+            .with("unix_time", Json::U64(self.unix_time))
+    }
+}
+
+/// `git rev-parse --short HEAD`, best effort (reports must not fail when
+/// the tree is exported without `.git` or `git` is missing).
+fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev)
+    }
+}
+
+/// `$HOSTNAME`, else `/etc/hostname`, best effort.
+fn hostname() -> Option<String> {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.is_empty() {
+            return Some(h);
+        }
+    }
+    let h = std::fs::read_to_string("/etc/hostname").ok()?;
+    let h = h.trim().to_string();
+    if h.is_empty() {
+        None
+    } else {
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_serializes_all_fields() {
+        let m = RunManifest {
+            name: "compress".into(),
+            scale: "tiny".into(),
+            instr_budget: 1000,
+            predictor: "paper(15,7)".into(),
+            git_rev: "abc123".into(),
+            host: "hosty".into(),
+            unix_time: 42,
+        };
+        let j = m.to_json();
+        for key in [
+            "name",
+            "scale",
+            "instr_budget",
+            "predictor",
+            "git_rev",
+            "host",
+            "unix_time",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("compress"));
+    }
+
+    #[test]
+    fn volatile_keys_cover_what_varies() {
+        let mut j = RunManifest::capture("x", "tiny", 1, "p").to_json();
+        for key in RunManifest::VOLATILE_KEYS {
+            assert!(j.remove(key).is_some(), "{key} present before strip");
+        }
+        // What remains is fully determined by the arguments.
+        assert_eq!(
+            j.render(),
+            r#"{"name":"x","scale":"tiny","instr_budget":1,"predictor":"p"}"#
+        );
+    }
+}

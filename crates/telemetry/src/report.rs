@@ -1,0 +1,172 @@
+//! Report assembly: one [`RunManifest`] plus named sections, serialized to
+//! a single JSON document (the `BENCH_*.json` format — see
+//! OBSERVABILITY.md).
+
+use crate::json::Json;
+use crate::{PhaseTimes, RunManifest, ToJson};
+
+/// A machine-readable telemetry bundle.
+///
+/// Sections keep insertion order so output is deterministic. Wall-clock
+/// phase timings serialize under the dedicated `"phases_ms"` key; reports
+/// may also add a `"throughput"` section of wall-clock-derived gauges
+/// (instructions/sec and the like). Those two top-level keys — together
+/// with [`RunManifest::VOLATILE_KEYS`] inside `"manifest"` — are
+/// everything [`Report::strip_volatile`] removes before determinism
+/// comparisons (see [`Report::VOLATILE_SECTIONS`]).
+///
+/// # Examples
+///
+/// ```
+/// use ntp_telemetry::{json, Json, Report, RunManifest, ToJson};
+/// let manifest = RunManifest::capture("demo", "tiny", 1_000, "paper(15,7)");
+/// let mut report = Report::new(manifest);
+/// report.section("stats", Json::object().with("traces", Json::U64(7)));
+/// let text = report.to_json().render();
+/// let parsed = json::parse(&text).unwrap();
+/// assert_eq!(parsed.get("stats").unwrap().get("traces"), Some(&Json::U64(7)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Report {
+    manifest: RunManifest,
+    phases: PhaseTimes,
+    sections: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// Starts an empty report.
+    pub fn new(manifest: RunManifest) -> Report {
+        Report {
+            manifest,
+            phases: PhaseTimes::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// The manifest.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Adds (or replaces) a named section.
+    pub fn section(&mut self, name: &str, value: Json) -> &mut Report {
+        if let Some((_, v)) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            *v = value;
+        } else {
+            self.sections.push((name.to_string(), value));
+        }
+        self
+    }
+
+    /// Mutable access to the wall-clock phase accumulator.
+    pub fn phases_mut(&mut self) -> &mut PhaseTimes {
+        &mut self.phases
+    }
+
+    /// Read access to the phase accumulator.
+    pub fn phases(&self) -> &PhaseTimes {
+        &self.phases
+    }
+
+    /// Top-level report sections whose content depends on wall-clock time
+    /// rather than the run itself.
+    pub const VOLATILE_SECTIONS: [&'static str; 2] = ["phases_ms", "throughput"];
+
+    /// Strips every volatile member from a rendered report tree (manifest
+    /// identity fields, wall-clock timings and throughput gauges), leaving
+    /// only run-determined content. Used by determinism tests and
+    /// `scripts/check.sh`.
+    pub fn strip_volatile(tree: &mut Json) {
+        for key in Report::VOLATILE_SECTIONS {
+            tree.remove(key);
+        }
+        if let Some(manifest) = tree_get_mut(tree, "manifest") {
+            for key in RunManifest::VOLATILE_KEYS {
+                manifest.remove(key);
+            }
+        }
+    }
+}
+
+fn tree_get_mut<'a>(tree: &'a mut Json, key: &str) -> Option<&'a mut Json> {
+    match tree {
+        Json::Object(members) => members.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+impl ToJson for Report {
+    /// `{manifest: …, phases_ms: …, <section>: …}` in insertion order.
+    fn to_json(&self) -> Json {
+        let mut j = Json::object()
+            .with("manifest", self.manifest.to_json())
+            .with("phases_ms", self.phases.to_json());
+        for (name, value) in &self.sections {
+            j.set(name, value.clone());
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::time::Duration;
+
+    fn sample() -> Report {
+        let manifest = RunManifest {
+            name: "t".into(),
+            scale: "tiny".into(),
+            instr_budget: 5,
+            predictor: "p".into(),
+            git_rev: "r1".into(),
+            host: "h1".into(),
+            unix_time: 1,
+        };
+        let mut r = Report::new(manifest);
+        r.phases_mut().add("simulate", Duration::from_millis(3));
+        r.section("stats", Json::object().with("n", Json::U64(9)));
+        r.section(
+            "throughput",
+            Json::object().with("instrs_per_sec", Json::F64(123.4)),
+        );
+        r
+    }
+
+    #[test]
+    fn sections_replace_by_name() {
+        let mut r = sample();
+        r.section("stats", Json::U64(1));
+        assert_eq!(r.to_json().get("stats"), Some(&Json::U64(1)));
+    }
+
+    #[test]
+    fn strip_volatile_makes_runs_comparable() {
+        let mut a = sample().to_json();
+        let mut b = sample().to_json();
+        // Perturb everything volatile in b.
+        if let Some(m) = tree_get_mut(&mut b, "manifest") {
+            m.remove("git_rev");
+            m.set("git_rev", Json::Str("other".into()));
+        }
+        Report::strip_volatile(&mut a);
+        Report::strip_volatile(&mut b);
+        assert_eq!(a.render(), b.render());
+        assert!(a.get("phases_ms").is_none());
+        assert!(a.get("throughput").is_none());
+        assert!(a.get("stats").is_some(), "non-volatile sections survive");
+        assert!(a.get("manifest").unwrap().get("name").is_some());
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let text = sample().to_json().pretty();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("manifest").unwrap().get("name"),
+            Some(&Json::Str("t".into()))
+        );
+        assert!(parsed.get("phases_ms").unwrap().get("simulate").is_some());
+    }
+}

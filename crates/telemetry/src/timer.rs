@@ -1,0 +1,193 @@
+//! Wall-clock phase timing: [`PhaseTimes`] accumulates named durations,
+//! [`ScopeTimer`] records one on drop, and throughput helpers convert
+//! counts over durations into per-second gauges.
+//!
+//! Timings are inherently non-deterministic, so [`PhaseTimes::to_json`]
+//! lives under a dedicated `"phases_ms"` key that determinism checks strip
+//! (see OBSERVABILITY.md).
+
+use crate::json::Json;
+use crate::ToJson;
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock time per named phase, in recording order.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_telemetry::{PhaseTimes, ScopeTimer};
+/// let mut phases = PhaseTimes::new();
+/// {
+///     let _t = ScopeTimer::new(&mut phases, "simulate");
+///     // … work …
+/// } // recorded here
+/// assert_eq!(phases.iter().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimes {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimes {
+    /// Creates an empty accumulator.
+    pub fn new() -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    /// Adds `elapsed` to `phase` (creating it on first use).
+    pub fn add(&mut self, phase: &str, elapsed: Duration) {
+        if let Some((_, d)) = self.phases.iter_mut().find(|(n, _)| n == phase) {
+            *d += elapsed;
+        } else {
+            self.phases.push((phase.to_string(), elapsed));
+        }
+    }
+
+    /// Total time of one phase (zero if never recorded).
+    pub fn get(&self, phase: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == phase)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Iterates `(phase, duration)` in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.phases.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for (n, d) in other.iter() {
+            self.add(n, d);
+        }
+    }
+
+    /// One human line: `simulate 12.3 ms, replay 4.5 ms (total 16.8 ms)`.
+    pub fn summary_line(&self) -> String {
+        let mut parts: Vec<String> = self
+            .iter()
+            .map(|(n, d)| format!("{n} {:.1} ms", d.as_secs_f64() * 1e3))
+            .collect();
+        if parts.is_empty() {
+            return "no phases recorded".to_string();
+        }
+        parts.push(format!(
+            "(total {:.1} ms)",
+            self.total().as_secs_f64() * 1e3
+        ));
+        parts.join(", ")
+    }
+}
+
+impl ToJson for PhaseTimes {
+    /// `{phase: milliseconds, …}` in recording order.
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.phases
+                .iter()
+                .map(|(n, d)| (n.clone(), Json::F64(d.as_secs_f64() * 1e3)))
+                .collect(),
+        )
+    }
+}
+
+/// RAII timer: measures from construction to drop and adds the elapsed time
+/// to a [`PhaseTimes`] entry.
+pub struct ScopeTimer<'a> {
+    phases: &'a mut PhaseTimes,
+    phase: &'a str,
+    start: Instant,
+}
+
+impl<'a> ScopeTimer<'a> {
+    /// Starts timing `phase`.
+    pub fn new(phases: &'a mut PhaseTimes, phase: &'a str) -> ScopeTimer<'a> {
+        ScopeTimer {
+            phases,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far (the timer keeps running).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for ScopeTimer<'_> {
+    fn drop(&mut self) {
+        self.phases.add(self.phase, self.start.elapsed());
+    }
+}
+
+/// Times a closure and records it as `phase`, passing the result through.
+pub fn timed<T>(phases: &mut PhaseTimes, phase: &str, f: impl FnOnce() -> T) -> T {
+    let _t = ScopeTimer::new(phases, phase);
+    f()
+}
+
+/// Events per second for a count over a duration (0.0 for zero durations,
+/// so cold runs cannot divide by zero).
+pub fn per_second(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_timer_records_on_drop() {
+        let mut phases = PhaseTimes::new();
+        {
+            let t = ScopeTimer::new(&mut phases, "a");
+            std::hint::black_box(t.elapsed());
+        }
+        {
+            let _t = ScopeTimer::new(&mut phases, "a");
+        }
+        assert_eq!(phases.iter().count(), 1, "same phase accumulates");
+        assert!(phases.get("a") >= Duration::ZERO);
+        assert_eq!(phases.get("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_passes_results_through() {
+        let mut phases = PhaseTimes::new();
+        let v = timed(&mut phases, "work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(phases.iter().next().unwrap().0, "work");
+    }
+
+    #[test]
+    fn merge_and_total() {
+        let mut a = PhaseTimes::new();
+        a.add("x", Duration::from_millis(10));
+        let mut b = PhaseTimes::new();
+        b.add("x", Duration::from_millis(5));
+        b.add("y", Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_millis(15));
+        assert_eq!(a.total(), Duration::from_millis(16));
+        assert!(a.summary_line().starts_with("x 15.0 ms, y 1.0 ms"));
+    }
+
+    #[test]
+    fn per_second_guards_zero() {
+        assert_eq!(per_second(100, Duration::ZERO), 0.0);
+        assert_eq!(per_second(100, Duration::from_secs(2)), 50.0);
+    }
+}

@@ -290,7 +290,10 @@ mod tests {
         let src = format!("main:\n{body}        halt\n");
         let ts = traces_of(&src, 1000);
         // 41 instructions: 16 + 16 + 9.
-        assert_eq!(ts.iter().map(|t| t.len()).collect::<Vec<_>>(), vec![16, 16, 9]);
+        assert_eq!(
+            ts.iter().map(|t| t.len()).collect::<Vec<_>>(),
+            vec![16, 16, 9]
+        );
         assert_eq!(ts[1].id().start_pc, ts[0].id().start_pc + 64);
     }
 
@@ -388,7 +391,9 @@ loop:   addi t0, t0, -1
         use std::collections::HashMap;
         let mut seen: HashMap<u64, (usize, u32)> = HashMap::new();
         for t in &ts[..ts.len() - 1] {
-            let e = seen.entry(t.id().packed()).or_insert((t.len(), t.last_pc()));
+            let e = seen
+                .entry(t.id().packed())
+                .or_insert((t.len(), t.last_pc()));
             assert_eq!(*e, (t.len(), t.last_pc()), "same id, same contents");
         }
     }

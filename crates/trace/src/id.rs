@@ -104,7 +104,11 @@ impl fmt::Display for TraceId {
         write!(f, "{:#010x}", self.start_pc)?;
         f.write_str(":")?;
         for i in 0..self.branch_count {
-            f.write_str(if (self.branch_bits >> i) & 1 == 1 { "T" } else { "N" })?;
+            f.write_str(if (self.branch_bits >> i) & 1 == 1 {
+                "T"
+            } else {
+                "N"
+            })?;
         }
         Ok(())
     }
@@ -215,6 +219,9 @@ mod tests {
     fn display_forms() {
         let id = TraceId::new(0x0040_0004, 0b01, 2);
         assert_eq!(id.to_string(), "0x00400004:TN");
-        assert_eq!(format!("{}", id.hashed()), format!("{:#06x}", id.hashed().0));
+        assert_eq!(
+            format!("{}", id.hashed()),
+            format!("{:#06x}", id.hashed().0)
+        );
     }
 }

@@ -41,6 +41,7 @@ mod id;
 mod record;
 mod redundancy;
 mod stats;
+mod telemetry;
 mod trace;
 
 pub use builder::{run_traces, TraceBuilder, TraceConfig};

@@ -46,9 +46,7 @@ impl TraceRecord {
             branch_bits: id.branch_bits,
             branch_count: id.branch_count,
             len,
-            flags: call_count
-                | (u8::from(ends_in_return) << 3)
-                | (u8::from(ends_in_indirect) << 4),
+            flags: call_count | (u8::from(ends_in_return) << 3) | (u8::from(ends_in_indirect) << 4),
         }
     }
 
@@ -77,9 +75,8 @@ impl From<&Trace> for TraceRecord {
     fn from(t: &Trace) -> TraceRecord {
         let id = t.id();
         let calls = t.call_count().min(7);
-        let flags = calls
-            | (u8::from(t.ends_in_return()) << 3)
-            | (u8::from(t.ends_in_indirect()) << 4);
+        let flags =
+            calls | (u8::from(t.ends_in_return()) << 3) | (u8::from(t.ends_in_indirect()) << 4);
         TraceRecord {
             start_pc: id.start_pc,
             branch_bits: id.branch_bits,

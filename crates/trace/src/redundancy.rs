@@ -133,7 +133,11 @@ join:   addi s2, s2, 1
         halt
 ";
         let stats = stats_of(src);
-        assert!(stats.duplication_factor() > 1.05, "{}", stats.duplication_factor());
+        assert!(
+            stats.duplication_factor() > 1.05,
+            "{}",
+            stats.duplication_factor()
+        );
         assert!(stats.duplicated_fraction() > 0.2);
         assert!(stats.unique_instrs() <= 12);
     }

@@ -1,0 +1,115 @@
+//! Telemetry integration: [`ToJson`] for the trace-construction stats, so
+//! Table-1/Table-2 inputs land in `BENCH_*.json` reports with both the raw
+//! counters and the derived per-trace ratios.
+
+use crate::{ControlMix, RedundancyStats, TraceStats};
+use ntp_telemetry::{Json, ToJson};
+
+impl ToJson for TraceStats {
+    /// Counters first, derived means last (Table 1/2 columns).
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("traces", Json::U64(self.traces()))
+            .with("instrs", Json::U64(self.instrs()))
+            .with("cond_branches", Json::U64(self.cond_branches()))
+            .with("calls", Json::U64(self.calls()))
+            .with("returns", Json::U64(self.returns()))
+            .with("indirect_endings", Json::U64(self.indirect_endings()))
+            .with("static_traces", Json::U64(self.static_traces() as u64))
+            .with("avg_trace_len", Json::F64(self.avg_trace_len()))
+            .with("branches_per_trace", Json::F64(self.branches_per_trace()))
+    }
+}
+
+impl ToJson for RedundancyStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("static_traces", Json::U64(self.static_traces() as u64))
+            .with("unique_instrs", Json::U64(self.unique_instrs() as u64))
+            .with("stored_instrs", Json::U64(self.stored_instrs()))
+            .with("duplication_factor", Json::F64(self.duplication_factor()))
+            .with("duplicated_fraction", Json::F64(self.duplicated_fraction()))
+    }
+}
+
+impl ToJson for ControlMix {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("instrs", Json::U64(self.instrs))
+            .with("cond_branches", Json::U64(self.cond_branches))
+            .with("taken_branches", Json::U64(self.taken_branches))
+            .with("jumps", Json::U64(self.jumps))
+            .with("calls", Json::U64(self.calls))
+            .with("indirect_jumps", Json::U64(self.indirect_jumps))
+            .with("indirect_calls", Json::U64(self.indirect_calls))
+            .with("returns", Json::U64(self.returns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_traces, TraceConfig};
+    use ntp_isa::asm::assemble;
+    use ntp_sim::Machine;
+
+    #[test]
+    fn trace_stats_json_round_trips() {
+        let src = "
+main:   li   t0, 6
+loop:   addi t0, t0, -1
+        bnez t0, loop
+        halt
+";
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new(p);
+        let mut stats = TraceStats::new();
+        let mut red = RedundancyStats::new();
+        run_traces(&mut m, 10_000, TraceConfig::default(), |t| {
+            stats.record(t);
+            red.record(t);
+        })
+        .unwrap();
+
+        let j = stats.to_json();
+        assert_eq!(j.get("instrs").and_then(Json::as_u64), Some(stats.instrs()));
+        assert!(j.get("avg_trace_len").and_then(Json::as_f64).unwrap() > 1.0);
+        let parsed = ntp_telemetry::json::parse(&j.render()).unwrap();
+        assert_eq!(parsed, j);
+
+        let rj = red.to_json();
+        assert_eq!(
+            rj.get("static_traces").and_then(Json::as_u64),
+            Some(red.static_traces() as u64)
+        );
+        assert!(ntp_telemetry::json::parse(&rj.render()).is_ok());
+    }
+
+    #[test]
+    fn control_mix_json_has_all_kinds() {
+        let mix = ControlMix {
+            instrs: 100,
+            cond_branches: 10,
+            taken_branches: 7,
+            jumps: 2,
+            calls: 3,
+            indirect_jumps: 1,
+            indirect_calls: 1,
+            returns: 4,
+        };
+        let j = mix.to_json();
+        for key in [
+            "instrs",
+            "cond_branches",
+            "taken_branches",
+            "jumps",
+            "calls",
+            "indirect_jumps",
+            "indirect_calls",
+            "returns",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("taken_branches"), Some(&Json::U64(7)));
+    }
+}

@@ -509,9 +509,7 @@ mod tests {
         let input = b"a=2+3*4;b=(a-1)*-2;\0";
         let out = reference(input, 1);
         // a = 14; b = 13 * -2 = -26. checksum = (14*31) + (-26 as u32)
-        let expect = 14u32
-            .wrapping_mul(31)
-            .wrapping_add((-26i32) as u32);
+        let expect = 14u32.wrapping_mul(31).wrapping_add((-26i32) as u32);
         assert_eq!(out, vec![expect, expect]);
     }
 }

@@ -472,11 +472,7 @@ mod tests {
     fn reference_places_distinct_moves() {
         let mut g = RefGo::new();
         g.round(true);
-        let stones: usize = g
-            .board
-            .iter()
-            .filter(|&&v| v == 1 || v == 2)
-            .count();
+        let stones: usize = g.board.iter().filter(|&&v| v == 1 || v == 2).count();
         assert!(stones > INIT_STONES as usize / 2);
     }
 }

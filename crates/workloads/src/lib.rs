@@ -95,6 +95,16 @@ pub enum ScalePreset {
 }
 
 impl ScalePreset {
+    /// Stable lowercase name, as accepted by `NTP_SCALE` and reported in
+    /// telemetry manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalePreset::Tiny => "tiny",
+            ScalePreset::Default => "default",
+            ScalePreset::Full => "full",
+        }
+    }
+
     /// Per-workload round counts `(compress, cc, go, jpeg, m88ksim, xlisp)`,
     /// calibrated so Default ≈ 6M instructions and Full ≈ 24M per workload.
     fn rounds(self) -> [u32; 6] {

@@ -57,7 +57,7 @@ fn guest_program() -> Vec<u32> {
     p.push(enc_j(OP_JZ, 5, no_swap_target)); // in-order ⇒ skip swap
     p.push(enc(OP_ST, 4, 2, 0)); // ram[j] = r4
     p.push(enc(OP_ST, 3, 2, 1)); // ram[j+1] = r3
-    // no_swap:
+                                 // no_swap:
     p.push(enc(OP_ADDI, 2, 2, 1)); // j += 1
     p.push(enc(OP_SUB, 5, 1, 2)); // r5 = i - j
     p.push(enc_j(OP_JNZ, 5, inner)); // while j != i

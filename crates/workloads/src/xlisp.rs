@@ -139,11 +139,7 @@ fn reference(f: &Forest, rounds: u32) -> Vec<u32> {
 pub fn build(rounds: u32) -> Workload {
     assert!(rounds >= 1);
     let forest = make_forest(8, 0x715F);
-    let node_words: Vec<u32> = forest
-        .nodes
-        .iter()
-        .flat_map(|n| [n.op, n.a, n.b])
-        .collect();
+    let node_words: Vec<u32> = forest.nodes.iter().flat_map(|n| [n.op, n.a, n.b]).collect();
     let n_leaves = forest.leaves.len() as u32;
     let n_roots = forest.roots.len() as u32;
     let src = format!(
@@ -278,7 +274,8 @@ roots:
     let program = assemble(&src).expect("xlisp workload assembles");
     Workload {
         name: "xlisp",
-        analog_of: "SpecInt95 xlisp (input: 8 random expression trees, leaves reseeded every 4th round)",
+        analog_of:
+            "SpecInt95 xlisp (input: 8 random expression trees, leaves reseeded every 4th round)",
         description: "deeply recursive tree evaluation with data-dependent operators",
         program,
         expected_output: reference(&forest, rounds),
@@ -308,12 +305,36 @@ mod tests {
     fn eval_handles_each_op() {
         // min(3, max(5, 1)) = 3; condsel(3, 4) = 7 (3 is odd).
         let nodes = vec![
-            Node { op: OP_MIN, a: 1, b: 2 },       // 0
-            Node { op: OP_LEAF, a: 3, b: 0 },      // 1
-            Node { op: OP_MAX, a: 3, b: 4 },       // 2
-            Node { op: OP_LEAF, a: 5, b: 0 },      // 3
-            Node { op: OP_LEAF, a: 1, b: 0 },      // 4
-            Node { op: OP_CONDSEL, a: 1, b: 3 },   // 5
+            Node {
+                op: OP_MIN,
+                a: 1,
+                b: 2,
+            }, // 0
+            Node {
+                op: OP_LEAF,
+                a: 3,
+                b: 0,
+            }, // 1
+            Node {
+                op: OP_MAX,
+                a: 3,
+                b: 4,
+            }, // 2
+            Node {
+                op: OP_LEAF,
+                a: 5,
+                b: 0,
+            }, // 3
+            Node {
+                op: OP_LEAF,
+                a: 1,
+                b: 0,
+            }, // 4
+            Node {
+                op: OP_CONDSEL,
+                a: 1,
+                b: 3,
+            }, // 5
         ];
         assert_eq!(eval(&nodes, 0), 3);
         assert_eq!(eval(&nodes, 5), 8);

@@ -9,7 +9,9 @@
 //! ```
 
 use ntp::baselines::SequentialTracePredictor;
-use ntp::core::{evaluate, NextTracePredictor, PredictorConfig, UnboundedConfig, UnboundedPredictor};
+use ntp::core::{
+    evaluate, NextTracePredictor, PredictorConfig, UnboundedConfig, UnboundedPredictor,
+};
 use ntp::isa::asm::assemble;
 use ntp::sim::Machine;
 use ntp::trace::{run_traces, TraceConfig, TraceRecord, TraceStats};

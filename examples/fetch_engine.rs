@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut last_bw = 0.0;
     for (label, cfg) in configs {
-        let mut engine =
-            FetchEngine::new(NextTracePredictor::new(cfg), FetchConfig::default());
+        let mut engine = FetchEngine::new(NextTracePredictor::new(cfg), FetchConfig::default());
         let stats = engine.run(&records);
         println!(
             "{:<16}{:>12.2}{:>12.2}{:>12}{:>12}",

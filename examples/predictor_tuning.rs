@@ -5,9 +5,7 @@
 //! cargo run --release -p ntp --example predictor_tuning
 //! ```
 
-use ntp::core::{
-    evaluate, NextTracePredictor, PredictorConfig, RhsConfig, StoredTarget,
-};
+use ntp::core::{evaluate, NextTracePredictor, PredictorConfig, RhsConfig, StoredTarget};
 use ntp::trace::{run_traces, TraceConfig, TraceRecord};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

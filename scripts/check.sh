@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the tier-1 build+test, and a
+# tiny-scale experiments smoke that validates the emitted BENCH_*.json
+# reports (parse + determinism). Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+say() { printf '\n== %s ==\n' "$*"; }
+
+say "cargo fmt --check"
+cargo fmt --all -- --check
+
+say "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+say "tier-1: cargo build --release && cargo test -q"
+cargo build --release --workspace
+cargo test -q --workspace
+
+say "tiny-scale experiments smoke (--json)"
+out_a="$(mktemp -d)"
+out_b="$(mktemp -d)"
+trap 'rm -rf "$out_a" "$out_b"' EXIT
+NTP_SCALE=tiny NTP_DETERMINISTIC=1 \
+    cargo run --release -q -p ntp-bench --bin experiments -- --json "$out_a" \
+    >/dev/null
+NTP_SCALE=tiny NTP_DETERMINISTIC=1 \
+    cargo run --release -q -p ntp-bench --bin experiments -- --json "$out_b" \
+    >/dev/null
+
+say "validating BENCH_*.json (parse + required sections)"
+count=0
+for f in "$out_a"/BENCH_*.json; do
+    jq -e '.manifest.name and .phases_ms and .predictor.stats.mispredict_pct != null' \
+        "$f" >/dev/null || { echo "invalid report: $f"; exit 1; }
+    count=$((count + 1))
+done
+[ "$count" -ge 6 ] || { echo "expected >=6 reports, got $count"; exit 1; }
+echo "$count reports parsed"
+
+say "determinism: two runs agree modulo volatile fields"
+strip='del(.phases_ms, .throughput, .manifest.git_rev, .manifest.host, .manifest.unix_time)'
+for f in "$out_a"/BENCH_*.json; do
+    g="$out_b/$(basename "$f")"
+    if ! diff <(jq -S "$strip" "$f") <(jq -S "$strip" "$g") >/dev/null; then
+        echo "non-deterministic report: $(basename "$f")"
+        exit 1
+    fi
+done
+echo "all reports byte-identical after stripping volatiles"
+
+say "CLI report round-trip"
+cargo run --release -q -p ntp-cli -- report @compress --budget 300000 --json - \
+    | jq -e '.capture.icount > 0' >/dev/null
+echo "ok"
+
+printf '\nAll checks passed.\n'

@@ -3,11 +3,12 @@
 
 use ntp::baselines::SequentialTracePredictor;
 use ntp::core::{
-    evaluate, NextTracePredictor, PredictorConfig, UnboundedConfig,
-    UnboundedPredictor,
+    evaluate, NextTracePredictor, PredictorConfig, UnboundedConfig, UnboundedPredictor,
 };
 use ntp::engine::{DelayedUpdateEngine, EngineConfig, FetchConfig, FetchEngine};
-use ntp::trace::{run_traces, TraceConfig, TraceRecord, TraceStats, MAX_TRACE_BRANCHES, MAX_TRACE_LEN};
+use ntp::trace::{
+    run_traces, TraceConfig, TraceRecord, TraceStats, MAX_TRACE_BRANCHES, MAX_TRACE_LEN,
+};
 use ntp::workloads::{suite, ScalePreset};
 
 fn capture(name: &str) -> (Vec<TraceRecord>, TraceStats) {
@@ -131,7 +132,8 @@ fn delayed_updates_cost_little_on_real_workload() {
     let cfg = PredictorConfig::paper(15, 7);
     let mut ideal = NextTracePredictor::new(cfg);
     let ideal_stats = evaluate(&mut ideal, &records);
-    let mut engine = DelayedUpdateEngine::new(NextTracePredictor::new(cfg), EngineConfig::default());
+    let mut engine =
+        DelayedUpdateEngine::new(NextTracePredictor::new(cfg), EngineConfig::default());
     let real = engine.run(&records);
     let delta = real.prediction.mispredict_pct() - ideal_stats.mispredict_pct();
     assert!(

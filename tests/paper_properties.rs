@@ -4,8 +4,8 @@
 //! direction each mechanism moves accuracy.
 
 use ntp::core::{
-    evaluate, NextTracePredictor, PredictorConfig, PredictorStats,
-    UnboundedConfig, UnboundedPredictor,
+    evaluate, NextTracePredictor, PredictorConfig, PredictorStats, UnboundedConfig,
+    UnboundedPredictor,
 };
 use ntp::trace::{run_traces, TraceConfig, TraceRecord};
 use ntp::workloads::{suite, ScalePreset, Workload};
@@ -142,7 +142,10 @@ fn mispredictions_cluster_within_traces() {
     let w = ntp::workloads::by_name("go", ScalePreset::Tiny);
     let mut m = w.machine();
     let mut seq = SequentialTracePredictor::paper();
-    run_traces(&mut m, 50_000_000, TraceConfig::default(), |t| seq.observe(t)).unwrap();
+    run_traces(&mut m, 50_000_000, TraceConfig::default(), |t| {
+        seq.observe(t)
+    })
+    .unwrap();
     let s = seq.stats();
     let independent_bound = s.branches_per_trace() * s.branch_mispredict_pct();
     assert!(

@@ -1,6 +1,10 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the stack.
 
+// Compiled only with `--features proptest`: the proptest dev-dependency
+// is gated so the offline tier-1 build resolves without a registry.
+#![cfg(feature = "proptest")]
+
 use ntp::core::{Counter, CounterSpec, Dolc, PathHistory, ReturnHistoryStack, RhsConfig};
 use ntp::isa::{decode, encode, ControlKind, Instr, Reg};
 use ntp::sim::{ControlEvent, Step};
