@@ -1,0 +1,96 @@
+//! Benchmarks for this PR's two hot-path changes:
+//!
+//! * `dolc_index` — the per-lookup cost of gathering + folding a DOLC
+//!   index from the history register (what the predictor used to do twice
+//!   per record, on predict *and* update) vs the full predict+update step
+//!   with the cached index snapshot (recomputed once per history shift);
+//! * `parallel_replay` — a (stream × depth) replay grid through
+//!   `ntp_runner::map_ordered_with` at 1/2/4/8 threads, against the serial
+//!   map. On a multi-core host the ordered merge should scale nearly
+//!   linearly while returning bit-identical results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntp_core::{evaluate, Dolc, NextTracePredictor, PathHistory, PredictorConfig, TracePredictor};
+use ntp_runner::map_ordered_with;
+use ntp_trace::{HashedId, TraceId, TraceRecord};
+
+/// A deterministic, moderately irregular trace stream.
+fn stream(seed: u32, n: usize) -> Vec<TraceRecord> {
+    let mut x: u32 = seed;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let pc = 0x0040_0000 + ((x >> 8) % 997) * 20;
+            let bits = ((x >> 3) & 0x3F) as u8;
+            let calls = ((x >> 29) == 7) as u8;
+            let ret = (x >> 27) & 7 == 3;
+            TraceRecord::new(TraceId::new(pc, bits, 6), 14, calls, ret, ret)
+        })
+        .collect()
+}
+
+fn bench_dolc_index(c: &mut Criterion) {
+    let records = stream(0x1357_9BDF, 10_000);
+    let mut group = c.benchmark_group("dolc_index");
+    group.throughput(Throughput::Elements(records.len() as u64));
+
+    // The old hot path: gather + fold the full DOLC index from the history
+    // register on every lookup (twice per record: predict, then update).
+    group.bench_function("gather_per_lookup", |b| {
+        let dolc = Dolc::standard(7, 15);
+        let mut h: PathHistory<HashedId> = PathHistory::new(8);
+        b.iter(|| {
+            for r in &records {
+                h.push(r.id().hashed());
+                std::hint::black_box(dolc.index(&h, 15));
+                std::hint::black_box(dolc.index(&h, 15));
+            }
+        });
+    });
+
+    // The new hot path: the full predict+update step, with the index
+    // snapshot refreshed once per history shift and reused by both the
+    // prediction and the update.
+    group.bench_function("cached_predict_update", |b| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
+        b.iter(|| {
+            for r in &records {
+                std::hint::black_box(p.predict());
+                p.update(r);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_parallel_replay(c: &mut Criterion) {
+    // A small replay grid shaped like an experiment section: 4 streams ×
+    // 4 depths, each job a full evaluate() over its stream.
+    let streams: Vec<Vec<TraceRecord>> = (0..4).map(|s| stream(0xACE1_0000 + s, 50_000)).collect();
+    let jobs: Vec<(usize, usize)> = (0..streams.len())
+        .flat_map(|s| [0usize, 2, 5, 7].map(move |d| (s, d)))
+        .collect();
+    let total: u64 = jobs.iter().map(|&(s, _)| streams[s].len() as u64).sum();
+
+    let mut group = c.benchmark_group("parallel_replay");
+    group.throughput(Throughput::Elements(total));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    map_ordered_with(threads, &jobs, |_, &(s, depth)| {
+                        let mut p = NextTracePredictor::new(PredictorConfig::paper(15, depth));
+                        evaluate(&mut p, &streams[s]).mispredict_pct()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dolc_index, bench_parallel_replay);
+criterion_main!(benches);

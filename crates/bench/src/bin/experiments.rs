@@ -26,5 +26,10 @@ fn main() {
     print!("{}", exp::selection_study());
     print!("{}", exp::trace_processor(&data));
     print!("{}", exp::headline(&data));
+    // Per-section replay throughput (stderr: wall-clock derived, so it
+    // must stay out of the deterministic stdout stream).
+    for t in ntp_bench::section_throughput() {
+        eprintln!("[throughput] {}", t.summary_line());
+    }
     ntp_bench::report::emit_from_cli(&data);
 }

@@ -4,12 +4,14 @@
 //! a string, so `experiments` can run everything and the per-figure
 //! binaries can run one.
 
-use crate::{pct, row, BenchData};
+use crate::{pct, record_section_throughput, row, BenchData};
 use ntp_core::{
     evaluate, CounterSpec, Dolc, NextTracePredictor, PredictorConfig, RhsConfig, StoredTarget,
     UnboundedConfig, UnboundedPredictor,
 };
 use ntp_engine::{DelayedUpdateEngine, EngineConfig};
+use ntp_runner::{map_ordered_stats, thread_count};
+use ntp_telemetry::ReplayThroughput;
 
 /// Depths studied throughout the evaluation (0–7, as in §5.2).
 pub const DEPTHS: std::ops::RangeInclusive<usize> = 0..=7;
@@ -18,6 +20,33 @@ pub const DEPTHS: std::ops::RangeInclusive<usize> = 0..=7;
 /// paper's three sizes (the OCR drops the exponents; Table 3's index widths
 /// are 12/15/18).
 pub const TABLE_BITS: [u32; 3] = [12, 15, 18];
+
+/// Fans a section's independent replay jobs out over `NTP_THREADS` scoped
+/// workers, records the section's replay throughput (`records` = predictor
+/// lookups across all jobs), and returns results **in submission order** —
+/// so section text formatted from the result vector is byte-identical at
+/// any thread count.
+fn fan_out<T, R>(label: &str, records: u64, jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let (results, stats) = map_ordered_stats(thread_count(), jobs, |_, job| f(job));
+    record_section_throughput(ReplayThroughput {
+        label: label.to_string(),
+        records,
+        wall: stats.wall,
+        busy: stats.busy,
+        threads: stats.threads,
+    });
+    results
+}
+
+/// Total records replayed when every benchmark is evaluated `per_bench`
+/// times (the usual shape of a section's job grid).
+fn replayed(data: &[BenchData], per_bench: u64) -> u64 {
+    data.iter().map(|d| d.records.len() as u64).sum::<u64>() * per_bench
+}
 
 fn header(title: &str) -> String {
     format!("\n==== {title} ====\n")
@@ -115,6 +144,26 @@ pub fn table3() -> String {
 /// and hybrid+RHS predictors, with the sequential baseline as reference.
 pub fn fig6(data: &[BenchData]) -> String {
     let mut s = header("Figure 6: next trace prediction with unbounded tables (mispredict %)");
+    // One job per (benchmark, depth); each replays the three predictor
+    // variants. Results come back in submission order, so the serial
+    // formatting below is byte-identical at any thread count.
+    let jobs: Vec<(usize, usize)> = (0..data.len())
+        .flat_map(|b| DEPTHS.map(move |depth| (b, depth)))
+        .collect();
+    let per_bench = 3 * DEPTHS.count() as u64;
+    let results = fan_out("fig6", replayed(data, per_bench), &jobs, |&(b, depth)| {
+        let d = &data[b];
+        [
+            UnboundedConfig::correlated_only(depth),
+            UnboundedConfig::hybrid_no_rhs(depth),
+            UnboundedConfig::paper(depth),
+        ]
+        .map(|cfg| {
+            let mut p = UnboundedPredictor::new(cfg);
+            evaluate(&mut p, &d.records).mispredict_pct()
+        })
+    });
+    let mut results = results.into_iter();
     let mut means = [0.0f64; 3];
     for d in data {
         s += &format!(
@@ -130,18 +179,12 @@ pub fn fig6(data: &[BenchData]) -> String {
         ]);
         s.push('\n');
         for depth in DEPTHS {
-            let configs = [
-                UnboundedConfig::correlated_only(depth),
-                UnboundedConfig::hybrid_no_rhs(depth),
-                UnboundedConfig::paper(depth),
-            ];
+            let pcts = results.next().expect("one result per (bench, depth)");
             let mut cells = vec![format!("{depth}")];
-            for (k, cfg) in configs.iter().enumerate() {
-                let mut p = UnboundedPredictor::new(*cfg);
-                let stats = evaluate(&mut p, &d.records);
-                cells.push(pct(stats.mispredict_pct()));
+            for (k, p) in pcts.iter().enumerate() {
+                cells.push(pct(*p));
                 if depth == *DEPTHS.end() {
-                    means[k] += stats.mispredict_pct();
+                    means[k] += *p;
                 }
             }
             s += &row(&cells);
@@ -162,6 +205,19 @@ pub fn fig6(data: &[BenchData]) -> String {
 /// across history depths, with the sequential baseline as reference.
 pub fn fig7(data: &[BenchData]) -> String {
     let mut s = header("Figure 7: next trace prediction with bounded tables (mispredict %)");
+    // One job per (benchmark, depth), replaying the three table sizes.
+    let jobs: Vec<(usize, usize)> = (0..data.len())
+        .flat_map(|b| DEPTHS.map(move |depth| (b, depth)))
+        .collect();
+    let per_bench = TABLE_BITS.len() as u64 * DEPTHS.count() as u64;
+    let results = fan_out("fig7", replayed(data, per_bench), &jobs, |&(b, depth)| {
+        let d = &data[b];
+        TABLE_BITS.map(|bits| {
+            let mut p = NextTracePredictor::new(PredictorConfig::paper(bits, depth));
+            evaluate(&mut p, &d.records).mispredict_pct()
+        })
+    });
+    let mut results = results.into_iter();
     let mut means = vec![0.0f64; TABLE_BITS.len()];
     for d in data {
         s += &format!(
@@ -172,13 +228,12 @@ pub fn fig7(data: &[BenchData]) -> String {
         s += &row(&["depth".into(), "2^12".into(), "2^15".into(), "2^18".into()]);
         s.push('\n');
         for depth in DEPTHS {
+            let pcts = results.next().expect("one result per (bench, depth)");
             let mut cells = vec![format!("{depth}")];
-            for (k, bits) in TABLE_BITS.iter().enumerate() {
-                let mut p = NextTracePredictor::new(PredictorConfig::paper(*bits, depth));
-                let stats = evaluate(&mut p, &d.records);
-                cells.push(pct(stats.mispredict_pct()));
+            for (k, p) in pcts.iter().enumerate() {
+                cells.push(pct(*p));
                 if depth == *DEPTHS.end() {
-                    means[k] += stats.mispredict_pct();
+                    means[k] += *p;
                 }
             }
             s += &row(&cells);
@@ -206,19 +261,22 @@ pub fn table4(data: &[BenchData]) -> String {
         "IPC".into(),
     ]);
     s.push('\n');
-    for d in data {
+    // One job per benchmark: ideal replay plus the delayed-update engine.
+    let results = fan_out("table4", replayed(data, 2), data, |d| {
         let cfg = PredictorConfig::paper(15, 7);
         let mut ideal = NextTracePredictor::new(cfg);
         let ideal_stats = evaluate(&mut ideal, &d.records);
         let mut engine =
             DelayedUpdateEngine::new(NextTracePredictor::new(cfg), EngineConfig::default());
         let real = engine.run(&d.records);
-        s += &row(&[
-            d.name.into(),
-            pct(ideal_stats.mispredict_pct()),
-            pct(real.prediction.mispredict_pct()),
-            format!("{:.2}", real.ipc()),
-        ]);
+        (
+            ideal_stats.mispredict_pct(),
+            real.prediction.mispredict_pct(),
+            real.ipc(),
+        )
+    });
+    for (d, (ideal, real, ipc)) in data.iter().zip(results) {
+        s += &row(&[d.name.into(), pct(ideal), pct(real), format!("{ipc:.2}")]);
         s.push('\n');
     }
     s
@@ -228,6 +286,20 @@ pub fn table4(data: &[BenchData]) -> String {
 /// the rate at which both primary and alternate miss, per depth.
 pub fn fig8(data: &[BenchData]) -> String {
     let mut s = header("Figure 8: alternate trace prediction, 2^15 entries (mispredict %)");
+    let jobs: Vec<(usize, usize)> = (0..data.len())
+        .flat_map(|b| DEPTHS.map(move |depth| (b, depth)))
+        .collect();
+    let per_bench = DEPTHS.count() as u64;
+    let results = fan_out("fig8", replayed(data, per_bench), &jobs, |&(b, depth)| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper_with_alternate(15, depth));
+        let stats = evaluate(&mut p, &data[b].records);
+        (
+            stats.mispredict_pct(),
+            stats.both_mispredict_pct(),
+            stats.alternate_rescue_fraction(),
+        )
+    });
+    let mut results = results.into_iter();
     for d in data {
         s += &format!("-- {}\n", d.name);
         s += &row(&[
@@ -238,13 +310,12 @@ pub fn fig8(data: &[BenchData]) -> String {
         ]);
         s.push('\n');
         for depth in DEPTHS {
-            let mut p = NextTracePredictor::new(PredictorConfig::paper_with_alternate(15, depth));
-            let stats = evaluate(&mut p, &d.records);
+            let (primary, both, rescued) = results.next().expect("one result per (bench, depth)");
             s += &row(&[
                 format!("{depth}"),
-                pct(stats.mispredict_pct()),
-                pct(stats.both_mispredict_pct()),
-                format!("{:.0}%", 100.0 * stats.alternate_rescue_fraction()),
+                pct(primary),
+                pct(both),
+                format!("{:.0}%", 100.0 * rescued),
             ]);
             s.push('\n');
         }
@@ -270,16 +341,16 @@ pub fn cost_reduced(data: &[BenchData]) -> String {
     );
     s += &row(&["bench".into(), "full%".into(), "hashed%".into()]);
     s.push('\n');
-    for d in data {
+    // One job per benchmark: full-target and hashed-target replays.
+    let results = fan_out("cost_reduced", replayed(data, 2), data, |d| {
         let mut full = NextTracePredictor::new(full_cfg);
         let mut hashed = NextTracePredictor::new(hashed_cfg);
         let fs = evaluate(&mut full, &d.records);
         let hs = evaluate(&mut hashed, &d.records);
-        s += &row(&[
-            d.name.into(),
-            pct(fs.mispredict_pct()),
-            pct(hs.mispredict_pct()),
-        ]);
+        (fs.mispredict_pct(), hs.mispredict_pct())
+    });
+    for (d, (fs, hs)) in data.iter().zip(results) {
+        s += &row(&[d.name.into(), pct(fs), pct(hs)]);
         s.push('\n');
     }
     s
@@ -296,85 +367,108 @@ pub fn ablations(data: &[BenchData]) -> String {
     let base = PredictorConfig::paper(15, 7);
     let mut s = header("Ablations (2^15 entries, depth 7; cc and go)");
 
-    let run = |cfg: PredictorConfig, d: &BenchData| {
-        let mut p = NextTracePredictor::new(cfg);
-        evaluate(&mut p, &d.records).mispredict_pct()
-    };
-
-    s += "-- correlating-counter policy\n";
-    for (label, ctr) in [
-        ("inc1/dec2 (paper)", CounterSpec::PRIMARY),
-        ("2-bit classic", CounterSpec::TWO_BIT),
-        ("1-bit", CounterSpec::ONE_BIT),
-    ] {
-        let mut cells = vec![label.to_string()];
-        for d in &stressed {
-            cells.push(pct(run(
+    // Declarative form of the five ablation blocks: (block title, rows of
+    // (label, config)). Built once, fanned out as a flat row × benchmark
+    // grid, then formatted serially in the same order.
+    let mut blocks: Vec<(&str, Vec<(String, PredictorConfig)>)> = Vec::new();
+    blocks.push((
+        "-- correlating-counter policy",
+        [
+            ("inc1/dec2 (paper)", CounterSpec::PRIMARY),
+            ("2-bit classic", CounterSpec::TWO_BIT),
+            ("1-bit", CounterSpec::ONE_BIT),
+        ]
+        .map(|(label, ctr)| {
+            (
+                label.to_string(),
                 PredictorConfig {
                     primary_counter: ctr,
                     ..base
                 },
-                d,
-            )));
-        }
-        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
-    }
-
-    s += "-- tag width (bits)\n";
-    for tag_bits in [0u32, 4, 8, 10, 16] {
-        let mut cells = vec![format!("tag={tag_bits}")];
-        for d in &stressed {
-            cells.push(pct(run(PredictorConfig { tag_bits, ..base }, d)));
-        }
-        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
-    }
-
-    s += "-- return history stack\n";
-    for (label, rhs) in [
-        ("RHS off", None),
-        ("RHS depth 1", Some(RhsConfig { max_depth: 1 })),
-        ("RHS depth 4", Some(RhsConfig { max_depth: 4 })),
-        ("RHS depth 16", Some(RhsConfig { max_depth: 16 })),
-    ] {
-        let mut cells = vec![label.to_string()];
-        for d in &stressed {
-            cells.push(pct(run(PredictorConfig { rhs, ..base }, d)));
-        }
-        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
-    }
-
-    s += "-- secondary table size (log2 entries)\n";
-    for bits in [8u32, 11, 14, 16] {
-        let mut cells = vec![format!("secondary=2^{bits}")];
-        for d in &stressed {
-            cells.push(pct(run(
-                PredictorConfig {
-                    secondary_index_bits: bits,
-                    ..base
-                },
-                d,
-            )));
-        }
-        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
-    }
-
-    s += "-- secondary counter decrement (4-bit counter)\n";
-    for dec in [1u8, 4, 8, 15] {
-        let mut cells = vec![format!("dec={dec}")];
-        for d in &stressed {
-            cells.push(pct(run(
-                PredictorConfig {
-                    secondary_counter: CounterSpec {
-                        bits: 4,
-                        inc: 1,
-                        dec,
+            )
+        })
+        .into(),
+    ));
+    blocks.push((
+        "-- tag width (bits)",
+        [0u32, 4, 8, 10, 16]
+            .map(|tag_bits| {
+                (
+                    format!("tag={tag_bits}"),
+                    PredictorConfig { tag_bits, ..base },
+                )
+            })
+            .into(),
+    ));
+    blocks.push((
+        "-- return history stack",
+        [
+            ("RHS off", None),
+            ("RHS depth 1", Some(RhsConfig { max_depth: 1 })),
+            ("RHS depth 4", Some(RhsConfig { max_depth: 4 })),
+            ("RHS depth 16", Some(RhsConfig { max_depth: 16 })),
+        ]
+        .map(|(label, rhs)| (label.to_string(), PredictorConfig { rhs, ..base }))
+        .into(),
+    ));
+    blocks.push((
+        "-- secondary table size (log2 entries)",
+        [8u32, 11, 14, 16]
+            .map(|bits| {
+                (
+                    format!("secondary=2^{bits}"),
+                    PredictorConfig {
+                        secondary_index_bits: bits,
+                        ..base
                     },
-                    ..base
-                },
-                d,
-            )));
+                )
+            })
+            .into(),
+    ));
+    blocks.push((
+        "-- secondary counter decrement (4-bit counter)",
+        [1u8, 4, 8, 15]
+            .map(|dec| {
+                (
+                    format!("dec={dec}"),
+                    PredictorConfig {
+                        secondary_counter: CounterSpec {
+                            bits: 4,
+                            inc: 1,
+                            dec,
+                        },
+                        ..base
+                    },
+                )
+            })
+            .into(),
+    ));
+
+    // Flat job grid: every (row config, stressed benchmark) pair.
+    let jobs: Vec<(PredictorConfig, usize)> = blocks
+        .iter()
+        .flat_map(|(_, rows)| rows.iter().map(|(_, cfg)| *cfg))
+        .flat_map(|cfg| (0..stressed.len()).map(move |b| (cfg, b)))
+        .collect();
+    let records: u64 = jobs
+        .iter()
+        .map(|&(_, b)| stressed[b].records.len() as u64)
+        .sum();
+    let results = fan_out("ablations", records, &jobs, |&(cfg, b)| {
+        let mut p = NextTracePredictor::new(cfg);
+        evaluate(&mut p, &stressed[b].records).mispredict_pct()
+    });
+    let mut results = results.into_iter();
+
+    for (title, rows) in &blocks {
+        s += title;
+        s.push('\n');
+        for (label, _) in rows {
+            let cells: Vec<String> = (0..stressed.len())
+                .map(|_| pct(results.next().expect("one result per (row, bench)")))
+                .collect();
+            s += &format!("{label:<20}{}\n", row(&cells));
         }
-        s += &format!("{:<20}{}\n", cells[0], row(&cells[1..]));
     }
     s
 }
@@ -394,19 +488,27 @@ pub fn confidence(data: &[BenchData]) -> String {
         "caught%".into(),
     ]);
     s.push('\n');
-    for d in data {
+    let results = fan_out("confidence", replayed(data, 1), data, |d| {
         let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
         let mut est = ConfidenceEstimator::new(ConfidenceConfig {
             threshold: 8,
             ..ConfidenceConfig::paper_like()
         });
         let stats = evaluate_with_confidence(&mut p, &mut est, &d.records);
+        (
+            stats.coverage(),
+            stats.high_mispredict_pct(),
+            stats.low_mispredict_pct(),
+            stats.mispredictions_caught(),
+        )
+    });
+    for (d, (cover, hi, lo, caught)) in data.iter().zip(results) {
         s += &row(&[
             d.name.into(),
-            pct(100.0 * stats.coverage()),
-            pct(stats.high_mispredict_pct()),
-            pct(stats.low_mispredict_pct()),
-            pct(100.0 * stats.mispredictions_caught()),
+            pct(100.0 * cover),
+            pct(hi),
+            pct(lo),
+            pct(100.0 * caught),
         ]);
         s.push('\n');
     }
@@ -417,14 +519,21 @@ pub fn confidence(data: &[BenchData]) -> String {
 /// paper predictor vs the idealized sequential baseline.
 pub fn headline(data: &[BenchData]) -> String {
     let mut s = header("Headline: paper predictor vs idealized sequential baseline");
+    let jobs: Vec<(usize, usize)> = (0..data.len())
+        .flat_map(|b| (0..TABLE_BITS.len()).map(move |k| (b, k)))
+        .collect();
+    let per_bench = TABLE_BITS.len() as u64;
+    let results = fan_out("headline", replayed(data, per_bench), &jobs, |&(b, k)| {
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(TABLE_BITS[k], 7));
+        evaluate(&mut p, &data[b].records).mispredict_pct()
+    });
     let mut seq_mean = 0.0;
     let mut ours = vec![0.0f64; TABLE_BITS.len()];
     for d in data {
         seq_mean += d.seq_stats.trace_mispredict_pct();
-        for (k, bits) in TABLE_BITS.iter().enumerate() {
-            let mut p = NextTracePredictor::new(PredictorConfig::paper(*bits, 7));
-            ours[k] += evaluate(&mut p, &d.records).mispredict_pct();
-        }
+    }
+    for (&(_, k), m) in jobs.iter().zip(results) {
+        ours[k] += m;
     }
     let n = data.len() as f64;
     seq_mean /= n;
@@ -477,26 +586,47 @@ pub fn selection_study() -> String {
     ];
 
     let mut s = header("Extension: trace selection vs predictability (2^15, depth 7)");
-    for name in ["cc", "go", "xlisp"] {
-        let w = by_name(name, scale);
+    let names = ["cc", "go", "xlisp"];
+    // One job per (benchmark, policy); each re-simulates under the policy
+    // and replays the captured stream. Record counts are only known after
+    // capture, so throughput is recorded from the jobs' own tallies.
+    let jobs: Vec<(usize, usize)> = (0..names.len())
+        .flat_map(|n| (0..policies.len()).map(move |p| (n, p)))
+        .collect();
+    let (results, stats) = map_ordered_stats(thread_count(), &jobs, |_, &(n, p)| {
+        let w = by_name(names[n], scale);
+        let d = capture_with(&w, budget, policies[p].1);
+        let mut pred = NextTracePredictor::new(PredictorConfig::paper(15, 7));
+        let pstats = evaluate(&mut pred, &d.records);
+        let fetch_rate = d.trace_stats.avg_trace_len() * (1.0 - pstats.mispredict_pct() / 100.0);
+        (
+            d.trace_stats.avg_trace_len(),
+            d.trace_stats.static_traces(),
+            d.redundancy.duplication_factor(),
+            pstats.mispredict_pct(),
+            fetch_rate,
+            d.records.len() as u64,
+        )
+    });
+    record_section_throughput(ReplayThroughput {
+        label: "selection_study".to_string(),
+        records: results.iter().map(|r| r.5).sum(),
+        wall: stats.wall,
+        busy: stats.busy,
+        threads: stats.threads,
+    });
+    let mut results = results.into_iter();
+    for name in names {
         s += &format!("-- {name}\n");
         s += &format!(
             "{:<22}{:>9}{:>9}{:>7}{:>9}{:>11}\n",
             "policy", "avg-len", "static", "dup", "mis%", "fetch-rate"
         );
-        for (label, cfg) in policies {
-            let d = capture_with(&w, budget, cfg);
-            let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
-            let stats = evaluate(&mut p, &d.records);
-            let fetch_rate = d.trace_stats.avg_trace_len() * (1.0 - stats.mispredict_pct() / 100.0);
+        for (label, _) in &policies {
+            let (avg_len, static_traces, dup, mis, fetch_rate, _) =
+                results.next().expect("one result per (bench, policy)");
             s += &format!(
-                "{:<22}{:>9.1}{:>9}{:>7.2}{:>9.2}{:>11.2}\n",
-                label,
-                d.trace_stats.avg_trace_len(),
-                d.trace_stats.static_traces(),
-                d.redundancy.duplication_factor(),
-                stats.mispredict_pct(),
-                fetch_rate
+                "{label:<22}{avg_len:>9.1}{static_traces:>9}{dup:>7.2}{mis:>9.2}{fetch_rate:>11.2}\n",
             );
         }
     }
@@ -516,17 +646,22 @@ pub fn trace_processor(data: &[BenchData]) -> String {
         "d7 mis%".into(),
     ]);
     s.push('\n');
-    for d in data {
-        let mut cells = vec![d.name.to_string()];
-        let mut mis = Vec::new();
-        for depth in [0usize, 7] {
+    let results = fan_out("trace_processor", replayed(data, 2), data, |d| {
+        [0usize, 7].map(|depth| {
             let mut tp = TraceProcessor::new(
                 NextTracePredictor::new(PredictorConfig::paper(15, depth)),
                 TraceProcessorConfig::default(),
             );
             let stats = tp.run(&d.records);
-            cells.push(format!("{:.2}", stats.ipc()));
-            mis.push(pct(stats.mispredict_pct()));
+            (stats.ipc(), stats.mispredict_pct())
+        })
+    });
+    for (d, depth_stats) in data.iter().zip(results) {
+        let mut cells = vec![d.name.to_string()];
+        let mut mis = Vec::new();
+        for (ipc, mispct) in depth_stats {
+            cells.push(format!("{ipc:.2}"));
+            mis.push(pct(mispct));
         }
         cells.extend(mis);
         s += &row(&cells);

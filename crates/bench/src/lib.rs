@@ -9,7 +9,10 @@
 //! Environment knobs honoured by all binaries:
 //!
 //! * `NTP_SCALE` — `tiny` / `default` / `full` workload scale;
-//! * `NTP_INSTR_BUDGET` — hard cap on simulated instructions per benchmark.
+//! * `NTP_INSTR_BUDGET` — hard cap on simulated instructions per benchmark;
+//! * `NTP_THREADS` — worker threads for capture and replay fan-out
+//!   (default: available parallelism; `1` forces the serial path). Output
+//!   is byte-identical at any thread count.
 
 #![warn(missing_docs)]
 
@@ -19,9 +22,10 @@ pub mod report;
 use ntp_baselines::{
     MultiBranchStats, MultiGAg, SequentialStats, SequentialTracePredictor, TraceGshare,
 };
-use ntp_telemetry::{PhaseTimes, ScopeTimer};
+use ntp_telemetry::{PhaseTimes, ReplayThroughput, ScopeTimer};
 use ntp_trace::{ControlMix, RedundancyStats, TraceBuilder, TraceConfig, TraceRecord, TraceStats};
 use ntp_workloads::{suite, ScalePreset, Workload};
+use std::sync::Mutex;
 
 /// Everything one simulation pass learns about a benchmark.
 pub struct BenchData {
@@ -133,27 +137,81 @@ pub fn scale_from_env() -> ScalePreset {
 }
 
 /// Reads `NTP_INSTR_BUDGET` (default: 200M, far above any preset's needs).
+///
+/// # Panics
+///
+/// Panics with a clear message on an unparsable value (a typo'd budget
+/// must never silently fall back to the default).
 pub fn budget_from_env() -> u64 {
-    std::env::var("NTP_INSTR_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000_000)
+    ntp_runner::parse_env("NTP_INSTR_BUDGET").unwrap_or(200_000_000)
+}
+
+/// Per-section replay-throughput samples recorded by [`capture_suite`] and
+/// the parallelised sections in [`exp`] (all wall-clock derived, hence
+/// volatile).
+static SECTION_THROUGHPUT: Mutex<Vec<ReplayThroughput>> = Mutex::new(Vec::new());
+
+/// Records one section's replay throughput for later reporting.
+pub(crate) fn record_section_throughput(t: ReplayThroughput) {
+    SECTION_THROUGHPUT
+        .lock()
+        .expect("throughput registry lock")
+        .push(t);
+}
+
+/// Snapshot of every per-section throughput sample recorded so far in this
+/// process (capture pass plus each experiment section), in recording
+/// order. Wall-clock derived, so reports must keep it under a volatile
+/// key.
+pub fn section_throughput() -> Vec<ReplayThroughput> {
+    SECTION_THROUGHPUT
+        .lock()
+        .expect("throughput registry lock")
+        .clone()
 }
 
 /// Captures the whole six-benchmark suite at the environment-selected
-/// scale.
+/// scale, fanning benchmarks out over `NTP_THREADS` workers.
+///
+/// Worker progress goes through the ordered [`ntp_runner::progress`]
+/// reporter: `[capture]` start lines print as workers claim benchmarks
+/// (whole lines, never interleaved), and the `[phase]` summaries are
+/// emitted strictly in suite order, so multi-run logs stay comparable.
+/// The returned data is in suite order regardless of thread count.
 pub fn capture_suite() -> Vec<BenchData> {
     let scale = scale_from_env();
     let budget = budget_from_env();
-    suite(scale)
-        .iter()
-        .map(|w| {
-            eprintln!("[capture] simulating {} …", w.name);
-            let d = capture(w, budget);
-            eprintln!("[phase] {}: {}", d.name, d.phases.summary_line());
-            d
-        })
-        .collect()
+    let workloads = suite(scale);
+    let reporter = ntp_runner::progress();
+    reporter.reset_order();
+    let threads = ntp_runner::thread_count();
+    let (data, stats) = ntp_runner::map_ordered_stats(threads, &workloads, |i, w| {
+        reporter.line(&format!("[capture] simulating {} …", w.name));
+        let d = capture(w, budget);
+        reporter.submit(
+            i,
+            format!("[phase] {}: {}", d.name, d.phases.summary_line()),
+        );
+        d
+    });
+    let instrs: u64 = data.iter().map(|d| d.icount).sum();
+    let sample = ReplayThroughput {
+        label: "capture".to_string(),
+        records: data.iter().map(|d| d.records.len() as u64).sum(),
+        wall: stats.wall,
+        busy: stats.busy,
+        threads: stats.threads,
+    };
+    reporter.line(&format!(
+        "[capture] suite done: {:.1} Minstr in {:.2} s ({:.2}x over serial, {} thread{})",
+        instrs as f64 / 1e6,
+        stats.wall.as_secs_f64(),
+        stats.speedup(),
+        stats.threads,
+        if stats.threads == 1 { "" } else { "s" },
+    ));
+    record_section_throughput(sample);
+    data
 }
 
 /// Prints a row of cells: first column left-aligned 10 wide, the rest

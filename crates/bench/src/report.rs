@@ -109,6 +109,10 @@ pub fn bench_report(d: &BenchData) -> Report {
     // determinism checks alongside phases_ms.
     let simulate = report.phases().get("simulate");
     let replay = report.phases().get("replay");
+    let mut sections = Json::object();
+    for t in crate::section_throughput() {
+        sections = sections.with(&t.label, t.to_json());
+    }
     report.section(
         "throughput",
         Json::object()
@@ -119,7 +123,9 @@ pub fn bench_report(d: &BenchData) -> Report {
             .with(
                 "replay_traces_per_sec",
                 Json::F64(per_second(d.records.len() as u64, replay)),
-            ),
+            )
+            .with("threads", Json::U64(ntp_runner::thread_count() as u64))
+            .with("sections", sections),
     );
     report
 }

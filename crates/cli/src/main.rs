@@ -266,20 +266,50 @@ fn build_report(spec: &str, budget: u64, bits: u32, depth: usize) -> Result<Repo
     report.section("trace_stats", stats.to_json());
 
     let cfg = PredictorConfig::paper(bits, depth);
-    let mut predictor = NextTracePredictor::new(cfg);
-    let (pstats, streaks) = {
-        let _t = ScopeTimer::new(report.phases_mut(), "replay");
-        evaluate_with_sink(&mut predictor, &records, &mut NullSink)
-    };
-    report.section("predictor", predictor_section(&predictor, &pstats));
-    report.section("mispredict_streaks", streaks.to_json());
 
-    let engine_stats = {
-        let _t = ScopeTimer::new(report.phases_mut(), "engine");
-        DelayedUpdateEngine::new(NextTracePredictor::new(cfg), EngineConfig::default())
-            .run(&records)
-    };
-    report.section("engine", engine_stats.to_json());
+    // The predictor replay and the delayed-update engine are independent
+    // passes over the same captured records, so fan them out over the
+    // `NTP_THREADS` worker pool. Results come back in submission order, so
+    // section order, phase names, and all numbers are identical at any
+    // thread count; only the wall-clock phase durations vary.
+    enum Pass {
+        Replay(
+            Box<(
+                NextTracePredictor,
+                ntp_core::PredictorStats,
+                ntp_telemetry::Histogram,
+            )>,
+        ),
+        Engine(ntp_engine::EngineStats),
+    }
+    let passes = ntp_runner::map_ordered(&[0usize, 1], |_, &k| {
+        let t0 = std::time::Instant::now();
+        let pass = if k == 0 {
+            let mut predictor = NextTracePredictor::new(cfg);
+            let (pstats, streaks) = evaluate_with_sink(&mut predictor, &records, &mut NullSink);
+            Pass::Replay(Box::new((predictor, pstats, streaks)))
+        } else {
+            Pass::Engine(
+                DelayedUpdateEngine::new(NextTracePredictor::new(cfg), EngineConfig::default())
+                    .run(&records),
+            )
+        };
+        (pass, t0.elapsed())
+    });
+    for (pass, dur) in passes {
+        match pass {
+            Pass::Replay(boxed) => {
+                let (predictor, pstats, streaks) = *boxed;
+                report.phases_mut().add("replay", dur);
+                report.section("predictor", predictor_section(&predictor, &pstats));
+                report.section("mispredict_streaks", streaks.to_json());
+            }
+            Pass::Engine(stats) => {
+                report.phases_mut().add("engine", dur);
+                report.section("engine", stats.to_json());
+            }
+        }
+    }
     Ok(report)
 }
 

@@ -79,10 +79,23 @@ impl<T: Copy> PathHistory<T> {
         self.entries.iter()
     }
 
-    /// Snapshot of the whole register, newest first (used by the return
-    /// history stack and by speculative checkpointing).
+    /// Snapshot of the whole register, newest first (used by speculative
+    /// checkpointing; the return history stack uses the allocation-free
+    /// [`PathHistory::copy_into`] instead).
     pub fn snapshot(&self) -> Vec<T> {
         self.entries.iter().copied().collect()
+    }
+
+    /// Copies the register (newest first) into `buf` without allocating,
+    /// returning how many identifiers were written. If `buf` is shorter
+    /// than the register, only the newest `buf.len()` identifiers are
+    /// copied.
+    pub fn copy_into(&self, buf: &mut [T]) -> usize {
+        let n = self.entries.len().min(buf.len());
+        for (slot, id) in buf.iter_mut().zip(self.entries.iter()) {
+            *slot = *id;
+        }
+        n
     }
 
     /// Restores a snapshot taken with [`PathHistory::snapshot`].
@@ -102,10 +115,12 @@ impl<T: Copy> PathHistory<T> {
     /// This is the return-history-stack merge of §3.4: after a return, the
     /// history should reflect the path *before* the call plus the last one
     /// or two traces inside the subroutine.
+    /// (Allocation-free: this runs once per returning trace on the replay
+    /// hot path.)
     pub fn merge_after_return(&mut self, keep: usize, saved: &[T]) {
-        let kept: Vec<T> = self.entries.iter().take(keep).copied().collect();
-        self.entries.clear();
-        self.entries.extend(kept);
+        // `VecDeque::truncate` keeps the *front* elements, which are the
+        // newest identifiers.
+        self.entries.truncate(keep);
         for &s in saved {
             if self.entries.len() == self.cap {
                 break;
@@ -175,5 +190,22 @@ mod tests {
     #[should_panic]
     fn zero_capacity_panics() {
         let _: PathHistory<u16> = PathHistory::new(0);
+    }
+
+    #[test]
+    fn copy_into_matches_snapshot_and_truncates() {
+        let mut h: PathHistory<u16> = PathHistory::new(4);
+        for v in [1u16, 2, 3] {
+            h.push(v);
+        }
+        let mut buf = [0u16; 8];
+        let n = h.copy_into(&mut buf);
+        assert_eq!(n, 3);
+        assert_eq!(&buf[..n], h.snapshot().as_slice());
+
+        let mut short = [0u16; 2];
+        let n = h.copy_into(&mut short);
+        assert_eq!(n, 2);
+        assert_eq!(short, [3, 2], "newest two survive a short buffer");
     }
 }

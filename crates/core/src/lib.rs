@@ -62,7 +62,7 @@ pub use prediction::{Prediction, Source, Target, TracePredictor};
 pub use predictor::{
     AliasingCounters, Checkpoint, IndexSnapshot, NextTracePredictor, TableOccupancy,
 };
-pub use rhs::{ReturnHistoryStack, RhsConfig};
+pub use rhs::{ReturnHistoryStack, RhsConfig, RHS_SNAPSHOT_CAP};
 pub use stats::{evaluate, PredictorStats};
 pub use telemetry::{evaluate_with_sink, predictor_section};
 pub use unbounded::{UnboundedConfig, UnboundedPredictor};

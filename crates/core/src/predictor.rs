@@ -43,7 +43,7 @@ struct SecEntry {
 /// possibly-repaired history) models that. Immediate-update callers never
 /// see this type — [`TracePredictor::update`] captures and consumes one
 /// internally.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct IndexSnapshot {
     corr_index: u32,
     tag: u16,
@@ -132,6 +132,12 @@ pub struct NextTracePredictor {
     corr: Vec<CorrEntry>,
     sec: Vec<SecEntry>,
     aliasing: AliasingCounters,
+    /// Table indexes implied by the current history, recomputed once per
+    /// history change (push/merge/restore) instead of re-gathering the
+    /// `depth + 1` identifiers on every [`TracePredictor::predict`] *and*
+    /// [`TracePredictor::update`] — the incremental DOLC hot-path
+    /// optimisation.
+    cached_idx: IndexSnapshot,
 }
 
 impl NextTracePredictor {
@@ -143,14 +149,17 @@ impl NextTracePredictor {
     /// [`PredictorConfig::validate`]).
     pub fn new(cfg: PredictorConfig) -> NextTracePredictor {
         cfg.validate();
-        NextTracePredictor {
+        let mut p = NextTracePredictor {
             history: PathHistory::new(cfg.history_capacity()),
             rhs: cfg.rhs.map(ReturnHistoryStack::new),
             corr: vec![CorrEntry::default(); cfg.corr_entries()],
             sec: vec![SecEntry::default(); cfg.secondary_entries()],
             aliasing: AliasingCounters::default(),
             cfg,
-        }
+            cached_idx: IndexSnapshot::default(),
+        };
+        p.refresh_indices();
+        p
     }
 
     /// The configuration in force.
@@ -174,15 +183,26 @@ impl NextTracePredictor {
         }
     }
 
-    /// Captures the table indexes implied by the current history.
+    /// The table indexes implied by the current history.
+    ///
+    /// This is a cached copy maintained across history changes: the
+    /// gather-and-XOR-fold of [`Dolc::index`](crate::Dolc::index) runs once
+    /// per retired trace, at push time, rather than once per `predict`
+    /// *and* once per `update`.
     pub fn indices(&self) -> IndexSnapshot {
+        self.cached_idx
+    }
+
+    /// Recomputes [`NextTracePredictor::indices`] from the history
+    /// register; called after every history mutation.
+    fn refresh_indices(&mut self) {
         let corr_index = self.cfg.dolc.index(&self.history, self.cfg.index_bits);
         let newest = self.history.newest().unwrap_or_default();
-        IndexSnapshot {
+        self.cached_idx = IndexSnapshot {
             corr_index,
             tag: newest.low_bits(self.cfg.tag_bits) as u16,
             sec_index: newest.low_bits(self.cfg.secondary_index_bits),
-        }
+        };
     }
 
     /// Predicts using previously captured indexes (the engine's read port).
@@ -300,6 +320,7 @@ impl NextTracePredictor {
         if let Some(rhs) = &mut self.rhs {
             rhs.on_trace(&mut self.history, calls, ends_in_return);
         }
+        self.refresh_indices();
     }
 
     /// Captures the speculative front-end state.
@@ -316,6 +337,7 @@ impl NextTracePredictor {
         if let (Some(rhs), Some(saved)) = (&mut self.rhs, &cp.rhs) {
             rhs.restore(saved.clone());
         }
+        self.refresh_indices();
     }
 
     /// Read access to the path history (for tests and diagnostics).
@@ -360,6 +382,7 @@ impl TracePredictor for NextTracePredictor {
         self.corr.fill(CorrEntry::default());
         self.sec.fill(SecEntry::default());
         self.aliasing = AliasingCounters::default();
+        self.refresh_indices();
     }
 
     fn history_len(&self) -> usize {
@@ -630,6 +653,56 @@ mod tests {
         p.reset();
         assert_eq!(p.aliasing(), AliasingCounters::default());
         assert_eq!(p.occupancy().corr_valid, 0);
+    }
+
+    #[test]
+    fn cached_indices_always_match_recomputation() {
+        // The hot path serves `indices()` from a cache refreshed at history
+        // pushes; it must stay bit-identical to recomputing from scratch,
+        // including across RHS pushes/merges and checkpoint restores.
+        let mut p = NextTracePredictor::new(PredictorConfig::paper(15, 7));
+        let expect = |p: &NextTracePredictor| {
+            let cfg = p.config();
+            let newest = p.history().newest().unwrap_or_default();
+            IndexSnapshot {
+                corr_index: cfg.dolc.index(p.history(), cfg.index_bits),
+                tag: newest.low_bits(cfg.tag_bits) as u16,
+                sec_index: newest.low_bits(cfg.secondary_index_bits),
+            }
+        };
+        assert_eq!(p.indices(), expect(&p), "fresh predictor");
+
+        let mut seed = 0x2545F491u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let mut cp = p.checkpoint();
+        for k in 0..400 {
+            let r = rng();
+            let calls = (r & 3) as u8 % 3;
+            let ret = r & 4 != 0;
+            let rec = TraceRecord::new(
+                TraceId::new(0x0040_0000 + (r % 97) * 0x40, (r >> 8) as u8 & 0b11, 2),
+                8,
+                calls,
+                ret,
+                ret,
+            );
+            p.update(&rec);
+            assert_eq!(p.indices(), expect(&p), "step {k}");
+            if k % 67 == 0 {
+                cp = p.checkpoint();
+            }
+            if k % 131 == 130 {
+                p.restore(&cp);
+                assert_eq!(p.indices(), expect(&p), "after restore at {k}");
+            }
+        }
+        p.reset();
+        assert_eq!(p.indices(), expect(&p), "after reset");
     }
 
     #[test]

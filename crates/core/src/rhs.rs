@@ -23,17 +23,54 @@ impl Default for RhsConfig {
     }
 }
 
+/// Maximum history-register capacity an inline RHS snapshot can hold.
+///
+/// Both predictors cap the register at `depth + 1 <= 8`; 16 leaves slack
+/// for experimental configurations while keeping snapshots `Copy` and the
+/// call/return hot path allocation-free.
+pub const RHS_SNAPSHOT_CAP: usize = 16;
+
+/// An inline (stack-allocated) path-history snapshot: the newest
+/// [`RHS_SNAPSHOT_CAP`] identifiers plus a length. Copying one is a
+/// fixed-size memcpy, so pushing at a call site never touches the heap.
+#[derive(Copy, Clone, Debug)]
+struct InlineSnapshot<T> {
+    buf: [T; RHS_SNAPSHOT_CAP],
+    len: u8,
+}
+
+impl<T: Copy + Default> InlineSnapshot<T> {
+    fn capture(history: &PathHistory<T>) -> InlineSnapshot<T> {
+        debug_assert!(
+            history.capacity() <= RHS_SNAPSHOT_CAP,
+            "history capacity {} exceeds the inline RHS snapshot ({RHS_SNAPSHOT_CAP})",
+            history.capacity()
+        );
+        let mut buf = [T::default(); RHS_SNAPSHOT_CAP];
+        let len = history.copy_into(&mut buf) as u8;
+        InlineSnapshot { buf, len }
+    }
+
+    fn as_slice(&self) -> &[T] {
+        &self.buf[..self.len as usize]
+    }
+}
+
 /// A stack of path-history snapshots pushed at calls and popped at returns.
 ///
 /// Generic over the history element so it serves both the bounded (hashed
-/// IDs) and unbounded (full IDs) predictors.
+/// IDs) and unbounded (full IDs) predictors. Snapshots are stored inline
+/// (fixed [`RHS_SNAPSHOT_CAP`]-element arrays) and the stack itself is
+/// preallocated at `max_depth`, so [`ReturnHistoryStack::on_trace`] — which
+/// runs once per trace on the replay hot path — performs no heap
+/// allocation.
 #[derive(Clone, Debug)]
 pub struct ReturnHistoryStack<T> {
-    stack: Vec<Vec<T>>,
+    stack: Vec<InlineSnapshot<T>>,
     cfg: RhsConfig,
 }
 
-impl<T: Copy> ReturnHistoryStack<T> {
+impl<T: Copy + Default> ReturnHistoryStack<T> {
     /// Creates an empty stack.
     ///
     /// # Panics
@@ -75,31 +112,49 @@ impl<T: Copy> ReturnHistoryStack<T> {
             net_calls -= 1;
         }
         if net_calls >= 1 {
-            let snap = history.snapshot();
+            let snap = InlineSnapshot::capture(history);
             for _ in 0..net_calls {
                 if self.stack.len() == self.cfg.max_depth {
                     // Hardware would overwrite; we drop the *oldest* so the
                     // most recent calls still find their context.
                     self.stack.remove(0);
                 }
-                self.stack.push(snap.clone());
+                self.stack.push(snap); // Copy: no allocation
             }
         } else if net_calls < 0 {
             if let Some(saved) = self.stack.pop() {
                 let keep = Self::keep_for(history.capacity());
-                history.merge_after_return(keep, &saved);
+                history.merge_after_return(keep, saved.as_slice());
             }
         }
     }
 
-    /// Snapshot for speculative checkpointing.
+    /// Snapshot for speculative checkpointing. (Checkpointing is off the
+    /// replay hot path, so the heap-allocated exchange format is fine.)
     pub fn snapshot(&self) -> Vec<Vec<T>> {
-        self.stack.clone()
+        self.stack.iter().map(|s| s.as_slice().to_vec()).collect()
     }
 
     /// Restores a snapshot taken with [`ReturnHistoryStack::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a saved history exceeds [`RHS_SNAPSHOT_CAP`] identifiers.
     pub fn restore(&mut self, snapshot: Vec<Vec<T>>) {
-        self.stack = snapshot;
+        self.stack.clear();
+        for saved in snapshot {
+            assert!(
+                saved.len() <= RHS_SNAPSHOT_CAP,
+                "RHS snapshot of {} ids exceeds the inline capacity {RHS_SNAPSHOT_CAP}",
+                saved.len()
+            );
+            let mut buf = [T::default(); RHS_SNAPSHOT_CAP];
+            buf[..saved.len()].copy_from_slice(&saved);
+            self.stack.push(InlineSnapshot {
+                buf,
+                len: saved.len() as u8,
+            });
+        }
     }
 
     /// Forgets everything.

@@ -1,0 +1,86 @@
+//! Validated environment-variable parsing and the `NTP_THREADS` knob.
+
+use std::str::FromStr;
+
+/// Reads and parses an environment variable, failing fast on malformed
+/// values.
+///
+/// Returns `None` when the variable is unset (callers supply their own
+/// default) and `Some(value)` when it parses. This is the shared helper
+/// behind every numeric `NTP_*` knob (`NTP_THREADS`, `NTP_INSTR_BUDGET`):
+/// a typo'd value must abort with a clear message, never silently fall
+/// back to the default and quietly produce a differently-sized run.
+///
+/// # Panics
+///
+/// Panics with a message naming the variable and the offending value if it
+/// is set but does not parse as `T`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ntp_runner::parse_env::<u64>("NTP_DOCTEST_UNSET"), None);
+/// std::env::set_var("NTP_DOCTEST_SET", "42");
+/// assert_eq!(ntp_runner::parse_env::<u64>("NTP_DOCTEST_SET"), Some(42));
+/// ```
+pub fn parse_env<T: FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!(
+            "{name} must be a {}, got `{raw}` (unset it to use the default)",
+            std::any::type_name::<T>()
+        ),
+    }
+}
+
+/// The worker-pool width: `NTP_THREADS` if set, otherwise the machine's
+/// available parallelism (1 if that cannot be determined).
+///
+/// `NTP_THREADS=1` forces the fully serial path — [`crate::map_ordered`]
+/// then spawns no threads at all, which is also the reference behaviour the
+/// determinism checks compare against.
+///
+/// # Panics
+///
+/// Panics if `NTP_THREADS` is set but malformed or zero.
+pub fn thread_count() -> usize {
+    match parse_env::<usize>("NTP_THREADS") {
+        Some(0) => panic!("NTP_THREADS must be >= 1 (use 1 to force the serial path)"),
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; keep them in one test so they
+    // cannot race each other under the parallel test harness.
+    #[test]
+    fn parse_env_reads_validates_and_defaults() {
+        std::env::remove_var("NTP_RUNNER_TEST_KNOB");
+        assert_eq!(parse_env::<u64>("NTP_RUNNER_TEST_KNOB"), None);
+
+        std::env::set_var("NTP_RUNNER_TEST_KNOB", " 17 ");
+        assert_eq!(parse_env::<u64>("NTP_RUNNER_TEST_KNOB"), Some(17));
+
+        std::env::set_var("NTP_RUNNER_TEST_KNOB", "4threads");
+        let err = std::panic::catch_unwind(|| parse_env::<u64>("NTP_RUNNER_TEST_KNOB"))
+            .expect_err("malformed value must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("NTP_RUNNER_TEST_KNOB") && msg.contains("4threads"),
+            "message names the variable and value: {msg}"
+        );
+        std::env::remove_var("NTP_RUNNER_TEST_KNOB");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ntp-runner — zero-dependency parallel execution for capture/replay
+//!
+//! The evaluation pipeline is embarrassingly parallel at two levels — one
+//! functional-simulation pass per benchmark, then dozens of independent
+//! predictor replays over the same captured streams — but every consumer
+//! needs **byte-identical output at any thread count**. This crate provides
+//! the three pieces that make that cheap:
+//!
+//! * [`map_ordered`] — a scoped-thread worker pool (`std::thread::scope`,
+//!   no external crates): jobs are identified by their index in the input
+//!   slice, workers steal the next index from a shared atomic cursor, and
+//!   results are merged back **in submission order**, so downstream
+//!   formatting is independent of scheduling;
+//! * [`thread_count`] / [`parse_env`] — the `NTP_THREADS` knob (default:
+//!   available parallelism; `NTP_THREADS=1` forces the serial path, which
+//!   spawns no threads at all) with validated, fail-fast env parsing;
+//! * [`Progress`] — a locked/ordered progress reporter so that worker
+//!   log lines never interleave mid-line and per-job summaries appear in
+//!   submission order regardless of completion order.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = ntp_runner::map_ordered(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod env;
+mod pool;
+mod progress;
+
+pub use env::{parse_env, thread_count};
+pub use pool::{map_ordered, map_ordered_stats, map_ordered_with, RunStats};
+pub use progress::{progress, Progress};

@@ -1,0 +1,185 @@
+//! Locked / ordered progress reporting for parallel workers.
+//!
+//! `eprintln!` from several workers is line-atomic on most platforms but
+//! provides no ordering, and multi-line summaries can interleave between
+//! lines. [`Progress`] offers two disciplines:
+//!
+//! * [`Progress::line`] — immediate, whole-line output under one lock
+//!   (never interleaves mid-line; order follows completion);
+//! * [`Progress::submit`] — per-job chunks flushed strictly in job-index
+//!   order: chunk `i` prints only after chunks `0..i`, so multi-line
+//!   summaries read exactly as they do in a serial run.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+
+enum Sink {
+    Stderr,
+    Buffer(Vec<u8>),
+}
+
+struct State {
+    /// Next job index [`Progress::submit`] may flush.
+    next: usize,
+    /// Chunks that arrived out of order, keyed by job index.
+    pending: BTreeMap<usize, String>,
+    sink: Sink,
+}
+
+/// A locked, optionally ordered progress reporter (see module docs).
+pub struct Progress {
+    state: Mutex<State>,
+}
+
+impl Progress {
+    /// A reporter writing to standard error.
+    pub fn stderr() -> Progress {
+        Progress::with_sink(Sink::Stderr)
+    }
+
+    /// A reporter writing to an internal buffer (tests).
+    pub fn buffered() -> Progress {
+        Progress::with_sink(Sink::Buffer(Vec::new()))
+    }
+
+    fn with_sink(sink: Sink) -> Progress {
+        Progress {
+            state: Mutex::new(State {
+                next: 0,
+                pending: BTreeMap::new(),
+                sink,
+            }),
+        }
+    }
+
+    fn write(sink: &mut Sink, text: &str) {
+        match sink {
+            Sink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = err.write_all(text.as_bytes());
+                let _ = err.flush();
+            }
+            Sink::Buffer(buf) => buf.extend_from_slice(text.as_bytes()),
+        }
+    }
+
+    /// Writes one whole line immediately (a trailing newline is added if
+    /// missing). Concurrent callers serialize on the reporter's lock, so
+    /// lines never interleave mid-line.
+    pub fn line(&self, msg: &str) {
+        let mut state = self.state.lock().expect("progress lock");
+        let text = if msg.ends_with('\n') {
+            msg.to_string()
+        } else {
+            format!("{msg}\n")
+        };
+        Self::write(&mut state.sink, &text);
+    }
+
+    /// Submits job `index`'s output chunk for ordered emission: it is
+    /// written once every chunk with a smaller index has been written.
+    /// Chunks may span multiple lines; a trailing newline is added if
+    /// missing. Each index must be submitted exactly once, starting from 0
+    /// per reporter (or per [`Progress::reset_order`] cycle).
+    pub fn submit(&self, index: usize, chunk: String) {
+        let mut state = self.state.lock().expect("progress lock");
+        state.pending.insert(index, chunk);
+        loop {
+            let next = state.next;
+            let Some(chunk) = state.pending.remove(&next) else {
+                break;
+            };
+            let text = if chunk.is_empty() || chunk.ends_with('\n') {
+                chunk
+            } else {
+                format!("{chunk}\n")
+            };
+            Self::write(&mut state.sink, &text);
+            state.next += 1;
+        }
+    }
+
+    /// Resets the ordered-emission cursor to 0 (for reporters reused across
+    /// independent job batches). Any unflushed pending chunks are dropped.
+    pub fn reset_order(&self) {
+        let mut state = self.state.lock().expect("progress lock");
+        state.next = 0;
+        state.pending.clear();
+    }
+
+    /// Drains the buffered output (empty for stderr reporters). Test hook.
+    pub fn take_buffer(&self) -> String {
+        let mut state = self.state.lock().expect("progress lock");
+        match &mut state.sink {
+            Sink::Stderr => String::new(),
+            Sink::Buffer(buf) => String::from_utf8_lossy(&std::mem::take(buf)).into_owned(),
+        }
+    }
+}
+
+/// The process-wide stderr reporter used by the capture/replay pipeline.
+pub fn progress() -> &'static Progress {
+    static GLOBAL: OnceLock<Progress> = OnceLock::new();
+    GLOBAL.get_or_init(Progress::stderr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_flushes_in_index_order() {
+        let p = Progress::buffered();
+        p.submit(2, "third".into());
+        p.submit(0, "first".into());
+        assert_eq!(p.take_buffer(), "first\n");
+        p.submit(1, "second\n".into());
+        assert_eq!(p.take_buffer(), "second\nthird\n");
+    }
+
+    #[test]
+    fn line_is_immediate_and_newline_terminated() {
+        let p = Progress::buffered();
+        p.line("working");
+        p.line("done\n");
+        assert_eq!(p.take_buffer(), "working\ndone\n");
+    }
+
+    #[test]
+    fn reset_order_starts_a_new_batch() {
+        let p = Progress::buffered();
+        p.submit(0, "a".into());
+        p.submit(1, "b".into());
+        p.reset_order();
+        p.submit(0, "c".into());
+        assert_eq!(p.take_buffer(), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn concurrent_lines_never_interleave() {
+        let p = Progress::buffered();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    for k in 0..50 {
+                        p.line(&format!("worker-{t}-msg-{k}"));
+                    }
+                });
+            }
+        });
+        let out = p.take_buffer();
+        assert_eq!(out.lines().count(), 200);
+        for l in out.lines() {
+            assert!(l.starts_with("worker-") && l.contains("-msg-"), "{l}");
+        }
+    }
+
+    #[test]
+    fn global_reporter_is_shared() {
+        let a = progress() as *const Progress;
+        let b = progress() as *const Progress;
+        assert_eq!(a, b);
+    }
+}

@@ -64,7 +64,7 @@ pub use json::Json;
 pub use manifest::RunManifest;
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use report::Report;
-pub use timer::{per_second, timed, PhaseTimes, ScopeTimer};
+pub use timer::{per_second, timed, PhaseTimes, ReplayThroughput, ScopeTimer};
 
 /// Conversion into the telemetry JSON tree. Implemented by every stats
 /// struct in the workspace so a full run can be serialized into one

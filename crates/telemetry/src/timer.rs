@@ -145,6 +145,78 @@ pub fn per_second(count: u64, elapsed: Duration) -> f64 {
     }
 }
 
+/// Replay throughput for one named unit of work (an experiment section, a
+/// capture batch, …): how many records were replayed, over how much wall
+/// time, with how much total worker busy time across how many threads.
+///
+/// `busy >= wall` whenever more than one worker made progress at once; the
+/// ratio `busy / wall` is the *effective speedup* over a serial run of the
+/// same jobs — an upper bound when workers are oversubscribed (more
+/// threads than cores), since `busy` counts thread residency, not CPU
+/// time. All fields are wall-clock derived and therefore
+/// non-deterministic — reports must keep them under a volatile key (the
+/// `"throughput"` section) that determinism checks strip.
+#[derive(Clone, Debug)]
+pub struct ReplayThroughput {
+    /// Section or batch label (e.g. `"table3"`).
+    pub label: String,
+    /// Records replayed (predictor lookups performed).
+    pub records: u64,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Summed busy time across all workers (serial-equivalent time).
+    pub busy: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl ReplayThroughput {
+    /// Records per wall-clock second (0.0 for zero wall time).
+    pub fn records_per_sec(&self) -> f64 {
+        per_second(self.records, self.wall)
+    }
+
+    /// Effective speedup versus a serial run: `busy / wall` (1.0 for zero
+    /// wall time).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / wall
+        }
+    }
+
+    /// One human line:
+    /// `table3: 1.2M records in 0.84 s (1.43M rec/s, 3.6x over serial, 4 threads)`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: {} records in {:.2} s ({:.0} rec/s, {:.2}x over serial, {} thread{})",
+            self.label,
+            self.records,
+            self.wall.as_secs_f64(),
+            self.records_per_sec(),
+            self.speedup(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        )
+    }
+}
+
+impl ToJson for ReplayThroughput {
+    /// `{records, wall_ms, busy_ms, threads, records_per_sec, speedup}`.
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("records".into(), Json::U64(self.records)),
+            ("wall_ms".into(), Json::F64(self.wall.as_secs_f64() * 1e3)),
+            ("busy_ms".into(), Json::F64(self.busy.as_secs_f64() * 1e3)),
+            ("threads".into(), Json::U64(self.threads as u64)),
+            ("records_per_sec".into(), Json::F64(self.records_per_sec())),
+            ("speedup".into(), Json::F64(self.speedup())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +261,44 @@ mod tests {
     fn per_second_guards_zero() {
         assert_eq!(per_second(100, Duration::ZERO), 0.0);
         assert_eq!(per_second(100, Duration::from_secs(2)), 50.0);
+    }
+
+    #[test]
+    fn replay_throughput_math_and_json() {
+        let t = ReplayThroughput {
+            label: "table3".into(),
+            records: 1_000,
+            wall: Duration::from_secs(2),
+            busy: Duration::from_secs(6),
+            threads: 4,
+        };
+        assert_eq!(t.records_per_sec(), 500.0);
+        assert_eq!(t.speedup(), 3.0);
+        let line = t.summary_line();
+        assert!(
+            line.contains("table3") && line.contains("4 threads"),
+            "{line}"
+        );
+        let json = t.to_json().pretty();
+        for key in [
+            "records",
+            "wall_ms",
+            "busy_ms",
+            "threads",
+            "records_per_sec",
+            "speedup",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+
+        let cold = ReplayThroughput {
+            label: "empty".into(),
+            records: 0,
+            wall: Duration::ZERO,
+            busy: Duration::ZERO,
+            threads: 1,
+        };
+        assert_eq!(cold.records_per_sec(), 0.0);
+        assert_eq!(cold.speedup(), 1.0);
     }
 }

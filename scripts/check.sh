@@ -18,16 +18,25 @@ say "tier-1: cargo build --release && cargo test -q"
 cargo build --release --workspace
 cargo test -q --workspace
 
-say "tiny-scale experiments smoke (--json)"
+say "tiny-scale experiments smoke (--json), serial vs 4 threads"
 out_a="$(mktemp -d)"
 out_b="$(mktemp -d)"
 trap 'rm -rf "$out_a" "$out_b"' EXIT
-NTP_SCALE=tiny NTP_DETERMINISTIC=1 \
+# Run A serial, run B on a 4-wide worker pool: stdout and the stripped
+# JSON must be byte-identical regardless of thread count.
+NTP_SCALE=tiny NTP_DETERMINISTIC=1 NTP_THREADS=1 \
     cargo run --release -q -p ntp-bench --bin experiments -- --json "$out_a" \
-    >/dev/null
-NTP_SCALE=tiny NTP_DETERMINISTIC=1 \
+    >"$out_a/stdout.txt"
+NTP_SCALE=tiny NTP_DETERMINISTIC=1 NTP_THREADS=4 \
     cargo run --release -q -p ntp-bench --bin experiments -- --json "$out_b" \
-    >/dev/null
+    >"$out_b/stdout.txt"
+
+say "determinism: stdout identical at 1 vs 4 threads"
+if ! diff "$out_a/stdout.txt" "$out_b/stdout.txt" >/dev/null; then
+    echo "stdout differs between NTP_THREADS=1 and NTP_THREADS=4"
+    exit 1
+fi
+echo "stdout byte-identical"
 
 say "validating BENCH_*.json (parse + required sections)"
 count=0
@@ -39,7 +48,7 @@ done
 [ "$count" -ge 6 ] || { echo "expected >=6 reports, got $count"; exit 1; }
 echo "$count reports parsed"
 
-say "determinism: two runs agree modulo volatile fields"
+say "determinism: 1-thread and 4-thread reports agree modulo volatile fields"
 strip='del(.phases_ms, .throughput, .manifest.git_rev, .manifest.host, .manifest.unix_time)'
 for f in "$out_a"/BENCH_*.json; do
     g="$out_b/$(basename "$f")"

@@ -17,7 +17,10 @@
 //! * [`baselines`] — gshare/GAg/bimodal, BTBs, RAS and the idealized
 //!   sequential trace predictor the paper compares against;
 //! * [`engine`] — a cycle-based fetch/execute model for delayed-update
-//!   studies and a trace cache.
+//!   studies and a trace cache;
+//! * [`runner`] — the zero-dependency scoped-thread worker pool
+//!   (`NTP_THREADS`) with ordered-merge results that keeps parallel
+//!   capture/replay byte-identical to the serial run.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,8 @@ pub use ntp_baselines as baselines;
 pub use ntp_core as core;
 pub use ntp_engine as engine;
 pub use ntp_isa as isa;
+pub use ntp_runner as runner;
 pub use ntp_sim as sim;
+pub use ntp_telemetry as telemetry;
 pub use ntp_trace as trace;
 pub use ntp_workloads as workloads;
