@@ -72,8 +72,13 @@ pub fn bench_report(d: &BenchData) -> Report {
 
     // Replay the headline predictor, timing the phase and collecting the
     // misprediction-streak histogram.
-    let cfg = PredictorConfig::paper(REPORT_INDEX_BITS, REPORT_DEPTH);
-    let mut p = NextTracePredictor::new(cfg);
+    let cfg = PredictorConfig::try_paper(REPORT_INDEX_BITS, REPORT_DEPTH).unwrap_or_else(|e| {
+        panic!(
+            "bench: headline design point paper({REPORT_INDEX_BITS},{REPORT_DEPTH}) rejected: {e}"
+        )
+    });
+    let mut p = NextTracePredictor::try_new(cfg)
+        .unwrap_or_else(|e| panic!("bench: headline predictor config rejected: {e}"));
     let (stats, streaks) = {
         let _t = ScopeTimer::new(report.phases_mut(), "replay");
         evaluate_with_sink(&mut p, &d.records, &mut NullSink)

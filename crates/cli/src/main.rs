@@ -7,6 +7,7 @@
 //! ntp predict <file.s|file.bin|@workload> [--depth D] [--bits B] [--budget N]
 //! ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]
 //! ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]
+//! ntp verify [--seed 0xC0FFEE] [--points N]
 //! ntp workloads                        list the built-in benchmarks
 //! ```
 
@@ -43,6 +44,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "predict" => cmd_predict(rest),
         "trace" => cmd_trace(rest),
         "report" => cmd_report(rest),
+        "verify" => cmd_verify(rest),
         "workloads" => cmd_workloads(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -60,6 +62,7 @@ fn usage() -> String {
      ntp predict <file.s|file.bin|@workload> [--depth D] [--bits B] [--budget N]\n  \
      ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]\n  \
      ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]\n  \
+     ntp verify [--seed 0xC0FFEE] [--points N]\n  \
      ntp workloads"
         .to_string()
 }
@@ -164,7 +167,8 @@ fn cmd_predict(rest: &[String]) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
 
-    let mut predictor = NextTracePredictor::new(PredictorConfig::paper(bits, depth));
+    let cfg = PredictorConfig::try_paper(bits, depth).map_err(|e| e.to_string())?;
+    let mut predictor = NextTracePredictor::try_new(cfg).map_err(|e| e.to_string())?;
     let result = evaluate(&mut predictor, &records);
 
     println!(
@@ -236,6 +240,9 @@ fn flag_str<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
 /// machine-readable [`Report`] (the same shape `BENCH_*.json` files use —
 /// see OBSERVABILITY.md).
 fn build_report(spec: &str, budget: u64, bits: u32, depth: usize) -> Result<Report, String> {
+    // Reject a hostile design point before the (expensive) simulation, with
+    // the typed diagnostic instead of a panic.
+    let cfg = PredictorConfig::try_paper(bits, depth).map_err(|e| e.to_string())?;
     let program = load(spec)?;
     let mut phases = PhaseTimes::new();
     let mut machine = Machine::new(program);
@@ -264,8 +271,6 @@ fn build_report(spec: &str, budget: u64, bits: u32, depth: usize) -> Result<Repo
             .with("records", Json::U64(records.len() as u64)),
     );
     report.section("trace_stats", stats.to_json());
-
-    let cfg = PredictorConfig::paper(bits, depth);
 
     // The predictor replay and the delayed-update engine are independent
     // passes over the same captured records, so fan them out over the
@@ -377,6 +382,40 @@ fn engine_line(j: &Json) -> String {
         get("ipc"),
         get("squash_cycles")
     )
+}
+
+/// Scans for `--seed <value>`, accepting decimal or `0x`-prefixed hex.
+fn flag_seed(rest: &[String], name: &str, default: u64) -> Result<u64, String> {
+    let Some(text) = flag_str(rest, name) else {
+        return Ok(default);
+    };
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|_| format!("{name} expects a decimal or 0x-hex number, got `{text}`"))
+}
+
+/// `ntp verify`: the differential-testing and fault-injection sweep
+/// (see VERIFICATION.md). Exit status is nonzero when any oracle reports a
+/// divergence, so this doubles as a CI gate — `scripts/check.sh` pins
+/// `--seed 0xC0FFEE`.
+fn cmd_verify(rest: &[String]) -> Result<(), String> {
+    let seed = flag_seed(rest, "--seed", 0xC0FFEE)?;
+    let points = flag_value(rest, "--points")?.unwrap_or(64) as usize;
+    if points == 0 {
+        return Err("--points must be at least 1".to_string());
+    }
+    let report = ntp_verify::run_all(seed, points);
+    println!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} divergence(s); re-run with `--seed {seed:#x}` to reproduce",
+            report.total_divergences()
+        ))
+    }
 }
 
 fn cmd_workloads() -> Result<(), String> {

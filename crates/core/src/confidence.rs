@@ -46,17 +46,30 @@ impl ConfidenceConfig {
         ((1u16 << self.counter_bits) - 1) as u8
     }
 
+    /// Validates the configuration without panicking.
+    pub fn try_validate(&self) -> Result<(), crate::ConfigError> {
+        crate::error::in_range("confidence.index_bits", self.index_bits as u64, 1, 24)?;
+        crate::error::in_range("confidence.counter_bits", self.counter_bits as u64, 1, 8)?;
+        crate::error::in_range(
+            "confidence.threshold",
+            self.threshold as u64,
+            0,
+            self.max() as u64,
+        )?;
+        self.dolc.try_validate()
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics on zero-size tables, counters wider than 8 bits, or a
-    /// threshold above the counter maximum.
+    /// threshold above the counter maximum — see
+    /// [`ConfidenceConfig::try_validate`].
     pub fn validate(&self) {
-        assert!((1..=24).contains(&self.index_bits));
-        assert!((1..=8).contains(&self.counter_bits));
-        assert!(self.threshold <= self.max(), "threshold above saturation");
-        self.dolc.validate();
+        if let Err(e) = self.try_validate() {
+            panic!("invalid confidence config: {e}");
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Configuration of the bounded path-based next trace predictor.
 
-use crate::{CounterSpec, Dolc, RhsConfig};
+use crate::error::in_range;
+use crate::{ConfigError, CounterSpec, Dolc, RhsConfig};
 
 /// What the correlating/secondary tables store as the predicted target.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -50,9 +51,18 @@ impl PredictorConfig {
     /// Panics if there is no standard DOLC for `(depth, index_bits)` —
     /// see [`Dolc::standard`].
     pub fn paper(index_bits: u32, depth: usize) -> PredictorConfig {
-        PredictorConfig {
+        match PredictorConfig::try_paper(index_bits, depth) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`PredictorConfig::paper`] returning an error instead of panicking,
+    /// for front ends handed the design point by a user.
+    pub fn try_paper(index_bits: u32, depth: usize) -> Result<PredictorConfig, ConfigError> {
+        let cfg = PredictorConfig {
             index_bits,
-            dolc: Dolc::standard(depth, index_bits),
+            dolc: Dolc::try_standard(depth, index_bits)?,
             tag_bits: 10,
             primary_counter: CounterSpec::PRIMARY,
             secondary_index_bits: 14,
@@ -60,7 +70,9 @@ impl PredictorConfig {
             rhs: Some(RhsConfig::default()),
             alternate: false,
             stored_target: StoredTarget::Full,
-        }
+        };
+        cfg.try_validate()?;
+        Ok(cfg)
     }
 
     /// Same as [`PredictorConfig::paper`] with alternate prediction enabled
@@ -103,19 +115,38 @@ impl PredictorConfig {
         self.corr_entry_bits() * self.corr_entries() as u64
     }
 
+    /// Validates the configuration without panicking: table sizes, tag
+    /// width, counter policies and DOLC consistency (see
+    /// [`Dolc::try_validate`]).
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        in_range("predictor.index_bits", self.index_bits as u64, 1, 30)?;
+        in_range(
+            "predictor.secondary_index_bits",
+            self.secondary_index_bits as u64,
+            1,
+            20,
+        )?;
+        in_range("predictor.tag_bits", self.tag_bits as u64, 0, 16)?;
+        self.primary_counter.try_validate()?;
+        self.secondary_counter.try_validate()?;
+        self.dolc.try_validate()?;
+        if let Some(rhs) = &self.rhs {
+            in_range("predictor.rhs.max_depth", rhs.max_depth as u64, 1, 1 << 20)?;
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics on zero-sized tables, tags wider than 16 bits, or invalid
-    /// counters.
+    /// Panics on zero-sized tables, tags wider than 16 bits, invalid
+    /// counters, or an inconsistent DOLC — see
+    /// [`PredictorConfig::try_validate`].
     pub fn validate(&self) {
-        assert!((1..=30).contains(&self.index_bits));
-        assert!((1..=20).contains(&self.secondary_index_bits));
-        assert!(self.tag_bits <= 16, "tags come from 16-bit hashed ids");
-        self.primary_counter.validate();
-        self.secondary_counter.validate();
-        self.dolc.validate();
+        if let Err(e) = self.try_validate() {
+            panic!("invalid predictor config: {e}");
+        }
     }
 }
 
@@ -144,5 +175,60 @@ mod tests {
     fn alternate_doubles_target_storage() {
         let c = PredictorConfig::paper_with_alternate(12, 3);
         assert_eq!(c.corr_entry_bits(), 36 + 36 + 2 + 10);
+    }
+
+    #[test]
+    fn try_paper_rejects_unknown_design_points_cleanly() {
+        use crate::ConfigError;
+        assert!(matches!(
+            PredictorConfig::try_paper(13, 3),
+            Err(ConfigError::NoStandardDolc { .. })
+        ));
+        assert!(matches!(
+            PredictorConfig::try_paper(15, 9),
+            Err(ConfigError::NoStandardDolc { .. })
+        ));
+        assert_eq!(
+            PredictorConfig::try_paper(15, 3).unwrap(),
+            PredictorConfig::paper(15, 3)
+        );
+    }
+
+    #[test]
+    fn try_validate_names_hostile_fields() {
+        use crate::ConfigError;
+        let mut c = PredictorConfig::paper(15, 3);
+        c.index_bits = 0;
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::OutOfRange {
+                field: "predictor.index_bits",
+                value: 0,
+                ..
+            })
+        ));
+        let mut c = PredictorConfig::paper(15, 3);
+        c.tag_bits = 17;
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::OutOfRange {
+                field: "predictor.tag_bits",
+                value: 17,
+                ..
+            })
+        ));
+        let mut c = PredictorConfig::paper(15, 3);
+        c.dolc.older = 9; // depth-3 DOLC with a legal-but-different width is fine...
+        assert!(c.try_validate().is_ok());
+        c.dolc = Dolc {
+            depth: 0,
+            older: 4,
+            last: 0,
+            current: 12,
+        }; // ...but phantom history bits are not.
+        assert!(matches!(
+            c.try_validate(),
+            Err(ConfigError::UnusedHistoryBits { .. })
+        ));
     }
 }

@@ -57,14 +57,28 @@ impl CounterSpec {
         ((1u16 << self.bits) - 1) as u8
     }
 
+    /// Validates the spec without panicking: the width must be 1–8 bits and
+    /// both steps nonzero (a counter that cannot move encodes nothing).
+    pub fn try_validate(self) -> Result<(), crate::ConfigError> {
+        crate::error::in_range("counter.bits", self.bits as u64, 1, 8)?;
+        if self.inc == 0 {
+            return Err(crate::ConfigError::ZeroCounterStep { field: "inc" });
+        }
+        if self.dec == 0 {
+            return Err(crate::ConfigError::ZeroCounterStep { field: "dec" });
+        }
+        Ok(())
+    }
+
     /// Validates the spec.
     ///
     /// # Panics
     ///
-    /// Panics if the width is 0 or above 8, or inc/dec are 0.
+    /// Panics if [`CounterSpec::try_validate`] rejects the spec.
     pub fn validate(self) {
-        assert!((1..=8).contains(&self.bits), "counter width must be 1..=8");
-        assert!(self.inc > 0 && self.dec > 0, "inc/dec must be nonzero");
+        if let Err(e) = self.try_validate() {
+            panic!("invalid counter spec {self}: {e}");
+        }
     }
 }
 
@@ -169,5 +183,43 @@ mod tests {
             dec: 1,
         }
         .validate();
+    }
+
+    #[test]
+    fn try_validate_names_the_fault() {
+        use crate::ConfigError;
+        let wide = CounterSpec {
+            bits: 9,
+            inc: 1,
+            dec: 1,
+        };
+        assert!(matches!(
+            wide.try_validate(),
+            Err(ConfigError::OutOfRange {
+                field: "counter.bits",
+                value: 9,
+                ..
+            })
+        ));
+        let stuck = CounterSpec {
+            bits: 2,
+            inc: 0,
+            dec: 1,
+        };
+        assert_eq!(
+            stuck.try_validate(),
+            Err(ConfigError::ZeroCounterStep { field: "inc" })
+        );
+        let frozen = CounterSpec {
+            bits: 2,
+            inc: 1,
+            dec: 0,
+        };
+        assert_eq!(
+            frozen.try_validate(),
+            Err(ConfigError::ZeroCounterStep { field: "dec" })
+        );
+        assert!(CounterSpec::PRIMARY.try_validate().is_ok());
+        assert!(CounterSpec::SECONDARY.try_validate().is_ok());
     }
 }

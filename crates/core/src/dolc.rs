@@ -7,7 +7,8 @@
 //! recent traces. If the collected bits exceed the index width, they are
 //! folded onto themselves with XOR (into two or three parts).
 
-use crate::PathHistory;
+use crate::error::in_range;
+use crate::{ConfigError, PathHistory};
 use ntp_trace::HashedId;
 use std::fmt;
 
@@ -44,18 +45,51 @@ impl Dolc {
         self.total_bits().div_ceil(index_bits).max(1)
     }
 
+    /// Validates field widths and depth/field consistency without
+    /// panicking.
+    ///
+    /// Rejected configurations:
+    ///
+    /// * any per-trace field above 16 bits (hashed identifiers are 16 bits
+    ///   wide);
+    /// * a gathered total above 120 bits (the folding stage's `u128`
+    ///   accumulator budget);
+    /// * `depth > 32` (history registers are small shift registers);
+    /// * **unused history bits**: `depth == 0` with nonzero `older`/`last`,
+    ///   or `depth == 1` with nonzero `older`. Indexing silently ignores
+    ///   those fields ([`Dolc::index`] only gathers `older` bits for slots
+    ///   `2..=depth` and `last` bits when `depth >= 1`), so accepting them
+    ///   would let a swept configuration claim history it never reads.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        in_range("dolc.older", self.older as u64, 0, 16)?;
+        in_range("dolc.last", self.last as u64, 0, 16)?;
+        in_range("dolc.current", self.current as u64, 0, 16)?;
+        in_range("dolc.depth", self.depth as u64, 0, 32)?;
+        if (self.depth == 0 && (self.older != 0 || self.last != 0))
+            || (self.depth == 1 && self.older != 0)
+        {
+            return Err(ConfigError::UnusedHistoryBits {
+                depth: self.depth,
+                older: self.older,
+                last: self.last,
+            });
+        }
+        let total = self.total_bits();
+        if total > 120 {
+            return Err(ConfigError::TooManyGatheredBits { total, max: 120 });
+        }
+        Ok(())
+    }
+
     /// Validates field widths.
     ///
     /// # Panics
     ///
-    /// Panics if any per-trace field exceeds 16 bits (hashed identifiers are
-    /// 16 bits wide) or the total exceeds 120 bits.
+    /// Panics if [`Dolc::try_validate`] rejects the configuration.
     pub fn validate(&self) {
-        assert!(
-            self.older <= 16 && self.last <= 16 && self.current <= 16,
-            "per-trace bit fields cannot exceed the 16-bit hashed id"
-        );
-        assert!(self.total_bits() <= 120, "DOLC gathers too many bits");
+        if let Err(e) = self.try_validate() {
+            panic!("invalid DOLC {self}: {e}");
+        }
     }
 
     /// Computes the table index from the history register.
@@ -109,8 +143,19 @@ impl Dolc {
     ///
     /// # Panics
     ///
-    /// Panics if `depth > 7` or `index_bits` is not 12, 15 or 18.
+    /// Panics if `depth > 7` or `index_bits` is not 12, 15 or 18; see
+    /// [`Dolc::try_standard`] for the non-panicking form front ends should
+    /// use on user-supplied design points.
     pub fn standard(depth: usize, index_bits: u32) -> Dolc {
+        match Dolc::try_standard(depth, index_bits) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Dolc::standard`] returning an error instead of panicking when the
+    /// requested design point has no standard tuple.
+    pub fn try_standard(depth: usize, index_bits: u32) -> Result<Dolc, ConfigError> {
         let (older, last, current) = match (index_bits, depth) {
             (12, 0) => (0, 0, 12),
             (12, 1) => (0, 8, 12),
@@ -136,7 +181,7 @@ impl Dolc {
             (18, 5) => (6, 10, 14),
             (18, 6) => (5, 10, 13),
             (18, 7) => (5, 9, 13),
-            _ => panic!("no standard DOLC for depth {depth}, {index_bits}-bit index"),
+            _ => return Err(ConfigError::NoStandardDolc { depth, index_bits }),
         };
         let d = Dolc {
             depth,
@@ -144,8 +189,8 @@ impl Dolc {
             last,
             current,
         };
-        d.validate();
-        d
+        d.try_validate()?;
+        Ok(d)
     }
 }
 
@@ -248,6 +293,111 @@ mod tests {
                 assert!(d.index(&h, w) < (1 << w));
             }
         }
+    }
+
+    #[test]
+    fn depth_zero_rejects_phantom_history_bits() {
+        // With depth == 0 only `current` participates in indexing; nonzero
+        // older/last used to be silently accepted and ignored, letting an
+        // ablation config lie about its history depth.
+        for (older, last) in [(1, 0), (0, 1), (8, 8)] {
+            let d = Dolc {
+                depth: 0,
+                older,
+                last,
+                current: 12,
+            };
+            assert_eq!(
+                d.try_validate(),
+                Err(ConfigError::UnusedHistoryBits {
+                    depth: 0,
+                    older,
+                    last
+                }),
+                "depth 0 with older={older}/last={last} must be rejected"
+            );
+        }
+        // Depth 1 reads `last` but never `older`.
+        let d1 = Dolc {
+            depth: 1,
+            older: 3,
+            last: 8,
+            current: 12,
+        };
+        assert!(matches!(
+            d1.try_validate(),
+            Err(ConfigError::UnusedHistoryBits { depth: 1, .. })
+        ));
+        // The honest forms are fine.
+        assert!(Dolc {
+            depth: 0,
+            older: 0,
+            last: 0,
+            current: 12
+        }
+        .try_validate()
+        .is_ok());
+        assert!(Dolc {
+            depth: 1,
+            older: 0,
+            last: 8,
+            current: 12
+        }
+        .try_validate()
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "never reads")]
+    fn validate_panics_on_phantom_history_bits() {
+        Dolc {
+            depth: 0,
+            older: 4,
+            last: 4,
+            current: 12,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn try_validate_rejects_wide_fields_and_totals() {
+        assert!(matches!(
+            Dolc {
+                depth: 2,
+                older: 17,
+                last: 8,
+                current: 8
+            }
+            .try_validate(),
+            Err(ConfigError::OutOfRange {
+                field: "dolc.older",
+                ..
+            })
+        ));
+        // 16 * (depth - 1) + 16 + 16 > 120 for depth >= 8.
+        assert!(matches!(
+            Dolc {
+                depth: 9,
+                older: 16,
+                last: 16,
+                current: 16
+            }
+            .try_validate(),
+            Err(ConfigError::TooManyGatheredBits { total: 160, .. })
+        ));
+    }
+
+    #[test]
+    fn try_standard_rejects_unknown_points_without_panicking() {
+        assert!(matches!(
+            Dolc::try_standard(8, 15),
+            Err(ConfigError::NoStandardDolc {
+                depth: 8,
+                index_bits: 15
+            })
+        ));
+        assert!(Dolc::try_standard(3, 13).is_err());
+        assert_eq!(Dolc::try_standard(3, 15).unwrap(), Dolc::standard(3, 15));
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod confidence;
 mod config;
 mod counter;
 mod dolc;
+mod error;
 mod history;
 mod prediction;
 mod predictor;
@@ -57,6 +58,7 @@ pub use confidence::{
 pub use config::{PredictorConfig, StoredTarget};
 pub use counter::{Counter, CounterSpec};
 pub use dolc::Dolc;
+pub use error::ConfigError;
 pub use history::PathHistory;
 pub use prediction::{Prediction, Source, Target, TracePredictor};
 pub use predictor::{

@@ -148,7 +148,17 @@ impl NextTracePredictor {
     /// Panics if the configuration is invalid (see
     /// [`PredictorConfig::validate`]).
     pub fn new(cfg: PredictorConfig) -> NextTracePredictor {
-        cfg.validate();
+        match NextTracePredictor::try_new(cfg) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid predictor config: {e}"),
+        }
+    }
+
+    /// Builds a predictor, rejecting invalid configurations with a typed
+    /// [`crate::ConfigError`] instead of panicking — the entry point for
+    /// front ends handed an arbitrary (possibly hostile) configuration.
+    pub fn try_new(cfg: PredictorConfig) -> Result<NextTracePredictor, crate::ConfigError> {
+        cfg.try_validate()?;
         let mut p = NextTracePredictor {
             history: PathHistory::new(cfg.history_capacity()),
             rhs: cfg.rhs.map(ReturnHistoryStack::new),
@@ -159,7 +169,7 @@ impl NextTracePredictor {
             cached_idx: IndexSnapshot::default(),
         };
         p.refresh_indices();
-        p
+        Ok(p)
     }
 
     /// The configuration in force.

@@ -60,6 +60,18 @@ impl UnboundedConfig {
             ..UnboundedConfig::paper(depth)
         }
     }
+
+    /// Validates the configuration without panicking: the study covers
+    /// depths 0–7, and both counter policies must be well formed.
+    pub fn try_validate(&self) -> Result<(), crate::ConfigError> {
+        crate::error::in_range("unbounded.depth", self.depth as u64, 0, 7)?;
+        self.primary_counter.try_validate()?;
+        self.secondary_counter.try_validate()?;
+        if let Some(rhs) = &self.rhs {
+            crate::error::in_range("unbounded.rhs.max_depth", rhs.max_depth as u64, 1, 1 << 20)?;
+        }
+        Ok(())
+    }
 }
 
 /// A path of up to 8 full trace identifiers, newest first, zero-padded.
@@ -99,18 +111,25 @@ impl UnboundedPredictor {
     ///
     /// # Panics
     ///
-    /// Panics if `depth > 7`.
+    /// Panics if `depth > 7` or a counter policy is invalid.
     pub fn new(cfg: UnboundedConfig) -> UnboundedPredictor {
-        assert!(cfg.depth <= 7, "the study covers depths 0..=7");
-        cfg.primary_counter.validate();
-        cfg.secondary_counter.validate();
-        UnboundedPredictor {
+        match UnboundedPredictor::try_new(cfg) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid unbounded config: {e}"),
+        }
+    }
+
+    /// Builds an unbounded predictor, rejecting invalid configurations with
+    /// a typed error instead of panicking.
+    pub fn try_new(cfg: UnboundedConfig) -> Result<UnboundedPredictor, crate::ConfigError> {
+        cfg.try_validate()?;
+        Ok(UnboundedPredictor {
             history: PathHistory::new(cfg.depth + 1),
             rhs: cfg.rhs.map(ReturnHistoryStack::new),
             corr: HashMap::new(),
             sec: HashMap::new(),
             cfg,
-        }
+        })
     }
 
     /// The configuration in force.
@@ -189,24 +208,39 @@ impl TracePredictor for UnboundedPredictor {
     }
 
     fn update(&mut self, actual: &TraceRecord) {
+        use std::collections::hash_map::Entry as Slot;
         let key = actual.id().packed();
         let prim = self.cfg.primary_counter;
         let sec_spec = self.cfg.secondary_counter;
 
+        // A freshly claimed entry is installed at counter zero *without*
+        // crediting the installing update — the same semantics as the
+        // bounded predictor's cold fill, so the two models stay in lockstep
+        // on alias-free streams (the `ntp-verify` differential oracle
+        // replays both and compares every prediction). The previous
+        // `or_insert`-then-train shape silently gave fresh entries a head
+        // start of one `on_correct`.
         let mut suppress = false;
         if self.cfg.hybrid {
             if let Some(last) = self.history.newest() {
-                let e = self.sec.entry(last).or_insert(Entry {
-                    target: key,
-                    alt: 0,
-                    has_alt: false,
-                    ctr: Counter::new(),
-                });
-                suppress = e.ctr.is_saturated(sec_spec) && e.target == key;
-                if e.target == key {
-                    e.ctr.on_correct(sec_spec);
-                } else if e.ctr.on_incorrect(sec_spec) {
-                    e.target = key;
+                match self.sec.entry(last) {
+                    Slot::Vacant(v) => {
+                        v.insert(Entry {
+                            target: key,
+                            alt: 0,
+                            has_alt: false,
+                            ctr: Counter::new(),
+                        });
+                    }
+                    Slot::Occupied(mut o) => {
+                        let e = o.get_mut();
+                        suppress = e.ctr.is_saturated(sec_spec) && e.target == key;
+                        if e.target == key {
+                            e.ctr.on_correct(sec_spec);
+                        } else if e.ctr.on_incorrect(sec_spec) {
+                            e.target = key;
+                        }
+                    }
                 }
             }
         }
@@ -214,23 +248,30 @@ impl TracePredictor for UnboundedPredictor {
         if !suppress {
             let alternate = self.cfg.alternate;
             let path = self.key();
-            let e = self.corr.entry(path).or_insert(Entry {
-                target: key,
-                alt: 0,
-                has_alt: false,
-                ctr: Counter::new(),
-            });
-            if e.target == key {
-                e.ctr.on_correct(prim);
-            } else if e.ctr.on_incorrect(prim) {
-                if alternate {
-                    e.alt = e.target;
-                    e.has_alt = true;
+            match self.corr.entry(path) {
+                Slot::Vacant(v) => {
+                    v.insert(Entry {
+                        target: key,
+                        alt: 0,
+                        has_alt: false,
+                        ctr: Counter::new(),
+                    });
                 }
-                e.target = key;
-            } else if alternate {
-                e.alt = key;
-                e.has_alt = true;
+                Slot::Occupied(mut o) => {
+                    let e = o.get_mut();
+                    if e.target == key {
+                        e.ctr.on_correct(prim);
+                    } else if e.ctr.on_incorrect(prim) {
+                        if alternate {
+                            e.alt = e.target;
+                            e.has_alt = true;
+                        }
+                        e.target = key;
+                    } else if alternate {
+                        e.alt = key;
+                        e.has_alt = true;
+                    }
+                }
             }
         }
 

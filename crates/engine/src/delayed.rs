@@ -15,8 +15,8 @@
 //!   but retirement (and therefore training) continues, and the history
 //!   register is repaired.
 
-use ntp_core::{IndexSnapshot, NextTracePredictor, PredictorStats};
-use ntp_trace::TraceRecord;
+use ntp_core::{ConfigError, IndexSnapshot, NextTracePredictor, PredictorStats};
+use ntp_trace::{TraceRecord, MAX_TRACE_LEN};
 use std::collections::VecDeque;
 
 /// Timing parameters of the engine (paper: 8-way, 64-entry window).
@@ -28,6 +28,45 @@ pub struct EngineConfig {
     pub window: u32,
     /// Cycles of fetch stall after a trace misprediction resolves.
     pub mispredict_penalty: u32,
+}
+
+impl EngineConfig {
+    /// Checks the timing parameters, returning the first fault found.
+    ///
+    /// The critical check is `window >= MAX_TRACE_LEN`: the fetch stage
+    /// stalls until the window can hold the *whole* incoming trace, so a
+    /// window smaller than the longest legal trace (16 instructions) could
+    /// reach a state where the in-flight queue is empty, nothing can ever
+    /// retire, and the stall loop spins forever. Rejecting the config here
+    /// turns that hang into an immediate, named diagnostic.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.issue_width == 0 {
+            return Err(ConfigError::OutOfRange {
+                field: "engine.issue_width",
+                value: 0,
+                min: 1,
+                max: u32::MAX as u64,
+            });
+        }
+        if self.window < MAX_TRACE_LEN as u32 {
+            return Err(ConfigError::WindowSmallerThanTrace {
+                window: self.window,
+                max_trace_len: MAX_TRACE_LEN as u32,
+            });
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`EngineConfig::try_validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] diagnostic if the config is invalid.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("invalid engine config: {e}");
+        }
+    }
 }
 
 impl Default for EngineConfig {
@@ -103,13 +142,31 @@ pub struct DelayedUpdateEngine {
 
 impl DelayedUpdateEngine {
     /// Wraps a (fresh or pre-trained) predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`EngineConfig::try_validate`] — in particular
+    /// if the instruction window is smaller than the maximum trace length,
+    /// which previously hung `run` in an unbounded stall loop.
     pub fn new(predictor: NextTracePredictor, cfg: EngineConfig) -> DelayedUpdateEngine {
-        DelayedUpdateEngine {
+        match DelayedUpdateEngine::try_new(predictor, cfg) {
+            Ok(e) => e,
+            Err(e) => panic!("invalid engine config: {e}"),
+        }
+    }
+
+    /// Non-panicking constructor: validates `cfg` first.
+    pub fn try_new(
+        predictor: NextTracePredictor,
+        cfg: EngineConfig,
+    ) -> Result<DelayedUpdateEngine, ConfigError> {
+        cfg.try_validate()?;
+        Ok(DelayedUpdateEngine {
             predictor,
             cfg,
             in_flight: VecDeque::new(),
             occupancy: 0,
-        }
+        })
     }
 
     /// The wrapped predictor (e.g. to inspect after a run).
@@ -142,6 +199,15 @@ impl DelayedUpdateEngine {
         for rec in records {
             // Stall fetch while the window cannot hold this trace.
             while self.occupancy + rec.len as u32 > self.cfg.window {
+                if self.in_flight.is_empty() {
+                    // Defensive guard: an *empty* window that still cannot
+                    // hold the trace means the trace is longer than the
+                    // window itself. Retiring cannot make progress, so the
+                    // old code spun here forever. Config validation rejects
+                    // such windows up front; this break keeps even a
+                    // hand-rolled engine from hanging.
+                    break;
+                }
                 self.retire_one_cycle();
                 stats.cycles += 1;
                 stats.stall_cycles += 1;
@@ -281,6 +347,81 @@ mod tests {
         );
         let missed = stats.prediction.predictions - stats.prediction.correct;
         assert_eq!(stats.squash_cycles, missed * 8, "penalty per miss");
+    }
+
+    #[test]
+    fn tiny_window_is_rejected_not_hung() {
+        // Regression: window 8 < MAX_TRACE_LEN used to pass construction and
+        // then spin forever in run() the first time a longer trace arrived
+        // with an empty in-flight queue. It must now fail validation with a
+        // named diagnostic.
+        let cfg = EngineConfig {
+            issue_width: 4,
+            window: 8,
+            mispredict_penalty: 8,
+        };
+        let err = cfg.try_validate().expect_err("window 8 must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("window"), "diagnostic names the field: {msg}");
+        assert!(
+            DelayedUpdateEngine::try_new(
+                NextTracePredictor::new(PredictorConfig::paper(12, 3)),
+                cfg
+            )
+            .is_err(),
+            "try_new must refuse the hanging config"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid engine config")]
+    fn new_panics_on_tiny_window() {
+        let _ = DelayedUpdateEngine::new(
+            NextTracePredictor::new(PredictorConfig::paper(12, 3)),
+            EngineConfig {
+                issue_width: 4,
+                window: 8,
+                mispredict_penalty: 8,
+            },
+        );
+    }
+
+    #[test]
+    fn zero_issue_width_is_rejected() {
+        let cfg = EngineConfig {
+            issue_width: 0,
+            window: 64,
+            mispredict_penalty: 8,
+        };
+        assert!(cfg.try_validate().is_err());
+    }
+
+    #[test]
+    fn minimum_window_equals_max_trace_len_and_terminates() {
+        // window == 16 is the smallest legal window; 16-instr traces fill it
+        // exactly and the run must terminate with every instruction retired.
+        let records: Vec<TraceRecord> = (0..200)
+            .map(|k: u32| {
+                TraceRecord::new(
+                    TraceId::new(0x0040_0004 + (k % 4) * 0x44, 0, 0),
+                    16,
+                    0,
+                    false,
+                    false,
+                )
+            })
+            .collect();
+        let mut e = DelayedUpdateEngine::new(
+            NextTracePredictor::new(PredictorConfig::paper(12, 3)),
+            EngineConfig {
+                issue_width: 4,
+                window: 16,
+                mispredict_penalty: 2,
+            },
+        );
+        let stats = e.run(&records);
+        assert_eq!(stats.instrs, 200 * 16);
+        assert_eq!(stats.prediction.predictions, 200);
     }
 
     #[test]

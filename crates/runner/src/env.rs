@@ -18,10 +18,22 @@ use std::str::FromStr;
 ///
 /// # Examples
 ///
+/// An unset variable yields `None` — this path is deterministic and
+/// touches no process state, so it is safe to execute even under the
+/// parallel doctest harness:
+///
 /// ```
-/// assert_eq!(ntp_runner::parse_env::<u64>("NTP_DOCTEST_UNSET"), None);
-/// std::env::set_var("NTP_DOCTEST_SET", "42");
-/// assert_eq!(ntp_runner::parse_env::<u64>("NTP_DOCTEST_SET"), Some(42));
+/// assert_eq!(ntp_runner::parse_env::<u64>("NTP_DOCTEST_NEVER_SET"), None);
+/// ```
+///
+/// A set variable parses into the requested type. Mutating the process
+/// environment races against concurrently executing doctests, so this
+/// variant is compiled but deliberately not run (the executed coverage
+/// lives in this module's serial unit test):
+///
+/// ```no_run
+/// std::env::set_var("NTP_THREADS", "4");
+/// assert_eq!(ntp_runner::parse_env::<u64>("NTP_THREADS"), Some(4));
 /// ```
 pub fn parse_env<T: FromStr>(name: &str) -> Option<T> {
     let raw = std::env::var(name).ok()?;

@@ -52,7 +52,58 @@ impl TraceConfig {
             ..TraceConfig::default()
         }
     }
+
+    /// Validates the limits without panicking: `max_len` must be
+    /// `1..=`[`MAX_TRACE_LEN`] and `max_branches`
+    /// `1..=`[`MAX_TRACE_BRANCHES`] (the identifier's 6-bit outcome field).
+    pub fn try_validate(&self) -> Result<(), TraceConfigError> {
+        if !(1..=MAX_TRACE_LEN).contains(&self.max_len) {
+            return Err(TraceConfigError::MaxLenOutOfRange {
+                max_len: self.max_len,
+            });
+        }
+        if !(1..=MAX_TRACE_BRANCHES).contains(&self.max_branches) {
+            return Err(TraceConfigError::MaxBranchesOutOfRange {
+                max_branches: self.max_branches,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A rejected [`TraceConfig`]; the [`std::fmt::Display`] form names the
+/// offending field and its legal range.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceConfigError {
+    /// `max_len` was zero or above [`MAX_TRACE_LEN`].
+    MaxLenOutOfRange {
+        /// The rejected value.
+        max_len: usize,
+    },
+    /// `max_branches` was zero or above [`MAX_TRACE_BRANCHES`].
+    MaxBranchesOutOfRange {
+        /// The rejected value.
+        max_branches: usize,
+    },
+}
+
+impl std::fmt::Display for TraceConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceConfigError::MaxLenOutOfRange { max_len } => write!(
+                f,
+                "trace.max_len = {max_len} is outside the legal range 1..={MAX_TRACE_LEN}"
+            ),
+            TraceConfigError::MaxBranchesOutOfRange { max_branches } => write!(
+                f,
+                "trace.max_branches = {max_branches} is outside the legal range \
+                 1..={MAX_TRACE_BRANCHES}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceConfigError {}
 
 #[derive(Copy, Clone)]
 struct Partial {
@@ -141,15 +192,17 @@ impl TraceBuilder {
     /// Panics if `max_len` is 0 or exceeds [`MAX_TRACE_LEN`], or if
     /// `max_branches` exceeds [`MAX_TRACE_BRANCHES`].
     pub fn new(cfg: TraceConfig) -> TraceBuilder {
-        assert!(
-            (1..=MAX_TRACE_LEN).contains(&cfg.max_len),
-            "max_len must be 1..=16"
-        );
-        assert!(
-            cfg.max_branches <= MAX_TRACE_BRANCHES,
-            "max_branches must be <= 6"
-        );
-        TraceBuilder { cfg, cur: None }
+        match TraceBuilder::try_new(cfg) {
+            Ok(b) => b,
+            Err(e) => panic!("invalid trace config: {e}"),
+        }
+    }
+
+    /// Creates a builder, rejecting invalid limits with a typed
+    /// [`TraceConfigError`] instead of panicking.
+    pub fn try_new(cfg: TraceConfig) -> Result<TraceBuilder, TraceConfigError> {
+        cfg.try_validate()?;
+        Ok(TraceBuilder { cfg, cur: None })
     }
 
     /// The limits in force.

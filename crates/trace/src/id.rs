@@ -125,12 +125,16 @@ pub struct HashedId(pub u16);
 impl HashedId {
     /// The low `n` bits, used for tags and table indexing.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n > 16`.
+    /// A hashed identifier only has [`HASHED_ID_BITS`] bits, so `n` is
+    /// clamped to 16: any wider request returns the whole value. The clamp
+    /// happens *before* the mask is built — the previous shape computed
+    /// `(1u32 << n) - 1` first, which for `n >= 32` is an overflowing shift
+    /// (a panic in debug builds, a wrapped mask in release), so a DOLC or
+    /// tag width that slipped past validation turned into a crash or a
+    /// silently truncated index here.
     pub fn low_bits(self, n: u32) -> u32 {
-        assert!(n <= 16);
-        (self.0 as u32) & ((1u32 << n) - 1).min(0xFFFF)
+        let n = n.min(HASHED_ID_BITS);
+        (self.0 as u32) & ((1u32 << n) - 1)
     }
 }
 
@@ -213,6 +217,34 @@ mod tests {
         let h = HashedId(0xABCD);
         assert_eq!(h.low_bits(10), 0xABCD & 0x3FF);
         assert_eq!(h.low_bits(16), 0xABCD);
+    }
+
+    #[test]
+    fn low_bits_clamps_wide_requests_across_0_to_36() {
+        // Regression: `(1u32 << n) - 1` before the clamp is an overflowing
+        // shift for n >= 32 (debug panic, wrapped mask in release). Any
+        // n >= 16 must return the whole 16-bit value, for every value.
+        let mut x = 0x9E3779B9u64; // deterministic xorshift-ish walk
+        for _ in 0..512 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = HashedId(x as u16);
+            for n in 0..=36u32 {
+                let expect = if n >= 16 {
+                    h.0 as u32
+                } else {
+                    (h.0 as u32) & ((1u32 << n) - 1)
+                };
+                assert_eq!(h.low_bits(n), expect, "h={h} n={n}");
+            }
+        }
+        // Boundary spot checks, including the old panic range.
+        assert_eq!(HashedId(0xFFFF).low_bits(0), 0);
+        assert_eq!(HashedId(0xFFFF).low_bits(16), 0xFFFF);
+        assert_eq!(HashedId(0xFFFF).low_bits(17), 0xFFFF);
+        assert_eq!(HashedId(0xFFFF).low_bits(32), 0xFFFF);
+        assert_eq!(HashedId(0xFFFF).low_bits(36), 0xFFFF);
     }
 
     #[test]

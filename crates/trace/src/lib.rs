@@ -44,7 +44,7 @@ mod stats;
 mod telemetry;
 mod trace;
 
-pub use builder::{run_traces, TraceBuilder, TraceConfig};
+pub use builder::{run_traces, TraceBuilder, TraceConfig, TraceConfigError};
 pub use id::{HashedId, TraceId, HASHED_ID_BITS, TRACE_ID_BITS};
 pub use record::TraceRecord;
 pub use redundancy::RedundancyStats;

@@ -1,0 +1,163 @@
+//! Round-trip invariants for the 36-bit packed trace identifier and its
+//! 16-bit hash, across randomized PCs — including ones at and above the
+//! 30-bit word-aligned boundary (`start_pc >= 1 << 32 - 2` word bits) and
+//! deliberately byte-misaligned ones.
+//!
+//! The contracts under test (what the predictor tables rely on):
+//!
+//! * **packed equality ⇔ identifier equality** for word-aligned PCs:
+//!   `packed()` is injective over `(start_pc & !3, branch_bits)`;
+//! * **branch-count lower bound**: `from_packed` cannot recover the true
+//!   branch count (hardware never stores it); it reports the position of
+//!   the highest set outcome bit, which is always `<=` the true count, and
+//!   the recovered id re-packs to the same 36 bits;
+//! * **hash low bits**: the low 2 bits of `hashed()` are exactly the first
+//!   two branch outcomes.
+
+use ntp_trace::{HashedId, TraceId, HASHED_ID_BITS, TRACE_ID_BITS};
+
+/// Deterministic xorshift64 so failures reproduce from the printed seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// A randomized trace id: arbitrary 32-bit PC (word-aligned), 0–6 branches.
+fn random_id(rng: &mut Rng) -> TraceId {
+    let r = rng.next();
+    let pc = (r as u32) & !3; // word-aligned
+    let count = ((r >> 32) % 7) as u8;
+    let bits = (r >> 40) as u8;
+    TraceId::new(pc, bits, count)
+}
+
+const SEED: u64 = 0xC0FF_EE00_0001;
+
+#[test]
+fn packed_equality_iff_id_equality() {
+    let mut rng = Rng(SEED);
+    let ids: Vec<TraceId> = (0..512).map(|_| random_id(&mut rng)).collect();
+    for (i, a) in ids.iter().enumerate() {
+        for b in &ids[i..] {
+            let same_identity = a.start_pc == b.start_pc && a.branch_bits == b.branch_bits;
+            assert_eq!(
+                a.packed() == b.packed(),
+                same_identity,
+                "packed() must separate exactly the distinct ids: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_roundtrip_above_the_30_bit_boundary() {
+    // PCs whose word address needs all 30 stored bits (>= 1 << 31 bytes)
+    // and PCs straddling the boundary exactly.
+    let mut rng = Rng(SEED ^ 0x5DEE_CE66);
+    for k in 0..2048u64 {
+        let pc = if k % 3 == 0 {
+            // force the high word bits on
+            (0xC000_0000u32 | (rng.next() as u32)) & !3
+        } else {
+            (rng.next() as u32) & !3
+        };
+        let count = (k % 7) as u8;
+        let id = TraceId::new(pc, (rng.next() >> 17) as u8, count);
+        let packed = id.packed();
+        assert!(
+            packed < 1u64 << TRACE_ID_BITS,
+            "fits in 36 bits: {packed:#x}"
+        );
+        let back = TraceId::from_packed(packed);
+        assert_eq!(back.start_pc, id.start_pc, "word-aligned PC survives");
+        assert_eq!(back.branch_bits, id.branch_bits, "outcome bits survive");
+        assert_eq!(back.packed(), packed, "re-pack is the identity");
+    }
+}
+
+#[test]
+fn from_packed_branch_count_is_a_lower_bound() {
+    let mut rng = Rng(SEED ^ 0xDA7A_F00D);
+    for _ in 0..2048 {
+        let id = random_id(&mut rng);
+        let back = TraceId::from_packed(id.packed());
+        assert!(
+            back.branch_count <= id.branch_count,
+            "recovered count {} must lower-bound the true count {} ({id})",
+            back.branch_count,
+            id.branch_count
+        );
+        // The bound is tight exactly when the last branch was taken.
+        if id.branch_count > 0 && id.outcome(id.branch_count as usize - 1) {
+            assert_eq!(back.branch_count, id.branch_count, "{id}");
+        }
+        // All recovered outcome bits are real.
+        assert_eq!(back.branch_bits, id.branch_bits);
+    }
+}
+
+#[test]
+fn byte_misaligned_pcs_collapse_to_their_word() {
+    // The packed form stores the *word* address: the two byte bits are
+    // dropped by construction (instructions are word-aligned; a misaligned
+    // PC cannot name a different trace).
+    let mut rng = Rng(SEED ^ 0xA11A_57ED);
+    for _ in 0..512 {
+        let r = rng.next();
+        let pc = r as u32;
+        let id = TraceId::new(pc, (r >> 36) as u8, ((r >> 33) % 7) as u8);
+        let aligned = TraceId::new(pc & !3, id.branch_bits, id.branch_count);
+        assert_eq!(id.packed(), aligned.packed(), "pc={pc:#x}");
+        assert_eq!(
+            TraceId::from_packed(id.packed()).start_pc,
+            pc & !3,
+            "round trip lands on the word"
+        );
+    }
+}
+
+#[test]
+fn hashed_low_two_bits_are_first_two_outcomes() {
+    let mut rng = Rng(SEED ^ 0x0DD5_EED5);
+    for _ in 0..2048 {
+        let id = random_id(&mut rng);
+        let h = id.hashed();
+        let expect_low2 = if id.branch_count >= 2 {
+            id.branch_bits & 0b11
+        } else {
+            // fewer than two branches: the missing outcomes are zero bits
+            id.branch_bits & ((1 << id.branch_count) - 1) & 0b11
+        };
+        assert_eq!(
+            (h.0 & 0b11) as u8,
+            expect_low2,
+            "hash low-2 outcome contract for {id}"
+        );
+        // And the hash is a pure function of the identifier.
+        assert_eq!(h, id.hashed());
+        assert_eq!(h, HashedId::from(id));
+    }
+}
+
+#[test]
+fn hashed_uses_all_sixteen_bits() {
+    // Sweep enough ids that every hash bit position is exercised; a stuck
+    // bit would mean the secondary index/tag space is silently halved.
+    let mut rng = Rng(SEED ^ 0xB17_C0B7);
+    let mut ones = 0u16;
+    let mut zeros = 0u16;
+    for _ in 0..4096 {
+        let h = random_id(&mut rng).hashed().0;
+        ones |= h;
+        zeros |= !h;
+    }
+    assert_eq!(ones, u16::MAX, "every hash bit takes value 1 somewhere");
+    assert_eq!(zeros, u16::MAX, "every hash bit takes value 0 somewhere");
+    assert_eq!(HASHED_ID_BITS, 16);
+}

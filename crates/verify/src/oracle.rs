@@ -1,0 +1,345 @@
+//! The differential oracles: pairs (or triples) of implementations that
+//! must agree exactly, replayed over generated streams.
+//!
+//! Three oracles, each attacking a different seam of the stack:
+//!
+//! 1. [`bounded_vs_unbounded`] — the finite tagged predictor against the
+//!    unbounded no-aliasing model on alias-free streams, compared
+//!    *prediction by prediction*;
+//! 2. [`evaluate_equivalence`] — `evaluate`, `evaluate_with_sink` and the
+//!    delayed-update engine (at a latency-free operating point) must produce
+//!    identical [`PredictorStats`];
+//! 3. [`runner_determinism`] — the worker pool's ordered merge must be
+//!    byte-identical to the serial path at any thread count.
+//!
+//! Every failure is a [`Divergence`] naming the oracle, the master seed, the
+//! case index (whose [`crate::XorShift64::fork`] rebuilds the exact stream)
+//! and the first trace index where the pair disagreed, plus a state dump of
+//! both sides.
+
+use crate::gen::{alias_free_point, paper_point, random_stream};
+use crate::rng::XorShift64;
+use ntp_core::{
+    evaluate, evaluate_with_sink, NextTracePredictor, PredictorConfig, PredictorStats,
+    TracePredictor, UnboundedPredictor,
+};
+use ntp_engine::{DelayedUpdateEngine, EngineConfig};
+use ntp_runner::map_ordered_with;
+use ntp_telemetry::NullSink;
+use std::fmt;
+
+/// One observed disagreement between implementations that must agree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which oracle caught it.
+    pub oracle: &'static str,
+    /// The master seed of the run.
+    pub seed: u64,
+    /// The case index within the oracle (`XorShift64::new(seed).fork(case)`
+    /// regenerates the stream and configuration).
+    pub case: usize,
+    /// First trace index at which the implementations disagreed, when the
+    /// oracle compares per-prediction (or per-shard).
+    pub index: Option<u64>,
+    /// The configuration under test, rendered for the report.
+    pub config: String,
+    /// State dump: what each side said.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] seed {:#x} case {}: divergence",
+            self.oracle, self.seed, self.case
+        )?;
+        if let Some(i) = self.index {
+            write!(f, " at index {i}")?;
+        }
+        write!(f, "\n  config: {}\n  detail: {}", self.config, self.detail)
+    }
+}
+
+/// Aggregated result of running one oracle over many generated cases.
+#[derive(Clone, Debug)]
+pub struct OracleOutcome {
+    /// Oracle name (stable, used in reports and the CLI).
+    pub name: &'static str,
+    /// Generated cases replayed.
+    pub cases: usize,
+    /// Individual comparisons performed (predictions, stats triples, or
+    /// shard vectors).
+    pub comparisons: u64,
+    /// Disagreements found (empty on a healthy stack).
+    pub divergences: Vec<Divergence>,
+}
+
+impl OracleOutcome {
+    /// True when every comparison agreed.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+impl fmt::Display for OracleOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} {:>4} cases  {:>9} comparisons  {}",
+            self.name,
+            self.cases,
+            self.comparisons,
+            if self.is_clean() {
+                "ok".to_string()
+            } else {
+                format!("{} DIVERGENCES", self.divergences.len())
+            }
+        )
+    }
+}
+
+/// Oracle 1: the bounded predictor must track the unbounded model exactly
+/// on alias-free streams (see [`crate::AliasFreePoint`] for the argument
+/// that any disagreement is a bug, not table pressure).
+pub fn bounded_vs_unbounded(seed: u64, cases: usize) -> OracleOutcome {
+    const NAME: &str = "bounded-vs-unbounded";
+    let master = XorShift64::new(seed ^ 0xB0DD_ED00);
+    let mut comparisons = 0u64;
+    let mut divergences = Vec::new();
+
+    for case in 0..cases {
+        let mut rng = master.fork(case as u64);
+        let point = alias_free_point(&mut rng);
+        let stream_len = rng.range(400, 1200) as usize;
+        let stream = point.stream(&mut rng, stream_len);
+        let mut bounded =
+            NextTracePredictor::try_new(point.cfg).expect("generated bounded config is valid");
+        let mut unbounded =
+            UnboundedPredictor::try_new(point.ucfg).expect("generated unbounded config is valid");
+
+        for (i, r) in stream.iter().enumerate() {
+            let pb = bounded.predict();
+            let pu = unbounded.predict();
+            comparisons += 1;
+            if pb != pu {
+                divergences.push(Divergence {
+                    oracle: NAME,
+                    seed,
+                    case,
+                    index: Some(i as u64),
+                    config: format!(
+                        "{:?} / alphabet {} ids, code_bits {}",
+                        point.cfg,
+                        point.alphabet.len(),
+                        point.code_bits
+                    ),
+                    detail: format!(
+                        "actual next {}; bounded said {:?}, unbounded said {:?}; \
+                         history depth {} vs {}",
+                        r.id(),
+                        pb,
+                        pu,
+                        bounded.history_len(),
+                        unbounded.history_len(),
+                    ),
+                });
+                break; // first divergence per case is enough
+            }
+            bounded.update(r);
+            unbounded.update(r);
+        }
+    }
+    OracleOutcome {
+        name: NAME,
+        cases,
+        comparisons,
+        divergences,
+    }
+}
+
+/// Shared helper: binary-search the shortest stream prefix on which a
+/// predicate flips from agree to disagree, assuming monotonicity (a
+/// divergence never un-happens when the prefix grows). Returns the 1-based
+/// length of the first disagreeing prefix.
+fn first_divergent_prefix(n: usize, agrees_on: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, n); // agrees_on(lo) true, agrees_on(hi) false
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if agrees_on(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Oracle 2: `evaluate`, `evaluate_with_sink` (null sink) and the
+/// delayed-update engine at a latency-free operating point (issue width and
+/// window at least one full trace, so every trace trains before the next
+/// prediction) must produce identical statistics.
+pub fn evaluate_equivalence(seed: u64, cases: usize) -> OracleOutcome {
+    const NAME: &str = "evaluate-equivalence";
+    let master = XorShift64::new(seed ^ 0x0E7A_15E5);
+    let mut comparisons = 0u64;
+    let mut divergences = Vec::new();
+
+    for case in 0..cases {
+        let mut rng = master.fork(case as u64);
+        let (index_bits, depth) = paper_point(&mut rng);
+        let cfg = PredictorConfig::try_paper(index_bits, depth)
+            .expect("paper points are valid by construction");
+        let ecfg = EngineConfig {
+            issue_width: rng.range(16, 64) as u32,
+            window: rng.range(16, 128) as u32,
+            mispredict_penalty: rng.range(0, 8) as u32,
+        };
+        let stream_len = rng.range(500, 1500) as usize;
+        let stream = random_stream(&mut rng, stream_len);
+
+        let run_eval = |records: &[ntp_trace::TraceRecord]| -> PredictorStats {
+            evaluate(&mut NextTracePredictor::new(cfg), records)
+        };
+        let run_sink = |records: &[ntp_trace::TraceRecord]| -> PredictorStats {
+            evaluate_with_sink(&mut NextTracePredictor::new(cfg), records, &mut NullSink).0
+        };
+        let run_engine = |records: &[ntp_trace::TraceRecord]| -> PredictorStats {
+            DelayedUpdateEngine::new(NextTracePredictor::new(cfg), ecfg)
+                .run(records)
+                .prediction
+        };
+
+        let base = run_eval(&stream);
+        comparisons += 2;
+        for (other_name, other) in [
+            ("evaluate_with_sink", run_sink(&stream)),
+            ("delayed-update engine", run_engine(&stream)),
+        ] {
+            if other != base {
+                let runner: &dyn Fn(&[ntp_trace::TraceRecord]) -> PredictorStats =
+                    if other_name == "evaluate_with_sink" {
+                        &run_sink
+                    } else {
+                        &run_engine
+                    };
+                let first = first_divergent_prefix(stream.len(), |k| {
+                    runner(&stream[..k]) == run_eval(&stream[..k])
+                });
+                divergences.push(Divergence {
+                    oracle: NAME,
+                    seed,
+                    case,
+                    index: Some(first.saturating_sub(1) as u64),
+                    config: format!("{cfg:?} engine {ecfg:?}"),
+                    detail: format!(
+                        "evaluate said {base:?}; {other_name} said {other:?} \
+                         (first divergent prefix: {first} traces)"
+                    ),
+                });
+            }
+        }
+    }
+    OracleOutcome {
+        name: NAME,
+        cases,
+        comparisons,
+        divergences,
+    }
+}
+
+/// Oracle 3: sharded replay through the worker pool must return exactly the
+/// serial result vector at every thread count (the ordered-merge contract
+/// of `ntp_runner::map_ordered_with`).
+pub fn runner_determinism(seed: u64, cases: usize) -> OracleOutcome {
+    const NAME: &str = "runner-determinism";
+    let master = XorShift64::new(seed ^ 0x5EED_2EED);
+    let mut comparisons = 0u64;
+    let mut divergences = Vec::new();
+
+    for case in 0..cases {
+        let mut rng = master.fork(case as u64);
+        let (index_bits, depth) = paper_point(&mut rng);
+        let cfg = PredictorConfig::try_paper(index_bits, depth)
+            .expect("paper points are valid by construction");
+        let stream_len = rng.range(600, 1600) as usize;
+        let stream = random_stream(&mut rng, stream_len);
+        let shards = rng.range(2, 9) as usize;
+        let chunk = stream.len().div_ceil(shards);
+        let chunks: Vec<&[ntp_trace::TraceRecord]> = stream.chunks(chunk).collect();
+
+        let job = |_i: usize, records: &&[ntp_trace::TraceRecord]| -> PredictorStats {
+            evaluate(&mut NextTracePredictor::new(cfg), records)
+        };
+        let serial = map_ordered_with(1, &chunks, job);
+        for threads in [2usize, 8] {
+            let parallel = map_ordered_with(threads, &chunks, job);
+            comparisons += 1;
+            if parallel != serial {
+                let first = serial
+                    .iter()
+                    .zip(&parallel)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(serial.len().min(parallel.len()));
+                divergences.push(Divergence {
+                    oracle: NAME,
+                    seed,
+                    case,
+                    index: Some(first as u64),
+                    config: format!("{cfg:?} shards {shards} threads {threads}"),
+                    detail: format!(
+                        "shard {first}: serial {:?} vs parallel {:?}",
+                        serial.get(first),
+                        parallel.get(first)
+                    ),
+                });
+            }
+        }
+    }
+    OracleOutcome {
+        name: NAME,
+        cases,
+        comparisons,
+        divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_oracles_are_clean_on_a_small_sweep() {
+        for o in [
+            bounded_vs_unbounded(0xC0FFEE, 8),
+            evaluate_equivalence(0xC0FFEE, 8),
+            runner_determinism(0xC0FFEE, 4),
+        ] {
+            assert!(o.is_clean(), "{o}\n{:#?}", o.divergences);
+            assert!(o.comparisons > 0);
+        }
+    }
+
+    #[test]
+    fn prefix_bisection_finds_the_flip() {
+        // Predicate agrees on prefixes < 137, disagrees from 137 on.
+        assert_eq!(first_divergent_prefix(1000, |k| k < 137), 137);
+        assert_eq!(first_divergent_prefix(10, |_| false), 1);
+    }
+
+    #[test]
+    fn divergence_report_names_everything() {
+        let d = Divergence {
+            oracle: "bounded-vs-unbounded",
+            seed: 0xC0FFEE,
+            case: 17,
+            index: Some(342),
+            config: "cfg".into(),
+            detail: "a vs b".into(),
+        };
+        let s = d.to_string();
+        for needle in ["0xc0ffee", "case 17", "index 342", "a vs b"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

@@ -18,6 +18,11 @@ say "tier-1: cargo build --release && cargo test -q"
 cargo build --release --workspace
 cargo test -q --workspace
 
+say "differential-verification sweep (fixed seed, 64 points/oracle)"
+# VERIFICATION.md documents the oracles and the seed protocol. Nonzero
+# exit means a divergence; the report names the seed/case to reproduce.
+cargo run --release -q -p ntp-cli -- verify --seed 0xC0FFEE --points 64
+
 say "tiny-scale experiments smoke (--json), serial vs 4 threads"
 out_a="$(mktemp -d)"
 out_b="$(mktemp -d)"

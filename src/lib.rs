@@ -20,7 +20,10 @@
 //!   studies and a trace cache;
 //! * [`runner`] — the zero-dependency scoped-thread worker pool
 //!   (`NTP_THREADS`) with ordered-merge results that keeps parallel
-//!   capture/replay byte-identical to the serial run.
+//!   capture/replay byte-identical to the serial run;
+//! * [`verify`] — the differential-testing and fault-injection harness
+//!   (`ntp verify`): seeded stream/config generators, cross-implementation
+//!   oracles and hostile-config sweeps (see `VERIFICATION.md`).
 //!
 //! # Quickstart
 //!
@@ -51,4 +54,5 @@ pub use ntp_runner as runner;
 pub use ntp_sim as sim;
 pub use ntp_telemetry as telemetry;
 pub use ntp_trace as trace;
+pub use ntp_verify as verify;
 pub use ntp_workloads as workloads;
