@@ -12,7 +12,11 @@
 //! * `NTP_INSTR_BUDGET` — hard cap on simulated instructions per benchmark;
 //! * `NTP_THREADS` — worker threads for capture and replay fan-out
 //!   (default: available parallelism; `1` forces the serial path). Output
-//!   is byte-identical at any thread count.
+//!   is byte-identical at any thread count;
+//! * `NTP_TRACE_CACHE` — persistent on-disk trace-capture cache (see
+//!   [`ntp_tracefile`]): `1` caches under `.ntp-cache/`, any other
+//!   non-empty value is the cache directory. Warm runs skip the
+//!   `simulate` phase entirely and are byte-identical on stdout.
 
 #![warn(missing_docs)]
 
@@ -24,8 +28,11 @@ use ntp_baselines::{
 };
 use ntp_telemetry::{PhaseTimes, ReplayThroughput, ScopeTimer};
 use ntp_trace::{ControlMix, RedundancyStats, TraceBuilder, TraceConfig, TraceRecord, TraceStats};
+use ntp_tracefile::{format as ntc, CaptureArtifact, Fingerprint, TraceFileError};
 use ntp_workloads::{suite, ScalePreset, Workload};
+use std::path::Path;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Everything one simulation pass learns about a benchmark.
 pub struct BenchData {
@@ -67,13 +74,143 @@ pub fn capture(workload: &Workload, budget: u64) -> BenchData {
 /// Runs one benchmark once under an explicit trace-selection policy,
 /// collecting traces and all streaming baselines.
 ///
+/// Honours the `NTP_TRACE_CACHE` knob: when the cache is enabled and
+/// holds a valid artifact for this exact configuration, the simulation
+/// pass is skipped entirely and the artifact is replayed from disk (see
+/// [`capture_with_cache`]).
+///
 /// # Panics
 ///
 /// Panics on simulation faults (a workload bug).
 pub fn capture_with(workload: &Workload, budget: u64, cfg: TraceConfig) -> BenchData {
+    let dir = ntp_tracefile::cache_dir_from_env();
+    capture_with_cache(workload, budget, cfg, dir.as_deref())
+}
+
+/// The cache key for one `(workload, budget, policy)` capture
+/// configuration. Public so `ntp capture --verify` can audit cache files
+/// against the exact fingerprints the bench harness would use.
+pub fn capture_fingerprint(workload: &Workload, budget: u64, cfg: &TraceConfig) -> Fingerprint {
+    Fingerprint::new(
+        workload.name,
+        workload.analog_of,
+        budget,
+        cfg,
+        &workload.program.to_image(),
+    )
+}
+
+/// Like [`capture_with`], but with an explicit cache directory (`None`
+/// disables the cache). On a valid cache hit the `simulate` phase is
+/// replaced by a `cache_load` phase and the artifact is decoded from
+/// disk; on a miss (no file) or an invalid file (stale fingerprint,
+/// version skew, corruption — warned to stderr) the full capture pass
+/// runs and, on success, the artifact is written back atomically.
+///
+/// # Panics
+///
+/// Panics on simulation faults (a workload bug).
+pub fn capture_with_cache(
+    workload: &Workload,
+    budget: u64,
+    cfg: TraceConfig,
+    cache: Option<&Path>,
+) -> BenchData {
+    let Some(dir) = cache else {
+        return capture_cold(workload, budget, cfg);
+    };
+    let fp = capture_fingerprint(workload, budget, &cfg);
+    let path = dir.join(fp.file_name());
+    let start = Instant::now();
+    match ntc::read_file(&path, &fp) {
+        Ok((artifact, bytes)) => {
+            let elapsed = start.elapsed();
+            ntp_tracefile::counters::record_hit(bytes, elapsed);
+            let mut phases = PhaseTimes::new();
+            phases.add("cache_load", elapsed);
+            return bench_data_from_artifact(workload, artifact, phases);
+        }
+        Err(TraceFileError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            ntp_tracefile::counters::record_miss();
+        }
+        Err(e) => {
+            ntp_tracefile::counters::record_invalid();
+            ntp_runner::progress().line(&format!(
+                "[cache] {}: refused {} — re-capturing ({e})",
+                workload.name,
+                path.display()
+            ));
+        }
+    }
+    let data = capture_cold(workload, budget, cfg);
+    let artifact = artifact_from_bench_data(&data);
+    let store = Instant::now();
+    match ntc::write_file(&path, &fp, &artifact) {
+        Ok(bytes) => ntp_tracefile::counters::record_store(bytes, store.elapsed()),
+        Err(e) => ntp_runner::progress().line(&format!(
+            "[cache] {}: could not write {} ({e}); continuing uncached",
+            workload.name,
+            path.display()
+        )),
+    }
+    data
+}
+
+/// Rehydrates a [`BenchData`] from a decoded cache artifact. The static
+/// name/analog strings come from the workload (the fingerprint already
+/// guarantees they match the artifact).
+fn bench_data_from_artifact(
+    workload: &Workload,
+    artifact: CaptureArtifact,
+    phases: PhaseTimes,
+) -> BenchData {
+    BenchData {
+        name: workload.name,
+        analog_of: workload.analog_of,
+        records: artifact.records,
+        trace_stats: TraceStats::from_raw(artifact.trace_stats),
+        redundancy: RedundancyStats::from_raw(artifact.redundancy),
+        seq_stats: artifact.seq_stats,
+        mb_stats: artifact.mb_stats,
+        gag_stats: artifact.gag_stats,
+        mix: artifact.mix,
+        icount: artifact.icount,
+        phases,
+    }
+}
+
+/// The persisted form of one capture pass (everything except the
+/// wall-clock phase timings, which are volatile by definition).
+fn artifact_from_bench_data(d: &BenchData) -> CaptureArtifact {
+    CaptureArtifact {
+        name: d.name.to_string(),
+        analog_of: d.analog_of.to_string(),
+        icount: d.icount,
+        records: d.records.clone(),
+        trace_stats: d.trace_stats.to_raw(),
+        redundancy: d.redundancy.to_raw(),
+        seq_stats: d.seq_stats.clone(),
+        mb_stats: d.mb_stats.clone(),
+        gag_stats: d.gag_stats.clone(),
+        mix: d.mix.clone(),
+    }
+}
+
+/// A conservative pre-reservation for the trace-record stream: the
+/// paper's traces average well above 8 instructions, so `budget / 8`
+/// never over-reserves by more than ~2x, clamped to keep tiny budgets
+/// cheap and absurd budgets bounded (the Vec still grows if exceeded).
+fn estimated_record_capacity(budget: u64) -> usize {
+    usize::try_from(budget / 8)
+        .unwrap_or(usize::MAX)
+        .clamp(64, 1 << 20)
+}
+
+/// The uncached capture pass: one full functional simulation.
+fn capture_cold(workload: &Workload, budget: u64, cfg: TraceConfig) -> BenchData {
     let mut machine = workload.machine();
     let mut builder = TraceBuilder::new(cfg);
-    let mut records = Vec::new();
+    let mut records = Vec::with_capacity(estimated_record_capacity(budget));
     let mut trace_stats = TraceStats::new();
     let mut redundancy = RedundancyStats::new();
     let mut seq = SequentialTracePredictor::paper();
@@ -170,6 +307,17 @@ pub fn section_throughput() -> Vec<ReplayThroughput> {
         .clone()
 }
 
+/// Clears the per-section throughput registry. [`capture_suite`] calls
+/// this at suite start so a process that captures more than once (tests,
+/// long-lived drivers) reports only the samples of the current run
+/// instead of accumulating across runs forever.
+pub fn reset_section_throughput() {
+    SECTION_THROUGHPUT
+        .lock()
+        .expect("throughput registry lock")
+        .clear();
+}
+
 /// Captures the whole six-benchmark suite at the environment-selected
 /// scale, fanning benchmarks out over `NTP_THREADS` workers.
 ///
@@ -178,7 +326,20 @@ pub fn section_throughput() -> Vec<ReplayThroughput> {
 /// (whole lines, never interleaved), and the `[phase]` summaries are
 /// emitted strictly in suite order, so multi-run logs stay comparable.
 /// The returned data is in suite order regardless of thread count.
+///
+/// Resets the per-section throughput registry and the trace-cache
+/// counters at suite start, so every report describes exactly one run.
 pub fn capture_suite() -> Vec<BenchData> {
+    let dir = ntp_tracefile::cache_dir_from_env();
+    capture_suite_in(dir.as_deref())
+}
+
+/// Like [`capture_suite`], but with an explicit cache directory (`None`
+/// disables the cache regardless of the environment). Used by the
+/// `ntp capture` CLI subcommand to pre-warm an explicit directory.
+pub fn capture_suite_in(cache: Option<&Path>) -> Vec<BenchData> {
+    reset_section_throughput();
+    ntp_tracefile::reset_counters();
     let scale = scale_from_env();
     let budget = budget_from_env();
     let workloads = suite(scale);
@@ -187,7 +348,7 @@ pub fn capture_suite() -> Vec<BenchData> {
     let threads = ntp_runner::thread_count();
     let (data, stats) = ntp_runner::map_ordered_stats(threads, &workloads, |i, w| {
         reporter.line(&format!("[capture] simulating {} …", w.name));
-        let d = capture(w, budget);
+        let d = capture_with_cache(w, budget, TraceConfig::default(), cache);
         reporter.submit(
             i,
             format!("[phase] {}: {}", d.name, d.phases.summary_line()),
@@ -211,6 +372,10 @@ pub fn capture_suite() -> Vec<BenchData> {
         if stats.threads == 1 { "" } else { "s" },
     ));
     record_section_throughput(sample);
+    let cache_counters = ntp_tracefile::counters();
+    if !cache_counters.is_empty() {
+        reporter.line(&format!("[cache] {}", cache_counters.summary_line()));
+    }
     data
 }
 
@@ -253,5 +418,80 @@ mod tests {
         let r = row(&["name".into(), "1.00".into(), "2.00".into()]);
         assert!(r.starts_with("name      "));
         assert!(r.ends_with("     2.00"));
+    }
+
+    #[test]
+    fn record_capacity_estimate_is_clamped() {
+        assert_eq!(estimated_record_capacity(0), 64);
+        assert_eq!(estimated_record_capacity(8_000), 1_000);
+        assert_eq!(estimated_record_capacity(u64::MAX), 1 << 20);
+    }
+
+    #[test]
+    fn reset_clears_section_throughput() {
+        record_section_throughput(ReplayThroughput {
+            label: "test".to_string(),
+            records: 1,
+            wall: std::time::Duration::from_millis(1),
+            busy: std::time::Duration::from_millis(1),
+            threads: 1,
+        });
+        assert!(!section_throughput().is_empty());
+        reset_section_throughput();
+        assert!(section_throughput().is_empty());
+    }
+
+    /// Warm loads must reproduce every field the cold pass computed, skip
+    /// the `simulate` phase, and a corrupted file must fall back to a
+    /// (correct) re-capture.
+    #[test]
+    fn cache_warm_load_matches_cold_capture() {
+        let dir = std::env::temp_dir().join(format!(
+            "ntp-bench-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = ntp_workloads::compress::build(1);
+        let budget = 2_000_000;
+        let cfg = TraceConfig::default();
+
+        let cold = capture_with_cache(&w, budget, cfg, Some(&dir));
+        assert!(cold.phases.get("simulate") > std::time::Duration::ZERO);
+
+        let warm = capture_with_cache(&w, budget, cfg, Some(&dir));
+        assert_eq!(warm.phases.get("simulate"), std::time::Duration::ZERO);
+        assert!(warm.phases.get("cache_load") > std::time::Duration::ZERO);
+        assert_eq!(warm.records, cold.records);
+        assert_eq!(warm.icount, cold.icount);
+        assert_eq!(warm.trace_stats.to_raw(), cold.trace_stats.to_raw());
+        assert_eq!(warm.redundancy.to_raw(), cold.redundancy.to_raw());
+        assert_eq!(warm.seq_stats, cold.seq_stats);
+        assert_eq!(warm.mb_stats, cold.mb_stats);
+        assert_eq!(warm.gag_stats, cold.gag_stats);
+        assert_eq!(warm.mix, cold.mix);
+
+        // A different budget is a different fingerprint: its own file.
+        let fp_a = capture_fingerprint(&w, budget, &cfg);
+        let fp_b = capture_fingerprint(&w, budget + 1, &cfg);
+        assert_ne!(fp_a.file_name(), fp_b.file_name());
+
+        // Corrupt the stored file: the loader must refuse it and the
+        // fallback re-capture must still match the cold pass.
+        let path = dir.join(fp_a.file_name());
+        let mut bytes = std::fs::read(&path).expect("cache file exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite corrupted file");
+        let refetched = capture_with_cache(&w, budget, cfg, Some(&dir));
+        assert!(refetched.phases.get("simulate") > std::time::Duration::ZERO);
+        assert_eq!(refetched.records, cold.records);
+
+        // The fallback rewrote a valid file behind itself.
+        let rewarm = capture_with_cache(&w, budget, cfg, Some(&dir));
+        assert_eq!(rewarm.records, cold.records);
+        assert!(rewarm.phases.get("cache_load") > std::time::Duration::ZERO);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -130,7 +130,8 @@ pub fn bench_report(d: &BenchData) -> Report {
                 Json::F64(per_second(d.records.len() as u64, replay)),
             )
             .with("threads", Json::U64(ntp_runner::thread_count() as u64))
-            .with("sections", sections),
+            .with("sections", sections)
+            .with("trace_cache", ntp_tracefile::counters().to_json()),
     );
     report
 }
@@ -265,6 +266,14 @@ mod tests {
         // The capture phase made it into phases_ms.
         assert!(j.get("phases_ms").and_then(|p| p.get("simulate")).is_some());
         assert!(j.get("phases_ms").and_then(|p| p.get("replay")).is_some());
+        // The trace-cache counters ride in the volatile throughput section.
+        let cache = j
+            .get("throughput")
+            .and_then(|t| t.get("trace_cache"))
+            .expect("throughput.trace_cache present");
+        for key in ["hits", "misses", "invalid", "stores"] {
+            assert!(cache.get(key).is_some(), "missing trace_cache.{key}");
+        }
     }
 
     #[test]

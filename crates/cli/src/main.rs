@@ -8,6 +8,7 @@
 //! ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]
 //! ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]
 //! ntp verify [--seed 0xC0FFEE] [--points N]
+//! ntp capture [--dir <path>] [--verify]
 //! ntp workloads                        list the built-in benchmarks
 //! ```
 
@@ -19,6 +20,7 @@ use ntp_isa::{asm::assemble, disasm, Program, IMAGE_MAGIC};
 use ntp_sim::Machine;
 use ntp_telemetry::{Json, NullSink, PhaseTimes, Report, RunManifest, ScopeTimer, ToJson};
 use ntp_trace::{run_traces, TraceConfig, TraceRecord, TraceStats};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -45,6 +47,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(rest),
         "report" => cmd_report(rest),
         "verify" => cmd_verify(rest),
+        "capture" => cmd_capture(rest),
         "workloads" => cmd_workloads(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -63,6 +66,7 @@ fn usage() -> String {
      ntp trace <file.s|file.bin|@workload> [--budget N] [--limit N]\n  \
      ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]\n  \
      ntp verify [--seed 0xC0FFEE] [--points N]\n  \
+     ntp capture [--dir <path>] [--verify]\n  \
      ntp workloads"
         .to_string()
 }
@@ -415,6 +419,78 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
             "{} divergence(s); re-run with `--seed {seed:#x}` to reproduce",
             report.total_divergences()
         ))
+    }
+}
+
+/// `ntp capture`: pre-warms (or, with `--verify`, audits) the persistent
+/// trace-capture cache for the whole suite at the environment-selected
+/// scale and budget (see EXPERIMENTS.md, "Persistent trace cache").
+///
+/// Without `--dir` the directory comes from `NTP_TRACE_CACHE`, falling
+/// back to the default `.ntp-cache/` so `ntp capture` is useful even
+/// before the environment knob is set.
+fn cmd_capture(rest: &[String]) -> Result<(), String> {
+    let dir = match flag_str(rest, "--dir") {
+        Some(d) => PathBuf::from(d),
+        None => ntp_tracefile::cache_dir_from_env()
+            .unwrap_or_else(|| PathBuf::from(ntp_tracefile::DEFAULT_CACHE_DIR)),
+    };
+    if rest.iter().any(|a| a == "--verify") {
+        return capture_verify(&dir);
+    }
+    let data = ntp_bench::capture_suite_in(Some(&dir));
+    for d in &data {
+        println!(
+            "{:<10}{:>12} instrs {:>10} traces",
+            d.name,
+            d.icount,
+            d.records.len()
+        );
+    }
+    let c = ntp_tracefile::counters();
+    println!("[cache] {}: {}", dir.display(), c.summary_line());
+    Ok(())
+}
+
+/// `ntp capture --verify`: decodes and validates every suite cache file
+/// without simulating. Missing or invalid files make the exit status
+/// nonzero, so this doubles as a CI audit of a pre-warmed cache.
+fn capture_verify(dir: &Path) -> Result<(), String> {
+    let scale = ntp_bench::scale_from_env();
+    let budget = ntp_bench::budget_from_env();
+    let (mut missing, mut invalid) = (0u32, 0u32);
+    for w in ntp_workloads::suite(scale) {
+        let fp = ntp_bench::capture_fingerprint(&w, budget, &TraceConfig::default());
+        let path = dir.join(fp.file_name());
+        match ntp_tracefile::format::read_file(&path, &fp) {
+            Ok((artifact, bytes)) => println!(
+                "{:<10}ok       {:>10} traces {:>12} bytes  {}",
+                w.name,
+                artifact.records.len(),
+                bytes,
+                path.display()
+            ),
+            Err(ntp_tracefile::TraceFileError::Io(e))
+                if e.kind() == std::io::ErrorKind::NotFound =>
+            {
+                println!("{:<10}missing  {}", w.name, path.display());
+                missing += 1;
+            }
+            Err(e) => {
+                println!("{:<10}INVALID  {} ({e})", w.name, path.display());
+                invalid += 1;
+            }
+        }
+    }
+    if invalid > 0 || missing > 0 {
+        Err(format!(
+            "cache audit failed under {}: {invalid} invalid, {missing} missing \
+             (run `ntp capture` to pre-warm)",
+            dir.display()
+        ))
+    } else {
+        println!("[cache] {}: all suite entries valid", dir.display());
+        Ok(())
     }
 }
 

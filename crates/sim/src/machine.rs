@@ -201,15 +201,34 @@ impl Machine {
         Ok(())
     }
 
-    /// Reads `n` consecutive words starting at `addr`.
+    /// Fills `buf` with consecutive words starting at `addr`.
+    ///
+    /// The caller provides the destination, so repeated reads (polling a
+    /// buffer every step, the bench capture loop) reuse one allocation
+    /// instead of collecting a fresh `Vec` per call. See
+    /// [`Machine::read_words_vec`] for the allocating convenience form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemFault`] on unmapped or misaligned addresses;
+    /// `buf` contents are unspecified after an error.
+    pub fn read_words(&self, addr: u32, buf: &mut [u32]) -> Result<(), SimError> {
+        for (k, slot) in buf.iter_mut().enumerate() {
+            *slot = self.mem.load32(addr + (k as u32) * 4)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` consecutive words starting at `addr` into a fresh `Vec`
+    /// (allocating convenience wrapper over [`Machine::read_words`]).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::MemFault`] on unmapped or misaligned addresses.
-    pub fn read_words(&self, addr: u32, n: usize) -> Result<Vec<u32>, SimError> {
-        (0..n)
-            .map(|k| self.mem.load32(addr + (k as u32) * 4))
-            .collect()
+    pub fn read_words_vec(&self, addr: u32, n: usize) -> Result<Vec<u32>, SimError> {
+        let mut buf = vec![0u32; n];
+        self.read_words(addr, &mut buf)?;
+        Ok(buf)
     }
 
     /// Executes one instruction and reports what retired.
@@ -678,6 +697,11 @@ f:      ret
         let mut m = Machine::new(p);
         let buf = m.program().symbol("buf").unwrap();
         m.write_words(buf, &[1, 2, 3, 4]).unwrap();
-        assert_eq!(m.read_words(buf, 4).unwrap(), vec![1, 2, 3, 4]);
+        let mut out = [0u32; 4];
+        m.read_words(buf, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert_eq!(m.read_words_vec(buf, 4).unwrap(), vec![1, 2, 3, 4]);
+        // The fill form reports faults without allocating.
+        assert!(m.read_words(0xFFFF_FFF0, &mut out).is_err());
     }
 }

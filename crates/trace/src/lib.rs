@@ -47,6 +47,6 @@ mod trace;
 pub use builder::{run_traces, TraceBuilder, TraceConfig, TraceConfigError};
 pub use id::{HashedId, TraceId, HASHED_ID_BITS, TRACE_ID_BITS};
 pub use record::TraceRecord;
-pub use redundancy::RedundancyStats;
-pub use stats::{ControlMix, TraceStats};
+pub use redundancy::{RedundancyRaw, RedundancyStats};
+pub use stats::{ControlMix, TraceStats, TraceStatsRaw};
 pub use trace::{CtrlInfo, Trace, MAX_TRACE_BRANCHES, MAX_TRACE_LEN};

@@ -91,6 +91,46 @@ impl RedundancyStats {
         let dup = self.copies.values().filter(|&&n| n > 1).count();
         dup as f64 / self.copies.len() as f64
     }
+
+    /// Plain-data snapshot for persistence (the on-disk trace cache). Both
+    /// the static-trace set and the per-instruction copy counts come back
+    /// **sorted** so the serialized form is deterministic.
+    pub fn to_raw(&self) -> RedundancyRaw {
+        let mut seen_traces: Vec<u64> = self.seen_traces.iter().copied().collect();
+        seen_traces.sort_unstable();
+        let mut copies: Vec<(u32, u32)> = self.copies.iter().map(|(&pc, &n)| (pc, n)).collect();
+        copies.sort_unstable();
+        RedundancyRaw {
+            seen_traces,
+            copies,
+            stored_instrs: self.stored_instrs,
+        }
+    }
+
+    /// Rebuilds an accumulator from a [`RedundancyRaw`] snapshot; the
+    /// result is observationally identical to the snapshotted accumulator
+    /// (including further [`RedundancyStats::record`] calls, which keep
+    /// deduplicating against the restored static-trace set).
+    pub fn from_raw(raw: RedundancyRaw) -> RedundancyStats {
+        RedundancyStats {
+            seen_traces: raw.seen_traces.into_iter().collect(),
+            copies: raw.copies.into_iter().collect(),
+            stored_instrs: raw.stored_instrs,
+        }
+    }
+}
+
+/// The plain-data form of [`RedundancyStats`] used by persistence layers
+/// (see [`RedundancyStats::to_raw`] / [`RedundancyStats::from_raw`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RedundancyRaw {
+    /// Distinct packed trace identifiers, sorted ascending.
+    pub seen_traces: Vec<u64>,
+    /// `(instruction pc, distinct static traces containing it)`, sorted by
+    /// pc.
+    pub copies: Vec<(u32, u32)>,
+    /// Instruction slots a trace cache would dedicate to these traces.
+    pub stored_instrs: u64,
 }
 
 #[cfg(test)]
@@ -161,5 +201,31 @@ loop:   addi t0, t0, -1
             a.static_traces(),
             b.static_traces()
         );
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_every_accessor() {
+        let src = "
+main:   li   s0, 10
+loop:   andi t0, s0, 1
+        beqz t0, right
+        addi s1, s1, 1
+        j    join
+right:  addi s1, s1, 2
+join:   addi s0, s0, -1
+        bnez s0, loop
+        halt
+";
+        let stats = stats_of(src);
+        let raw = stats.to_raw();
+        assert!(raw.seen_traces.windows(2).all(|w| w[0] < w[1]), "sorted");
+        assert!(raw.copies.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        let back = RedundancyStats::from_raw(raw.clone());
+        assert_eq!(back.static_traces(), stats.static_traces());
+        assert_eq!(back.unique_instrs(), stats.unique_instrs());
+        assert_eq!(back.stored_instrs(), stats.stored_instrs());
+        assert_eq!(back.duplication_factor(), stats.duplication_factor());
+        assert_eq!(back.duplicated_fraction(), stats.duplicated_fraction());
+        assert_eq!(back.to_raw(), raw);
     }
 }

@@ -100,6 +100,60 @@ impl TraceStats {
             self.cond_branches as f64 / self.traces as f64
         }
     }
+
+    /// Plain-data snapshot of every counter, for persistence (the on-disk
+    /// trace cache). The static-id set comes back **sorted** so the
+    /// serialized form is deterministic.
+    pub fn to_raw(&self) -> TraceStatsRaw {
+        let mut static_ids: Vec<u64> = self.static_ids.iter().copied().collect();
+        static_ids.sort_unstable();
+        TraceStatsRaw {
+            traces: self.traces,
+            instrs: self.instrs,
+            cond_branches: self.cond_branches,
+            calls: self.calls,
+            returns: self.returns,
+            indirect: self.indirect,
+            static_ids,
+        }
+    }
+
+    /// Rebuilds an accumulator from a [`TraceStatsRaw`] snapshot. The
+    /// result is observationally identical to the accumulator the snapshot
+    /// was taken from (every accessor and [`ToJson`] output agrees).
+    ///
+    /// [`ToJson`]: ntp_telemetry::ToJson
+    pub fn from_raw(raw: TraceStatsRaw) -> TraceStats {
+        TraceStats {
+            traces: raw.traces,
+            instrs: raw.instrs,
+            cond_branches: raw.cond_branches,
+            calls: raw.calls,
+            returns: raw.returns,
+            indirect: raw.indirect,
+            static_ids: raw.static_ids.into_iter().collect(),
+        }
+    }
+}
+
+/// The plain-data form of [`TraceStats`] used by persistence layers (see
+/// [`TraceStats::to_raw`] / [`TraceStats::from_raw`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStatsRaw {
+    /// Dynamic traces observed.
+    pub traces: u64,
+    /// Instructions covered by those traces.
+    pub instrs: u64,
+    /// Conditional branches embedded in traces.
+    pub cond_branches: u64,
+    /// Call instructions observed.
+    pub calls: u64,
+    /// Traces ending in a return.
+    pub returns: u64,
+    /// Traces ending in any indirect-target instruction.
+    pub indirect: u64,
+    /// Distinct packed trace identifiers, sorted ascending.
+    pub static_ids: Vec<u64>,
 }
 
 /// Classifies every control event kind for instruction-mix reporting.
@@ -177,6 +231,35 @@ loop:   addi t0, t0, -1
         assert!(stats.avg_trace_len() > 1.0);
         assert!(stats.static_traces() >= 2);
         assert!(stats.branches_per_trace() > 0.0);
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_every_accessor() {
+        let src = "
+main:   li   t0, 9
+loop:   addi t0, t0, -1
+        bnez t0, loop
+        halt
+";
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new(p);
+        let mut stats = TraceStats::new();
+        run_traces(&mut m, 10_000, TraceConfig::default(), |t| stats.record(t)).unwrap();
+
+        let raw = stats.to_raw();
+        assert!(raw.static_ids.windows(2).all(|w| w[0] < w[1]), "sorted");
+        let back = TraceStats::from_raw(raw.clone());
+        assert_eq!(back.traces(), stats.traces());
+        assert_eq!(back.instrs(), stats.instrs());
+        assert_eq!(back.cond_branches(), stats.cond_branches());
+        assert_eq!(back.calls(), stats.calls());
+        assert_eq!(back.returns(), stats.returns());
+        assert_eq!(back.indirect_endings(), stats.indirect_endings());
+        assert_eq!(back.static_traces(), stats.static_traces());
+        assert_eq!(back.avg_trace_len(), stats.avg_trace_len());
+        assert_eq!(back.branches_per_trace(), stats.branches_per_trace());
+        // Snapshotting the round-tripped accumulator is a fixed point.
+        assert_eq!(back.to_raw(), raw);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Process-wide cache telemetry: hit/miss/store counters, byte volumes
+//! and load/store wall time.
+//!
+//! All values are wall-clock or filesystem derived, so reports must keep
+//! them under a volatile key (the bench reports put them in the
+//! `"throughput"` section, which determinism checks strip).
+
+use ntp_telemetry::{Json, ToJson};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Snapshot of the process-wide trace-cache counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CacheCounters {
+    /// Valid cache files loaded instead of re-capturing.
+    pub hits: u64,
+    /// Capture passes run because no cache file existed.
+    pub misses: u64,
+    /// Capture passes run because a cache file existed but failed
+    /// validation (stale fingerprint, corruption, version skew).
+    pub invalid: u64,
+    /// Artifacts written back to the cache.
+    pub stores: u64,
+    /// Bytes read from valid cache files.
+    pub bytes_read: u64,
+    /// Bytes written to the cache.
+    pub bytes_written: u64,
+    /// Wall time spent loading valid cache files.
+    pub load_time: Duration,
+    /// Wall time spent writing cache files.
+    pub store_time: Duration,
+}
+
+impl CacheCounters {
+    /// True when nothing has been recorded (cache disabled or unused).
+    pub fn is_empty(&self) -> bool {
+        *self == CacheCounters::default()
+    }
+
+    /// One human line, e.g.
+    /// `2 hits, 4 misses (0 invalid), 1.2 MB read in 3.1 ms, 2.4 MB written in 8.0 ms`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} hit{}, {} miss{} ({} invalid), {:.1} KB read in {:.1} ms, {:.1} KB written in {:.1} ms",
+            self.hits,
+            if self.hits == 1 { "" } else { "s" },
+            self.misses,
+            if self.misses == 1 { "" } else { "es" },
+            self.invalid,
+            self.bytes_read as f64 / 1024.0,
+            self.load_time.as_secs_f64() * 1e3,
+            self.bytes_written as f64 / 1024.0,
+            self.store_time.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+impl ToJson for CacheCounters {
+    /// `{hits, misses, invalid, stores, bytes_read, bytes_written,
+    /// load_ms, store_ms}` — all volatile.
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("hits", Json::U64(self.hits))
+            .with("misses", Json::U64(self.misses))
+            .with("invalid", Json::U64(self.invalid))
+            .with("stores", Json::U64(self.stores))
+            .with("bytes_read", Json::U64(self.bytes_read))
+            .with("bytes_written", Json::U64(self.bytes_written))
+            .with("load_ms", Json::F64(self.load_time.as_secs_f64() * 1e3))
+            .with("store_ms", Json::F64(self.store_time.as_secs_f64() * 1e3))
+    }
+}
+
+static COUNTERS: Mutex<CacheCounters> = Mutex::new(CacheCounters {
+    hits: 0,
+    misses: 0,
+    invalid: 0,
+    stores: 0,
+    bytes_read: 0,
+    bytes_written: 0,
+    load_time: Duration::ZERO,
+    store_time: Duration::ZERO,
+});
+
+fn with<R>(f: impl FnOnce(&mut CacheCounters) -> R) -> R {
+    f(&mut COUNTERS.lock().expect("cache counter lock"))
+}
+
+/// Snapshot of the counters recorded so far in this process.
+pub fn counters() -> CacheCounters {
+    with(|c| c.clone())
+}
+
+/// Clears the counters (suite starts and tests).
+pub fn reset_counters() {
+    with(|c| *c = CacheCounters::default());
+}
+
+/// Records one valid cache load.
+pub fn record_hit(bytes: u64, elapsed: Duration) {
+    with(|c| {
+        c.hits += 1;
+        c.bytes_read += bytes;
+        c.load_time += elapsed;
+    });
+}
+
+/// Records one cold capture (no cache file existed).
+pub fn record_miss() {
+    with(|c| c.misses += 1);
+}
+
+/// Records one refused cache file (stale or corrupt; the caller
+/// re-captures).
+pub fn record_invalid() {
+    with(|c| c.invalid += 1);
+}
+
+/// Records one artifact written back to the cache.
+pub fn record_store(bytes: u64, elapsed: Duration) {
+    with(|c| {
+        c.stores += 1;
+        c.bytes_written += bytes;
+        c.store_time += elapsed;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset_counters();
+        assert!(counters().is_empty());
+        record_miss();
+        record_store(100, Duration::from_millis(2));
+        record_hit(100, Duration::from_millis(1));
+        record_invalid();
+        let c = counters();
+        assert_eq!(
+            (c.hits, c.misses, c.invalid, c.stores),
+            (1, 1, 1, 1),
+            "{c:?}"
+        );
+        assert_eq!(c.bytes_read, 100);
+        assert_eq!(c.bytes_written, 100);
+        assert!(c.load_time >= Duration::from_millis(1));
+        let j = c.to_json();
+        for key in [
+            "hits",
+            "misses",
+            "invalid",
+            "stores",
+            "bytes_read",
+            "bytes_written",
+            "load_ms",
+            "store_ms",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert!(c.summary_line().contains("1 hit, 1 miss (1 invalid)"));
+        reset_counters();
+        assert!(counters().is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Cache-key fingerprints: everything that determines a capture pass's
+//! output, folded into one canonical string + hash.
+//!
+//! A cached artifact may only be loaded when the *entire* capture
+//! configuration matches: the workload (name, analog, and the assembled
+//! program image — which subsumes the scale preset, since scaling changes
+//! the program), the instruction budget, the trace-selection policy, and
+//! the on-disk format version. Any mismatch is a hard miss: the reader
+//! refuses the file and the caller re-captures. A stale cache must never
+//! mis-load.
+
+use crate::fnv::{fnv64, Fnv64};
+use ntp_trace::TraceConfig;
+
+/// The canonical identity of one capture configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_tracefile::Fingerprint;
+/// use ntp_trace::TraceConfig;
+/// let a = Fingerprint::new("compress", "compress", 1_000, &TraceConfig::default(), b"img");
+/// let b = Fingerprint::new("compress", "compress", 2_000, &TraceConfig::default(), b"img");
+/// assert_ne!(a.hash(), b.hash(), "budget is part of the key");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    canon: String,
+    hash: u64,
+}
+
+impl Fingerprint {
+    /// Builds the fingerprint of one capture configuration.
+    ///
+    /// `program_image` is the workload's assembled binary image; hashing it
+    /// (rather than naming a scale preset) means *any* change to workload
+    /// generation — scale, rounds, code edits — invalidates the cache.
+    pub fn new(
+        name: &str,
+        analog: &str,
+        budget: u64,
+        cfg: &TraceConfig,
+        program_image: &[u8],
+    ) -> Fingerprint {
+        let mut img = Fnv64::new();
+        img.update(program_image);
+        let canon = format!(
+            "ntc-v{};name={name};analog={analog};budget={budget};\
+             trace=len:{},br:{},calls:{},backedges:{};\
+             program={:016x}/{}B",
+            crate::format::FORMAT_VERSION,
+            cfg.max_len,
+            cfg.max_branches,
+            cfg.stop_at_calls,
+            cfg.stop_at_loop_back_edges,
+            img.finish(),
+            program_image.len(),
+        );
+        let hash = fnv64(canon.as_bytes());
+        Fingerprint { canon, hash }
+    }
+
+    /// The canonical string (stored verbatim in the file header so `ntp
+    /// capture --verify` can explain a mismatch).
+    pub fn canon(&self) -> &str {
+        &self.canon
+    }
+
+    /// FNV-1a 64 of the canonical string.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The cache file name this configuration maps to:
+    /// `<name>-<hash:016x>.ntc`. Distinct configurations get distinct
+    /// files, so parallel capture workers never contend on one file.
+    pub fn file_name(&self) -> String {
+        let safe: String = self
+            .canon
+            .split(';')
+            .find_map(|kv| kv.strip_prefix("name="))
+            .unwrap_or("capture")
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("{safe}-{:016x}.ntc", self.hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Fingerprint {
+        Fingerprint::new("cc", "gcc", 500, &TraceConfig::default(), b"\x01\x02\x03")
+    }
+
+    #[test]
+    fn every_input_perturbs_the_hash() {
+        let b = base();
+        let variants = [
+            Fingerprint::new("go", "gcc", 500, &TraceConfig::default(), b"\x01\x02\x03"),
+            Fingerprint::new("cc", "go", 500, &TraceConfig::default(), b"\x01\x02\x03"),
+            Fingerprint::new("cc", "gcc", 501, &TraceConfig::default(), b"\x01\x02\x03"),
+            Fingerprint::new(
+                "cc",
+                "gcc",
+                500,
+                &TraceConfig::with_max_len(8),
+                b"\x01\x02\x03",
+            ),
+            Fingerprint::new(
+                "cc",
+                "gcc",
+                500,
+                &TraceConfig {
+                    stop_at_calls: true,
+                    ..TraceConfig::default()
+                },
+                b"\x01\x02\x03",
+            ),
+            Fingerprint::new("cc", "gcc", 500, &TraceConfig::default(), b"\x01\x02\x04"),
+        ];
+        for v in variants {
+            assert_ne!(v.hash(), b.hash(), "{}", v.canon());
+        }
+    }
+
+    #[test]
+    fn same_inputs_same_fingerprint() {
+        assert_eq!(base(), base());
+    }
+
+    #[test]
+    fn file_name_is_sanitized_and_keyed() {
+        let fp = Fingerprint::new("we ird/name", "x", 1, &TraceConfig::default(), b"");
+        let n = fp.file_name();
+        assert!(n.starts_with("we_ird_name-"), "{n}");
+        assert!(n.ends_with(".ntc"));
+        assert!(n.contains(&format!("{:016x}", fp.hash())));
+    }
+}

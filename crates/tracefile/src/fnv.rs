@@ -1,0 +1,84 @@
+//! The FNV-1a 64-bit hash every checksum and fingerprint in this crate
+//! uses: fast, streaming, zero-dependency, and stable across platforms
+//! (the on-disk format depends on that stability).
+
+/// FNV-1a offset basis.
+const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_tracefile::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.update(b"hello");
+/// let split = {
+///     let mut h = Fnv64::new();
+///     h.update(b"he");
+///     h.update(b"llo");
+///     h.finish()
+/// };
+/// assert_eq!(h.finish(), split, "streaming splits do not change the hash");
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 { state: OFFSET }
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= b as u64;
+            s = s.wrapping_mul(PRIME);
+        }
+        self.state = s;
+    }
+
+    /// The hash of everything folded in so far (the hasher keeps running).
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn one_bit_changes_hash() {
+        let a = fnv64(b"NTPC cache payload");
+        let b = fnv64(b"NTPC cache paylaod");
+        assert_ne!(a, b);
+    }
+}

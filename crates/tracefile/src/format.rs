@@ -1,0 +1,881 @@
+//! The `.ntc` binary format: a validating codec for one captured
+//! benchmark.
+//!
+//! ```text
+//! header   magic "NTPC" | format version u32 | fingerprint hash u64
+//!          | fingerprint length u32 | fingerprint string (UTF-8)
+//! sections 8 fixed-order sections, each:
+//!          tag [u8;4] | payload length u64 | payload
+//!          | FNV-1a 64 checksum over (tag ‖ length ‖ payload)
+//! trailer  end of file, exactly (trailing bytes are an error)
+//! ```
+//!
+//! All integers are little-endian. The reader is *validating*: magic,
+//! version, fingerprint (hash **and** canonical string), every section
+//! checksum, every length field, and every decoded value range are
+//! checked, and any mismatch is a hard [`TraceFileError`] — a stale or
+//! corrupt cache must fall back to re-capture, never mis-load. Single-bit
+//! flips anywhere in the file are caught (see
+//! `tests/codec_props.rs`).
+
+use crate::fnv::{fnv64, Fnv64};
+use crate::Fingerprint;
+use ntp_baselines::{MultiBranchStats, SequentialStats};
+use ntp_trace::{
+    ControlMix, RedundancyRaw, TraceId, TraceRecord, TraceStatsRaw, MAX_TRACE_BRANCHES,
+    MAX_TRACE_LEN,
+};
+use std::io::Write;
+use std::path::Path;
+
+/// File magic: the first four bytes of every `.ntc` file.
+pub const MAGIC: [u8; 4] = *b"NTPC";
+
+/// On-disk format version. Bump on any layout change; readers reject
+/// every other version (the fingerprint also folds this in, so a bump
+/// changes file names too and old files are simply ignored).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed section order of the format (tag, human name).
+const SECTIONS: [(&[u8; 4], &str); 8] = [
+    (b"META", "meta"),
+    (b"RECS", "records"),
+    (b"TSTA", "trace_stats"),
+    (b"REDN", "redundancy"),
+    (b"SEQS", "sequential"),
+    (b"MBST", "multibranch"),
+    (b"GAGS", "gag"),
+    (b"CMIX", "mix"),
+];
+
+/// Everything one functional-simulation capture pass learns about a
+/// benchmark — the persisted form. These summaries are computed
+/// per-step/per-trace *during* simulation and cannot be reconstructed
+/// from the record stream alone, so the cache stores them alongside it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CaptureArtifact {
+    /// Benchmark name (the paper's naming).
+    pub name: String,
+    /// Which SpecInt95 benchmark it stands in for.
+    pub analog_of: String,
+    /// Instructions simulated.
+    pub icount: u64,
+    /// The packed 8-byte trace record stream.
+    pub records: Vec<TraceRecord>,
+    /// Trace-selection statistics (Table 1), plain-data form.
+    pub trace_stats: TraceStatsRaw,
+    /// Trace-cache duplication accounting, plain-data form.
+    pub redundancy: RedundancyRaw,
+    /// Idealized sequential baseline results (Table 2).
+    pub seq_stats: SequentialStats,
+    /// Single-access multiple-branch baseline results.
+    pub mb_stats: MultiBranchStats,
+    /// Multiported-GAg baseline results.
+    pub gag_stats: MultiBranchStats,
+    /// Dynamic instruction mix.
+    pub mix: ControlMix,
+}
+
+/// Why a `.ntc` file was refused. Every variant is a *hard* error: the
+/// caller must fall back to re-capturing, never partially load.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// The file was written by a different format version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file was captured under a different configuration.
+    FingerprintMismatch {
+        /// Fingerprint the current configuration expects.
+        expected: String,
+        /// Fingerprint stored in the file.
+        found: String,
+    },
+    /// The stored fingerprint hash does not match the stored string
+    /// (header corruption).
+    CorruptHeader,
+    /// The file ended before `what` could be read.
+    Truncated {
+        /// What the reader was decoding when bytes ran out.
+        what: &'static str,
+    },
+    /// A section's stored checksum does not match its content.
+    ChecksumMismatch {
+        /// Section name.
+        section: &'static str,
+    },
+    /// A section decoded into out-of-range values.
+    Malformed {
+        /// Section name.
+        section: &'static str,
+        /// What was wrong.
+        what: String,
+    },
+    /// Bytes remain after the last section.
+    TrailingBytes {
+        /// How many.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceFileError::BadMagic => write!(f, "not a trace-cache file (bad magic)"),
+            TraceFileError::BadVersion { found } => write!(
+                f,
+                "format version {found} (this build reads version {FORMAT_VERSION})"
+            ),
+            TraceFileError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "configuration fingerprint mismatch: expected `{expected}`, file has `{found}`"
+            ),
+            TraceFileError::CorruptHeader => write!(f, "corrupt header (fingerprint hash)"),
+            TraceFileError::Truncated { what } => write!(f, "truncated while reading {what}"),
+            TraceFileError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section `{section}`")
+            }
+            TraceFileError::Malformed { section, what } => {
+                write!(f, "malformed section `{section}`: {what}")
+            }
+            TraceFileError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the last section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> TraceFileError {
+        TraceFileError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A streaming section writer: buffers one section's payload, then emits
+/// `tag | len | payload | checksum` into the underlying sink. Only one
+/// section is resident at a time, so the peak memory cost is the largest
+/// section (the record stream), not the whole file.
+struct SectionWriter<W: Write> {
+    sink: W,
+    bytes_written: u64,
+}
+
+impl<W: Write> SectionWriter<W> {
+    fn new(sink: W) -> SectionWriter<W> {
+        SectionWriter {
+            sink,
+            bytes_written: 0,
+        }
+    }
+
+    fn raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.sink.write_all(bytes)?;
+        self.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn section(&mut self, tag: &[u8; 4], payload: &[u8]) -> std::io::Result<()> {
+        let len = (payload.len() as u64).to_le_bytes();
+        let mut h = Fnv64::new();
+        h.update(tag);
+        h.update(&len);
+        h.update(payload);
+        self.raw(tag)?;
+        self.raw(&len)?;
+        self.raw(payload)?;
+        self.raw(&h.finish().to_le_bytes())
+    }
+}
+
+fn encode_meta(a: &CaptureArtifact) -> Vec<u8> {
+    let mut p = Vec::with_capacity(32 + a.name.len() + a.analog_of.len());
+    put_str(&mut p, &a.name);
+    put_str(&mut p, &a.analog_of);
+    put_u64(&mut p, a.icount);
+    p
+}
+
+fn encode_records(records: &[TraceRecord]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + records.len() * 8);
+    put_u64(&mut p, records.len() as u64);
+    for r in records {
+        let id = r.id();
+        p.extend_from_slice(&id.start_pc.to_le_bytes());
+        p.push(id.branch_bits);
+        p.push(id.branch_count);
+        p.push(r.len);
+        p.push(
+            r.call_count()
+                | (u8::from(r.ends_in_return()) << 3)
+                | (u8::from(r.ends_in_indirect()) << 4),
+        );
+    }
+    p
+}
+
+fn encode_trace_stats(s: &TraceStatsRaw) -> Vec<u8> {
+    let mut p = Vec::with_capacity(56 + s.static_ids.len() * 8);
+    put_u64(&mut p, s.traces);
+    put_u64(&mut p, s.instrs);
+    put_u64(&mut p, s.cond_branches);
+    put_u64(&mut p, s.calls);
+    put_u64(&mut p, s.returns);
+    put_u64(&mut p, s.indirect);
+    put_u64(&mut p, s.static_ids.len() as u64);
+    for &id in &s.static_ids {
+        put_u64(&mut p, id);
+    }
+    p
+}
+
+fn encode_redundancy(r: &RedundancyRaw) -> Vec<u8> {
+    let mut p = Vec::with_capacity(24 + r.seen_traces.len() * 8 + r.copies.len() * 8);
+    put_u64(&mut p, r.stored_instrs);
+    put_u64(&mut p, r.seen_traces.len() as u64);
+    for &id in &r.seen_traces {
+        put_u64(&mut p, id);
+    }
+    put_u64(&mut p, r.copies.len() as u64);
+    for &(pc, n) in &r.copies {
+        put_u32(&mut p, pc);
+        put_u32(&mut p, n);
+    }
+    p
+}
+
+fn encode_sequential(s: &SequentialStats) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    for v in [
+        s.traces,
+        s.trace_mispredicts,
+        s.branches,
+        s.branch_mispredicts,
+        s.indirects,
+        s.indirect_mispredicts,
+        s.returns,
+        s.return_mispredicts,
+    ] {
+        put_u64(&mut p, v);
+    }
+    p
+}
+
+fn encode_multibranch(s: &MultiBranchStats) -> Vec<u8> {
+    let mut p = Vec::with_capacity(32);
+    for v in [
+        s.traces,
+        s.trace_mispredicts,
+        s.branches,
+        s.branch_mispredicts,
+    ] {
+        put_u64(&mut p, v);
+    }
+    p
+}
+
+fn encode_mix(m: &ControlMix) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    for v in [
+        m.instrs,
+        m.cond_branches,
+        m.taken_branches,
+        m.jumps,
+        m.calls,
+        m.indirect_jumps,
+        m.indirect_calls,
+        m.returns,
+    ] {
+        put_u64(&mut p, v);
+    }
+    p
+}
+
+/// Streams one artifact into `sink` under the given fingerprint,
+/// returning the bytes written.
+///
+/// # Errors
+///
+/// Propagates sink I/O errors.
+pub fn write_to<W: Write>(
+    sink: W,
+    fp: &Fingerprint,
+    artifact: &CaptureArtifact,
+) -> std::io::Result<u64> {
+    let mut w = SectionWriter::new(sink);
+    // Header.
+    let mut header = Vec::with_capacity(20 + fp.canon().len());
+    header.extend_from_slice(&MAGIC);
+    put_u32(&mut header, FORMAT_VERSION);
+    put_u64(&mut header, fp.hash());
+    put_str(&mut header, fp.canon());
+    w.raw(&header)?;
+    // Sections, in the fixed order SECTIONS declares.
+    w.section(b"META", &encode_meta(artifact))?;
+    w.section(b"RECS", &encode_records(&artifact.records))?;
+    w.section(b"TSTA", &encode_trace_stats(&artifact.trace_stats))?;
+    w.section(b"REDN", &encode_redundancy(&artifact.redundancy))?;
+    w.section(b"SEQS", &encode_sequential(&artifact.seq_stats))?;
+    w.section(b"MBST", &encode_multibranch(&artifact.mb_stats))?;
+    w.section(b"GAGS", &encode_multibranch(&artifact.gag_stats))?;
+    w.section(b"CMIX", &encode_mix(&artifact.mix))?;
+    Ok(w.bytes_written)
+}
+
+/// Encodes one artifact to an in-memory buffer (tests and the atomic
+/// file writer).
+pub fn encode(fp: &Fingerprint, artifact: &CaptureArtifact) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1024 + artifact.records.len() * 8);
+    write_to(&mut buf, fp, artifact).expect("Vec sink cannot fail");
+    buf
+}
+
+/// Atomically writes one artifact to `path`: the bytes land in a
+/// same-directory temporary file first and are renamed into place, so a
+/// concurrent reader sees either the old file or the complete new one,
+/// never a torn write. Returns the bytes written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the temporary file is cleaned up).
+pub fn write_file(
+    path: &Path,
+    fp: &Fingerprint,
+    artifact: &CaptureArtifact,
+) -> std::io::Result<u64> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = std::io::BufWriter::new(file);
+        let n = write_to(&mut writer, fp, artifact)?;
+        writer.flush()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(n)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceFileError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(TraceFileError::Truncated { what })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, TraceFileError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, TraceFileError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, TraceFileError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn malformed(section: &'static str, what: impl Into<String>) -> TraceFileError {
+    TraceFileError::Malformed {
+        section,
+        what: what.into(),
+    }
+}
+
+fn decode_str(
+    c: &mut Cursor<'_>,
+    section: &'static str,
+    what: &'static str,
+) -> Result<String, TraceFileError> {
+    let len = c.u32(what)? as usize;
+    let bytes = c.take(len, what)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| malformed(section, format!("{what}: not UTF-8")))
+}
+
+/// Reads one section's payload, verifying tag and checksum.
+fn section<'a>(
+    c: &mut Cursor<'a>,
+    tag: &'static [u8; 4],
+    name: &'static str,
+) -> Result<&'a [u8], TraceFileError> {
+    let found_tag = c.take(4, "section tag")?;
+    if found_tag != tag {
+        return Err(malformed(
+            name,
+            format!(
+                "expected tag {:?}, found {:?}",
+                String::from_utf8_lossy(tag),
+                String::from_utf8_lossy(found_tag)
+            ),
+        ));
+    }
+    let len = c.u64("section length")?;
+    let len_usize =
+        usize::try_from(len).map_err(|_| malformed(name, format!("section length {len}")))?;
+    if len_usize > c.remaining() {
+        return Err(TraceFileError::Truncated { what: name });
+    }
+    let payload = c.take(len_usize, name)?;
+    let stored = c.u64("section checksum")?;
+    let mut h = Fnv64::new();
+    h.update(tag);
+    h.update(&len.to_le_bytes());
+    h.update(payload);
+    if h.finish() != stored {
+        return Err(TraceFileError::ChecksumMismatch { section: name });
+    }
+    Ok(payload)
+}
+
+fn decode_meta(payload: &[u8]) -> Result<(String, String, u64), TraceFileError> {
+    let mut c = Cursor::new(payload);
+    let name = decode_str(&mut c, "meta", "benchmark name")?;
+    let analog = decode_str(&mut c, "meta", "analog name")?;
+    let icount = c.u64("icount")?;
+    if c.remaining() != 0 {
+        return Err(malformed("meta", format!("{} excess bytes", c.remaining())));
+    }
+    Ok((name, analog, icount))
+}
+
+fn decode_records(payload: &[u8]) -> Result<Vec<TraceRecord>, TraceFileError> {
+    let mut c = Cursor::new(payload);
+    let count = c.u64("record count")?;
+    let count = usize::try_from(count).map_err(|_| malformed("records", "count overflow"))?;
+    let expect = 8usize
+        .checked_add(
+            count
+                .checked_mul(8)
+                .ok_or(malformed("records", "count overflow"))?,
+        )
+        .ok_or(malformed("records", "count overflow"))?;
+    if payload.len() != expect {
+        return Err(malformed(
+            "records",
+            format!(
+                "payload is {}B, count {count} needs {expect}B",
+                payload.len()
+            ),
+        ));
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let start_pc = c.u32("record pc")?;
+        let branch_bits = c.u8("record bits")?;
+        let branch_count = c.u8("record branch count")?;
+        let len = c.u8("record len")?;
+        let flags = c.u8("record flags")?;
+        if branch_count as usize > MAX_TRACE_BRANCHES {
+            return Err(malformed("records", format!("branch_count {branch_count}")));
+        }
+        if branch_bits & !(((1u16 << branch_count) - 1) as u8) != 0 {
+            return Err(malformed(
+                "records",
+                format!("branch bits {branch_bits:#b} exceed count {branch_count}"),
+            ));
+        }
+        if !(1..=MAX_TRACE_LEN as u8).contains(&len) {
+            return Err(malformed("records", format!("trace length {len}")));
+        }
+        if flags & 0b1110_0000 != 0 {
+            return Err(malformed("records", format!("flag bits {flags:#010b}")));
+        }
+        records.push(TraceRecord::new(
+            TraceId::new(start_pc, branch_bits, branch_count),
+            len,
+            flags & 0b111,
+            flags & 0b1000 != 0,
+            flags & 0b1_0000 != 0,
+        ));
+    }
+    Ok(records)
+}
+
+fn decode_trace_stats(payload: &[u8]) -> Result<TraceStatsRaw, TraceFileError> {
+    let mut c = Cursor::new(payload);
+    let traces = c.u64("trace_stats.traces")?;
+    let instrs = c.u64("trace_stats.instrs")?;
+    let cond_branches = c.u64("trace_stats.cond_branches")?;
+    let calls = c.u64("trace_stats.calls")?;
+    let returns = c.u64("trace_stats.returns")?;
+    let indirect = c.u64("trace_stats.indirect")?;
+    let n = c.u64("trace_stats.static count")?;
+    let n = usize::try_from(n).map_err(|_| malformed("trace_stats", "static count overflow"))?;
+    if c.remaining() != n * 8 {
+        return Err(malformed(
+            "trace_stats",
+            format!("static set needs {}B, {}B remain", n * 8, c.remaining()),
+        ));
+    }
+    let mut static_ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        static_ids.push(c.u64("trace_stats.static id")?);
+    }
+    if !static_ids.windows(2).all(|w| w[0] < w[1]) {
+        return Err(malformed("trace_stats", "static ids not strictly sorted"));
+    }
+    Ok(TraceStatsRaw {
+        traces,
+        instrs,
+        cond_branches,
+        calls,
+        returns,
+        indirect,
+        static_ids,
+    })
+}
+
+fn decode_redundancy(payload: &[u8]) -> Result<RedundancyRaw, TraceFileError> {
+    let mut c = Cursor::new(payload);
+    let stored_instrs = c.u64("redundancy.stored_instrs")?;
+    let n_seen = c.u64("redundancy.seen count")?;
+    let n_seen =
+        usize::try_from(n_seen).map_err(|_| malformed("redundancy", "seen count overflow"))?;
+    let mut seen_traces = Vec::with_capacity(n_seen.min(c.remaining() / 8));
+    for _ in 0..n_seen {
+        seen_traces.push(c.u64("redundancy.seen id")?);
+    }
+    if !seen_traces.windows(2).all(|w| w[0] < w[1]) {
+        return Err(malformed("redundancy", "seen ids not strictly sorted"));
+    }
+    let n_copies = c.u64("redundancy.copy count")?;
+    let n_copies =
+        usize::try_from(n_copies).map_err(|_| malformed("redundancy", "copy count overflow"))?;
+    if c.remaining() != n_copies * 8 {
+        return Err(malformed(
+            "redundancy",
+            format!(
+                "copy map needs {}B, {}B remain",
+                n_copies * 8,
+                c.remaining()
+            ),
+        ));
+    }
+    let mut copies = Vec::with_capacity(n_copies);
+    for _ in 0..n_copies {
+        let pc = c.u32("redundancy.copy pc")?;
+        let n = c.u32("redundancy.copy n")?;
+        copies.push((pc, n));
+    }
+    if !copies.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(malformed("redundancy", "copy map not strictly sorted"));
+    }
+    Ok(RedundancyRaw {
+        seen_traces,
+        copies,
+        stored_instrs,
+    })
+}
+
+fn decode_u64s<const N: usize>(
+    payload: &[u8],
+    section_name: &'static str,
+) -> Result<[u64; N], TraceFileError> {
+    if payload.len() != N * 8 {
+        return Err(malformed(
+            section_name,
+            format!("expected {}B, found {}B", N * 8, payload.len()),
+        ));
+    }
+    let mut c = Cursor::new(payload);
+    let mut out = [0u64; N];
+    for v in &mut out {
+        *v = c.u64(section_name)?;
+    }
+    Ok(out)
+}
+
+/// Decodes a complete in-memory `.ntc` image, validating it against the
+/// expected fingerprint.
+///
+/// # Errors
+///
+/// Any header, fingerprint, checksum, length, or value-range mismatch
+/// (see [`TraceFileError`]). On error nothing is returned — partial
+/// loads are impossible by construction.
+pub fn decode(bytes: &[u8], expected: &Fingerprint) -> Result<CaptureArtifact, TraceFileError> {
+    let mut c = Cursor::new(bytes);
+    // Header.
+    if c.take(4, "magic")? != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let version = c.u32("format version")?;
+    if version != FORMAT_VERSION {
+        return Err(TraceFileError::BadVersion { found: version });
+    }
+    let stored_hash = c.u64("fingerprint hash")?;
+    let canon = decode_str(&mut c, "header", "fingerprint string")?;
+    if fnv64(canon.as_bytes()) != stored_hash {
+        return Err(TraceFileError::CorruptHeader);
+    }
+    if canon != expected.canon() {
+        return Err(TraceFileError::FingerprintMismatch {
+            expected: expected.canon().to_string(),
+            found: canon,
+        });
+    }
+    // Sections, fixed order.
+    let meta = section(&mut c, SECTIONS[0].0, SECTIONS[0].1)?;
+    let (name, analog_of, icount) = decode_meta(meta)?;
+    let records = decode_records(section(&mut c, SECTIONS[1].0, SECTIONS[1].1)?)?;
+    let trace_stats = decode_trace_stats(section(&mut c, SECTIONS[2].0, SECTIONS[2].1)?)?;
+    let redundancy = decode_redundancy(section(&mut c, SECTIONS[3].0, SECTIONS[3].1)?)?;
+    let [traces, trace_mispredicts, branches, branch_mispredicts, indirects, indirect_mispredicts, returns, return_mispredicts] =
+        decode_u64s::<8>(section(&mut c, SECTIONS[4].0, SECTIONS[4].1)?, "sequential")?;
+    let seq_stats = SequentialStats {
+        traces,
+        trace_mispredicts,
+        branches,
+        branch_mispredicts,
+        indirects,
+        indirect_mispredicts,
+        returns,
+        return_mispredicts,
+    };
+    let mb = decode_u64s::<4>(
+        section(&mut c, SECTIONS[5].0, SECTIONS[5].1)?,
+        "multibranch",
+    )?;
+    let mb_stats = MultiBranchStats {
+        traces: mb[0],
+        trace_mispredicts: mb[1],
+        branches: mb[2],
+        branch_mispredicts: mb[3],
+    };
+    let gag = decode_u64s::<4>(section(&mut c, SECTIONS[6].0, SECTIONS[6].1)?, "gag")?;
+    let gag_stats = MultiBranchStats {
+        traces: gag[0],
+        trace_mispredicts: gag[1],
+        branches: gag[2],
+        branch_mispredicts: gag[3],
+    };
+    let [instrs, cond_branches, taken_branches, jumps, calls, indirect_jumps, indirect_calls, mix_returns] =
+        decode_u64s::<8>(section(&mut c, SECTIONS[7].0, SECTIONS[7].1)?, "mix")?;
+    let mix = ControlMix {
+        instrs,
+        cond_branches,
+        taken_branches,
+        jumps,
+        calls,
+        indirect_jumps,
+        indirect_calls,
+        returns: mix_returns,
+    };
+    if c.remaining() != 0 {
+        return Err(TraceFileError::TrailingBytes {
+            extra: c.remaining(),
+        });
+    }
+    Ok(CaptureArtifact {
+        name,
+        analog_of,
+        icount,
+        records,
+        trace_stats,
+        redundancy,
+        seq_stats,
+        mb_stats,
+        gag_stats,
+        mix,
+    })
+}
+
+/// Reads and validates one `.ntc` file, returning the artifact and the
+/// file size in bytes.
+///
+/// # Errors
+///
+/// I/o failures plus every validation error of [`decode`].
+pub fn read_file(
+    path: &Path,
+    expected: &Fingerprint,
+) -> Result<(CaptureArtifact, u64), TraceFileError> {
+    let bytes = std::fs::read(path)?;
+    let artifact = decode(&bytes, expected)?;
+    Ok((artifact, bytes.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntp_trace::TraceConfig;
+
+    fn fp() -> Fingerprint {
+        Fingerprint::new("demo", "demo", 1000, &TraceConfig::default(), b"image")
+    }
+
+    fn sample() -> CaptureArtifact {
+        CaptureArtifact {
+            name: "demo".into(),
+            analog_of: "demo".into(),
+            icount: 1234,
+            records: vec![
+                TraceRecord::new(TraceId::new(0x40_0000, 0b101, 3), 16, 2, false, false),
+                TraceRecord::new(TraceId::new(0x40_0040, 0, 0), 3, 0, true, true),
+            ],
+            trace_stats: TraceStatsRaw {
+                traces: 2,
+                instrs: 19,
+                cond_branches: 3,
+                calls: 2,
+                returns: 1,
+                indirect: 1,
+                static_ids: vec![7, 9],
+            },
+            redundancy: RedundancyRaw {
+                seen_traces: vec![7, 9],
+                copies: vec![(0x40_0000, 1), (0x40_0004, 2)],
+                stored_instrs: 19,
+            },
+            seq_stats: SequentialStats {
+                traces: 2,
+                trace_mispredicts: 1,
+                branches: 3,
+                branch_mispredicts: 1,
+                indirects: 1,
+                indirect_mispredicts: 0,
+                returns: 1,
+                return_mispredicts: 0,
+            },
+            mb_stats: MultiBranchStats {
+                traces: 2,
+                trace_mispredicts: 2,
+                branches: 3,
+                branch_mispredicts: 2,
+            },
+            gag_stats: MultiBranchStats {
+                traces: 2,
+                trace_mispredicts: 1,
+                branches: 3,
+                branch_mispredicts: 1,
+            },
+            mix: ControlMix {
+                instrs: 1234,
+                cond_branches: 3,
+                taken_branches: 2,
+                jumps: 1,
+                calls: 2,
+                indirect_jumps: 1,
+                indirect_calls: 0,
+                returns: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let a = sample();
+        let bytes = encode(&fp(), &a);
+        let back = decode(&bytes, &fp()).expect("valid image decodes");
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rejects_version_skew() {
+        let mut bytes = encode(&fp(), &sample());
+        bytes[4] ^= 1; // format version lives at offset 4.
+        assert!(matches!(
+            decode(&bytes, &fp()),
+            Err(TraceFileError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fingerprint_skew() {
+        let bytes = encode(&fp(), &sample());
+        let other = Fingerprint::new("demo", "demo", 2000, &TraceConfig::default(), b"image");
+        assert!(matches!(
+            decode(&bytes, &other),
+            Err(TraceFileError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_trailing_bytes() {
+        let mut bytes = encode(&fp(), &sample());
+        let mut flipped = bytes.clone();
+        flipped[0] ^= 0xFF;
+        assert!(matches!(
+            decode(&flipped, &fp()),
+            Err(TraceFileError::BadMagic)
+        ));
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes, &fp()),
+            Err(TraceFileError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_validating() {
+        let dir = std::env::temp_dir().join(format!("ntc-fmt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(fp().file_name());
+        let written = write_file(&path, &fp(), &sample()).expect("write succeeds");
+        let (back, read) = read_file(&path, &fp()).expect("read succeeds");
+        assert_eq!(written, read);
+        assert_eq!(back, sample());
+        // No temporary litter.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -69,4 +69,70 @@ cargo run --release -q -p ntp-cli -- report @compress --budget 300000 --json - \
     | jq -e '.capture.icount > 0' >/dev/null
 echo "ok"
 
+say "trace cache: cold vs warm runs are byte-identical"
+cache_dir="$(mktemp -d)"
+out_cold="$(mktemp -d)"
+out_warm="$(mktemp -d)"
+trap 'rm -rf "$out_a" "$out_b" "$cache_dir" "$out_cold" "$out_warm"' EXIT
+# Cold run populates the cache; warm run must load every artifact from it,
+# skip the simulate phase, and emit byte-identical stdout and stripped JSON.
+NTP_SCALE=tiny NTP_DETERMINISTIC=1 NTP_THREADS=1 NTP_TRACE_CACHE="$cache_dir" \
+    cargo run --release -q -p ntp-bench --bin experiments -- --json "$out_cold" \
+    >"$out_cold/stdout.txt"
+NTP_SCALE=tiny NTP_DETERMINISTIC=1 NTP_THREADS=1 NTP_TRACE_CACHE="$cache_dir" \
+    cargo run --release -q -p ntp-bench --bin experiments -- --json "$out_warm" \
+    >"$out_warm/stdout.txt"
+if ! diff "$out_cold/stdout.txt" "$out_warm/stdout.txt" >/dev/null; then
+    echo "stdout differs between cold and warm cache runs"
+    exit 1
+fi
+echo "stdout byte-identical"
+for f in "$out_cold"/BENCH_*.json; do
+    g="$out_warm/$(basename "$f")"
+    if ! diff <(jq -S "$strip" "$f") <(jq -S "$strip" "$g") >/dev/null; then
+        echo "cold/warm report mismatch: $(basename "$f")"
+        exit 1
+    fi
+done
+echo "all reports byte-identical after stripping volatiles"
+# The warm run must actually have used the cache: every benchmark a hit,
+# no capture pass, and a simulate-phase speedup recorded in throughput.
+jq -e '.throughput.trace_cache.hits >= 1 and .throughput.trace_cache.misses == 0
+       and (.phases_ms.simulate == null or .phases_ms.simulate == 0)' \
+    "$out_warm"/BENCH_compress.json >/dev/null \
+    || { echo "warm run did not load from the cache"; exit 1; }
+cold_ms=$(jq '.phases_ms.simulate' "$out_cold"/BENCH_compress.json)
+warm_ms=$(jq '.phases_ms.cache_load // 0' "$out_warm"/BENCH_compress.json)
+echo "cold simulate ${cold_ms} ms vs warm cache_load ${warm_ms} ms"
+
+say "trace cache: audit passes, corruption falls back to re-capture"
+NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
+    cargo run --release -q -p ntp-cli -- capture --verify >/dev/null
+echo "audit ok"
+# Flip the format-version byte of one cache file: the loader must refuse
+# it, warn, re-capture, and still produce identical stdout.
+for corrupt in "$cache_dir"/compress-*.ntc; do
+    dd if=/dev/zero of="$corrupt" bs=1 seek=4 count=1 conv=notrunc 2>/dev/null
+done
+if NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
+    cargo run --release -q -p ntp-cli -- capture --verify >/dev/null 2>&1; then
+    echo "audit failed to flag a corrupted cache file"
+    exit 1
+fi
+echo "audit flags corruption"
+out_fb="$(mktemp -d)"
+trap 'rm -rf "$out_a" "$out_b" "$cache_dir" "$out_cold" "$out_warm" "$out_fb"' EXIT
+NTP_SCALE=tiny NTP_DETERMINISTIC=1 NTP_THREADS=1 NTP_TRACE_CACHE="$cache_dir" \
+    cargo run --release -q -p ntp-bench --bin experiments -- --json "$out_fb" \
+    >"$out_fb/stdout.txt" 2>"$out_fb/stderr.txt"
+if ! diff "$out_cold/stdout.txt" "$out_fb/stdout.txt" >/dev/null; then
+    echo "stdout differs after corrupt-file fallback"
+    exit 1
+fi
+grep -q '\[cache\].*refused.*re-capturing' "$out_fb/stderr.txt" \
+    || { echo "missing re-capture warning on corrupt cache file"; exit 1; }
+jq -e '.throughput.trace_cache.invalid >= 1' "$out_fb"/BENCH_compress.json >/dev/null \
+    || { echo "invalid-file counter not recorded"; exit 1; }
+echo "corrupt file refused with warning; fallback output byte-identical"
+
 printf '\nAll checks passed.\n'

@@ -18,6 +18,10 @@
 //!   sequential trace predictor the paper compares against;
 //! * [`engine`] — a cycle-based fetch/execute model for delayed-update
 //!   studies and a trace cache;
+//! * [`tracefile`] — the persistent on-disk trace-capture cache
+//!   (`NTP_TRACE_CACHE`): capture once, replay everywhere, with a
+//!   validating checksummed codec that falls back to re-capture on any
+//!   stale or corrupt file;
 //! * [`runner`] — the zero-dependency scoped-thread worker pool
 //!   (`NTP_THREADS`) with ordered-merge results that keeps parallel
 //!   capture/replay byte-identical to the serial run;
@@ -54,5 +58,6 @@ pub use ntp_runner as runner;
 pub use ntp_sim as sim;
 pub use ntp_telemetry as telemetry;
 pub use ntp_trace as trace;
+pub use ntp_tracefile as tracefile;
 pub use ntp_verify as verify;
 pub use ntp_workloads as workloads;
