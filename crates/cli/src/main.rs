@@ -9,6 +9,9 @@
 //! ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]
 //! ntp verify [--seed 0xC0FFEE] [--points N]
 //! ntp capture [--dir <path>] [--verify]
+//! ntp serve [--addr host:port] [--workers N] [--max-conns N]
+//! ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N]
+//!             [--bits B] [--depth D] [--shutdown] [--json <path|->]
 //! ntp workloads                        list the built-in benchmarks
 //! ```
 
@@ -48,6 +51,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "report" => cmd_report(rest),
         "verify" => cmd_verify(rest),
         "capture" => cmd_capture(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "workloads" => cmd_workloads(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -67,6 +72,9 @@ fn usage() -> String {
      ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]\n  \
      ntp verify [--seed 0xC0FFEE] [--points N]\n  \
      ntp capture [--dir <path>] [--verify]\n  \
+     ntp serve [--addr host:port] [--workers N] [--max-conns N]\n  \
+     ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N] \
+     [--bits B] [--depth D] [--shutdown] [--json <path|->]\n  \
      ntp workloads"
         .to_string()
 }
@@ -491,6 +499,143 @@ fn capture_verify(dir: &Path) -> Result<(), String> {
     } else {
         println!("[cache] {}: all suite entries valid", dir.display());
         Ok(())
+    }
+}
+
+/// `ntp serve`: runs the sharded prediction service until a client sends
+/// a `Shutdown` frame (see SERVING.md). Defaults come from
+/// `NTP_SERVE_ADDR` / `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS`, and
+/// flags override the environment. The bound address is printed on
+/// stdout — with `--addr 127.0.0.1:0` the kernel picks the port, so
+/// scripts parse this line to find it.
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let mut cfg = ntp_serve::ServeConfig::from_env();
+    if let Some(addr) = flag_str(rest, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(workers) = flag_value(rest, "--workers")? {
+        cfg.workers = workers as usize;
+    }
+    if let Some(max_conns) = flag_value(rest, "--max-conns")? {
+        cfg.max_conns = max_conns as usize;
+    }
+    let handle = ntp_serve::serve(cfg.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "[serve] listening on {} ({} workers, {} max conns)",
+        handle.local_addr(),
+        cfg.workers,
+        cfg.max_conns
+    );
+    let summary = handle.join();
+    println!(
+        "[serve] drained: {} sessions, {} requests, {} conns accepted, \
+         {} refused, {} busy replies, {} protocol errors",
+        summary.sessions,
+        summary.requests,
+        summary.accepted,
+        summary.refused,
+        summary.busy,
+        summary.protocol_errors
+    );
+    Ok(())
+}
+
+/// `ntp loadgen`: replays the captured benchmark suite as concurrent
+/// wire sessions against a running `ntp serve`, then checks every
+/// session's served statistics against the offline oracle **exactly**
+/// (see SERVING.md). Exit status is nonzero on any divergence, so this
+/// doubles as the serving gate in `scripts/check.sh`. Records come from
+/// the same persistent trace cache as `ntp capture`, so a pre-warmed
+/// cache makes this simulation-free.
+fn cmd_loadgen(rest: &[String]) -> Result<(), String> {
+    let mut cfg = ntp_serve::LoadgenConfig::default();
+    if let Some(addr) = flag_str(rest, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(clients) = flag_value(rest, "--clients")? {
+        cfg.clients = clients as usize;
+    }
+    if let Some(chunk) = flag_value(rest, "--chunk")? {
+        cfg.chunk = chunk as usize;
+    }
+    if let Some(bits) = flag_value(rest, "--bits")? {
+        cfg.bits = bits as u32;
+    }
+    if let Some(depth) = flag_value(rest, "--depth")? {
+        cfg.depth = depth as u32;
+    }
+    let sessions = flag_value(rest, "--sessions")?.unwrap_or(4) as usize;
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".to_string());
+    }
+    // Reject a hostile design point before the (expensive) suite capture.
+    PredictorConfig::try_paper(cfg.bits, cfg.depth as usize)
+        .map_err(|e| format!("paper({},{}): {e}", cfg.bits, cfg.depth))?;
+
+    // One stream per benchmark, cycled until `--sessions` are filled.
+    let data = ntp_bench::capture_suite_in(ntp_tracefile::cache_dir_from_env().as_deref());
+    let specs: Vec<ntp_serve::SessionSpec> = (0..sessions)
+        .map(|i| {
+            let d = &data[i % data.len()];
+            ntp_serve::SessionSpec {
+                name: format!("{}#{}", d.name, i),
+                records: d.records.clone(),
+            }
+        })
+        .collect();
+
+    let report = ntp_serve::loadgen::run(&cfg, &specs).map_err(|e| e.to_string())?;
+
+    if rest.iter().any(|a| a == "--shutdown") {
+        let mut client =
+            ntp_serve::Client::connect(&cfg.addr).map_err(|e| format!("shutdown: {e}"))?;
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown: {e}"))?;
+    }
+
+    match flag_str(rest, "--json") {
+        Some("-") => println!("{}", report.to_json().pretty()),
+        Some(path) => {
+            let mut text = report.to_json().pretty();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("[json] wrote {path}");
+        }
+        None => {}
+    }
+
+    for s in &report.sessions {
+        println!(
+            "{:<14} shard {}  {:>8} records  {:>6.2}% mispredict  oracle {}",
+            s.name,
+            s.shard,
+            s.served.predictions,
+            s.served.mispredict_pct(),
+            if s.matches() { "match" } else { "MISMATCH" }
+        );
+    }
+    println!(
+        "[loadgen] {} sessions, {} requests, {} records in {:.1} ms: \
+         {:.0} req/s, {:.0} records/s, latency p50 {} us p99 {} us, {} busy retries",
+        report.sessions.len(),
+        report.requests,
+        report.records,
+        report.wall.as_secs_f64() * 1e3,
+        report.qps(),
+        report.records_per_sec(),
+        report.latency_us.p50(),
+        report.latency_us.p99(),
+        report.busy_retries
+    );
+    if report.all_match() {
+        println!("[loadgen] served == offline oracle for every session");
+        Ok(())
+    } else {
+        let bad = report.sessions.iter().filter(|s| !s.matches()).count();
+        Err(format!(
+            "{bad} session(s) diverged from the offline oracle (served != evaluate)"
+        ))
     }
 }
 

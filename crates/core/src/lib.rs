@@ -65,6 +65,6 @@ pub use predictor::{
     AliasingCounters, Checkpoint, IndexSnapshot, NextTracePredictor, TableOccupancy,
 };
 pub use rhs::{ReturnHistoryStack, RhsConfig, RHS_SNAPSHOT_CAP};
-pub use stats::{evaluate, PredictorStats};
+pub use stats::{evaluate, PredictorStats, PREDICTOR_STATS_FIELDS};
 pub use telemetry::{evaluate_with_sink, predictor_section};
 pub use unbounded::{UnboundedConfig, UnboundedPredictor};

@@ -4,6 +4,10 @@ use crate::{Prediction, Source, TracePredictor};
 use ntp_trace::TraceRecord;
 use std::fmt;
 
+/// Number of counters in [`PredictorStats`] (the length of its
+/// [`PredictorStats::to_array`] encoding).
+pub const PREDICTOR_STATS_FIELDS: usize = 8;
+
 /// Accuracy statistics accumulated over a replayed trace stream.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PredictorStats {
@@ -85,6 +89,36 @@ impl PredictorStats {
             0.0
         } else {
             self.alternate_correct as f64 / miss as f64
+        }
+    }
+
+    /// The plain-array form, field-for-field in declaration order — the
+    /// stable encoding wire protocols (`ntp-serve`'s `StatsOk` frame) and
+    /// other codecs use. [`PredictorStats::from_array`] inverts it.
+    pub fn to_array(&self) -> [u64; PREDICTOR_STATS_FIELDS] {
+        [
+            self.predictions,
+            self.correct,
+            self.alternate_correct,
+            self.from_correlated,
+            self.from_secondary,
+            self.cold,
+            self.correlated_correct,
+            self.secondary_correct,
+        ]
+    }
+
+    /// Rebuilds statistics from their [`PredictorStats::to_array`] form.
+    pub fn from_array(a: [u64; PREDICTOR_STATS_FIELDS]) -> PredictorStats {
+        PredictorStats {
+            predictions: a[0],
+            correct: a[1],
+            alternate_correct: a[2],
+            from_correlated: a[3],
+            from_secondary: a[4],
+            cold: a[5],
+            correlated_correct: a[6],
+            secondary_correct: a[7],
         }
     }
 
@@ -195,6 +229,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.predictions, 20);
         assert!((a.mispredict_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn array_roundtrip_covers_every_field() {
+        let s = PredictorStats {
+            predictions: 1,
+            correct: 2,
+            alternate_correct: 3,
+            from_correlated: 4,
+            from_secondary: 5,
+            cold: 6,
+            correlated_correct: 7,
+            secondary_correct: 8,
+        };
+        let a = s.to_array();
+        assert_eq!(a, [1, 2, 3, 4, 5, 6, 7, 8], "declaration order");
+        assert_eq!(PredictorStats::from_array(a), s);
     }
 
     #[test]

@@ -1,6 +1,13 @@
-//! The FNV-1a 64-bit hash every checksum and fingerprint in this crate
-//! uses: fast, streaming, zero-dependency, and stable across platforms
-//! (the on-disk format depends on that stability).
+//! # ntp-hash — shared hashing primitives
+//!
+//! The FNV-1a 64-bit hash every checksum and fingerprint in the workspace
+//! uses: fast, streaming, zero-dependency, and stable across platforms.
+//! Both persistent formats (`ntp-tracefile`'s `.ntc` codec) and wire
+//! protocols (`ntp-serve`'s frame checksums) depend on that stability, so
+//! the implementation lives in exactly one crate and everything else
+//! re-exports it.
+
+#![warn(missing_docs)]
 
 /// FNV-1a offset basis.
 const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -12,7 +19,7 @@ const PRIME: u64 = 0x0000_0100_0000_01B3;
 /// # Examples
 ///
 /// ```
-/// use ntp_tracefile::Fnv64;
+/// use ntp_hash::Fnv64;
 /// let mut h = Fnv64::new();
 /// h.update(b"hello");
 /// let split = {
@@ -80,5 +87,10 @@ mod tests {
         let a = fnv64(b"NTPC cache payload");
         let b = fnv64(b"NTPC cache paylaod");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streaming_is_byte_order_sensitive() {
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
     }
 }

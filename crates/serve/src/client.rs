@@ -1,0 +1,177 @@
+//! A blocking client for the `ntp-serve` wire protocol.
+
+use crate::wire::{self, ErrorCode, Request, Response, WireError};
+use ntp_core::{PredictorStats, Source, Target};
+use ntp_trace::TraceRecord;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default client-side frame limit (matches the server default).
+pub const CLIENT_MAX_FRAME: u32 = crate::config::DEFAULT_MAX_FRAME;
+
+/// How a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, EOF mid-reply).
+    Io(std::io::Error),
+    /// The server's reply violated the protocol.
+    Protocol(String),
+    /// The server refused the request with a typed error.
+    Server {
+        /// Refusal class from the wire.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The shard queue stayed full through every retry.
+    Busy,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Busy => write!(f, "server busy: shard queue full after retries"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an `ntp-serve` server.
+///
+/// One request is in flight at a time (the protocol is strictly
+/// request/reply per connection). Methods that hit backpressure
+/// ([`Response::Busy`]) retry with a short linear backoff before giving
+/// up with [`ClientError::Busy`].
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+    /// Busy retries before giving up.
+    pub busy_retries: u32,
+    /// Pause between busy retries.
+    pub busy_backoff: Duration,
+}
+
+impl Client {
+    /// Connects with default timeouts (5s connect, 30s read/write).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame: CLIENT_MAX_FRAME,
+            busy_retries: 200,
+            busy_backoff: Duration::from_millis(2),
+        })
+    }
+
+    /// Sends one request and reads one reply (no busy retry).
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let body = wire::encode_request(req);
+        wire::write_frame(&mut self.stream, &body)?;
+        self.stream.flush()?;
+        match wire::read_frame(&mut self.stream, self.max_frame) {
+            Ok(body) => wire::decode_response(&body).map_err(ClientError::Protocol),
+            Err(WireError::Io(e)) => Err(ClientError::Io(e)),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+
+    /// [`Client::request`] with busy retries; returns the first
+    /// non-`Busy` reply.
+    fn request_patient(&mut self, req: &Request) -> Result<Response, ClientError> {
+        for _ in 0..=self.busy_retries {
+            match self.request(req)? {
+                Response::Busy => std::thread::sleep(self.busy_backoff),
+                resp => return Ok(resp),
+            }
+        }
+        Err(ClientError::Busy)
+    }
+
+    /// Opens session `session` with a `paper(bits, depth)` predictor;
+    /// returns the owning shard.
+    pub fn hello(&mut self, session: u64, bits: u32, depth: u32) -> Result<u32, ClientError> {
+        match self.request_patient(&Request::Hello {
+            session,
+            bits,
+            depth,
+        })? {
+            Response::HelloOk { shard, .. } => Ok(shard),
+            resp => Err(unexpected("HelloOk", resp)),
+        }
+    }
+
+    /// Reads the session's current prediction without training.
+    pub fn predict(&mut self, session: u64) -> Result<(Option<Target>, Source), ClientError> {
+        match self.request_patient(&Request::Predict { session })? {
+            Response::Predicted { target, source } => Ok((target, source)),
+            resp => Err(unexpected("Predicted", resp)),
+        }
+    }
+
+    /// One replay step; returns whether the pre-update prediction was
+    /// correct.
+    pub fn update(&mut self, session: u64, record: &TraceRecord) -> Result<bool, ClientError> {
+        match self.request_patient(&Request::Update {
+            session,
+            record: *record,
+        })? {
+            Response::Updated { correct } => Ok(correct),
+            resp => Err(unexpected("Updated", resp)),
+        }
+    }
+
+    /// Applies a whole chunk; returns `(predictions, correct)`.
+    pub fn batch(
+        &mut self,
+        session: u64,
+        records: &[TraceRecord],
+    ) -> Result<(u64, u64), ClientError> {
+        match self.request_patient(&Request::Batch {
+            session,
+            records: records.to_vec(),
+        })? {
+            Response::BatchDone {
+                predictions,
+                correct,
+            } => Ok((predictions, correct)),
+            resp => Err(unexpected("BatchDone", resp)),
+        }
+    }
+
+    /// Reads the session's accumulated statistics.
+    pub fn stats(&mut self, session: u64) -> Result<PredictorStats, ClientError> {
+        match self.request_patient(&Request::Stats { session })? {
+            Response::StatsOk { stats } => Ok(stats),
+            resp => Err(unexpected("StatsOk", resp)),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            resp => Err(unexpected("Bye", resp)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, resp: Response) -> ClientError {
+    match resp {
+        Response::Error { code, message } => ClientError::Server { code, message },
+        other => ClientError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

@@ -1,0 +1,212 @@
+//! Server configuration and the `NTP_SERVE_*` environment knobs.
+//!
+//! All knobs go through [`ntp_runner::parse_env`], the workspace's
+//! validated environment parser: a typo'd value aborts with a message
+//! naming the variable, never silently falls back to the default. The
+//! full knob table lives in `SERVING.md`.
+
+use crate::wire::{HARD_FRAME_CAP, MIN_FRAME_CAP};
+use std::time::Duration;
+
+/// `NTP_SERVE_ADDR`: the listen address (`host:port`; port `0` asks the
+/// OS for an ephemeral port, printed at startup).
+pub const ADDR_ENV: &str = "NTP_SERVE_ADDR";
+
+/// `NTP_SERVE_WORKERS`: shard worker count (each session is owned by
+/// exactly one worker, `session % workers`).
+pub const WORKERS_ENV: &str = "NTP_SERVE_WORKERS";
+
+/// `NTP_SERVE_MAX_CONNS`: concurrent connection limit; excess
+/// connections are refused with an `Error(refused)` reply.
+pub const MAX_CONNS_ENV: &str = "NTP_SERVE_MAX_CONNS";
+
+/// Default listen address (loopback; this service has no auth).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4117";
+
+/// Default concurrent-connection limit.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+
+/// Default per-shard request-queue depth (beyond it, `Busy` replies).
+pub const DEFAULT_QUEUE_DEPTH: usize = 128;
+
+/// Default frame-body size limit (1 MiB ≈ 131k records per batch).
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Everything a [`crate::server::serve`] call needs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, `host:port` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Shard workers; sessions are owned by `session % workers`.
+    pub workers: usize,
+    /// Concurrent-connection limit.
+    pub max_conns: usize,
+    /// Largest accepted frame body, in bytes.
+    pub max_frame: u32,
+    /// Bounded per-shard queue depth; a full queue yields `Busy`.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout (an idle connection past this
+    /// is dropped, which also bounds shutdown drain).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: default_workers(),
+            max_conns: DEFAULT_MAX_CONNS,
+            max_frame: DEFAULT_MAX_FRAME,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Default shard-worker count: the machine's `NTP_THREADS`-governed pool
+/// width (see [`ntp_runner::thread_count`]), capped at 8 — shards are
+/// long-lived threads, and prediction state is small.
+pub fn default_workers() -> usize {
+    ntp_runner::thread_count().min(8)
+}
+
+impl ServeConfig {
+    /// Reads the `NTP_SERVE_*` knobs on top of the defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`ntp_runner::parse_env`]) when a knob is set but
+    /// malformed, or set to a zero where zero is meaningless.
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Some(addr) = ntp_runner::parse_env::<String>(ADDR_ENV) {
+            cfg.addr = addr;
+        }
+        if let Some(workers) = ntp_runner::parse_env::<usize>(WORKERS_ENV) {
+            assert!(workers >= 1, "{WORKERS_ENV} must be >= 1");
+            cfg.workers = workers;
+        }
+        if let Some(max_conns) = ntp_runner::parse_env::<usize>(MAX_CONNS_ENV) {
+            assert!(max_conns >= 1, "{MAX_CONNS_ENV} must be >= 1");
+            cfg.max_conns = max_conns;
+        }
+        cfg
+    }
+
+    /// Rejects nonsensical configurations with a one-line diagnostic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("serve: workers must be >= 1".into());
+        }
+        if self.max_conns == 0 {
+            return Err("serve: max_conns must be >= 1".into());
+        }
+        if self.queue_depth == 0 {
+            return Err("serve: queue_depth must be >= 1".into());
+        }
+        if self.max_frame < MIN_FRAME_CAP {
+            return Err(format!(
+                "serve: max_frame {} below the {MIN_FRAME_CAP}-byte minimum",
+                self.max_frame
+            ));
+        }
+        if self.max_frame > HARD_FRAME_CAP {
+            return Err(format!(
+                "serve: max_frame {} above the {HARD_FRAME_CAP}-byte hard cap",
+                self.max_frame
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.workers >= 1);
+    }
+
+    #[test]
+    fn invalid_limits_are_rejected_with_one_line_messages() {
+        for (cfg, needle) in [
+            (
+                ServeConfig {
+                    workers: 0,
+                    ..ServeConfig::default()
+                },
+                "workers",
+            ),
+            (
+                ServeConfig {
+                    max_conns: 0,
+                    ..ServeConfig::default()
+                },
+                "max_conns",
+            ),
+            (
+                ServeConfig {
+                    queue_depth: 0,
+                    ..ServeConfig::default()
+                },
+                "queue_depth",
+            ),
+            (
+                ServeConfig {
+                    max_frame: 8,
+                    ..ServeConfig::default()
+                },
+                "max_frame",
+            ),
+            (
+                ServeConfig {
+                    max_frame: u32::MAX,
+                    ..ServeConfig::default()
+                },
+                "hard cap",
+            ),
+        ] {
+            let err = cfg.validate().expect_err("must be rejected");
+            assert!(err.contains(needle), "`{err}` should mention {needle}");
+            assert!(!err.contains('\n'), "one-line diagnostic: {err}");
+        }
+    }
+
+    // Env-var reads mutate process state; a single test keeps them from
+    // racing under the parallel harness (the same discipline as
+    // ntp-runner's env tests).
+    #[test]
+    fn from_env_reads_all_three_knobs() {
+        std::env::remove_var(ADDR_ENV);
+        std::env::remove_var(WORKERS_ENV);
+        std::env::remove_var(MAX_CONNS_ENV);
+        let base = ServeConfig::from_env();
+        assert_eq!(base.addr, DEFAULT_ADDR);
+        assert_eq!(base.max_conns, DEFAULT_MAX_CONNS);
+
+        std::env::set_var(ADDR_ENV, "127.0.0.1:0");
+        std::env::set_var(WORKERS_ENV, "3");
+        std::env::set_var(MAX_CONNS_ENV, "9");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.max_conns, 9);
+
+        std::env::set_var(WORKERS_ENV, "0");
+        let err =
+            std::panic::catch_unwind(ServeConfig::from_env).expect_err("zero workers must abort");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(WORKERS_ENV), "{msg}");
+
+        std::env::remove_var(ADDR_ENV);
+        std::env::remove_var(WORKERS_ENV);
+        std::env::remove_var(MAX_CONNS_ENV);
+    }
+}

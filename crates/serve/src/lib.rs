@@ -1,0 +1,66 @@
+//! # ntp-serve — the sharded next-trace prediction service
+//!
+//! Every predictor in this workspace used to live and die inside one
+//! batch process. This crate turns the predictor into a long-lived
+//! network service — the substrate the ROADMAP's "heavy traffic" north
+//! star needs — while keeping the core guarantee intact: **a served
+//! session produces byte-identical statistics to the offline
+//! [`ntp_core::evaluate`] oracle.**
+//!
+//! * [`wire`] — the length-framed, FNV-1a-64-checksummed binary
+//!   protocol (`Hello`/`Predict`/`Update`/`Batch`/`Stats`/`Shutdown`
+//!   frames), sharing its hash with the `.ntc` codec via [`ntp_hash`];
+//! * [`server`] — the TCP listener and fixed shard-worker pool.
+//!   Sessions are owned by a single worker (`session % workers`), so
+//!   every predictor stays single-threaded and lock-free; bounded
+//!   per-shard queues reply `Busy` under load, connection/frame/timeout
+//!   limits bound resource use, and shutdown drains in-flight sessions;
+//! * [`client`] — a blocking client library with busy-retry;
+//! * [`loadgen`] — the replay load generator behind `ntp loadgen`:
+//!   replays captured trace streams as concurrent sessions, measures
+//!   QPS and p50/p99 request latency through [`ntp_telemetry`]
+//!   histograms, and asserts served == offline statistics exactly;
+//! * [`config`] — [`ServeConfig`] and the `NTP_SERVE_ADDR` /
+//!   `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` knobs (validated via
+//!   [`ntp_runner::parse_env`]).
+//!
+//! Protocol layout, sharding model, backpressure semantics and a
+//! loadgen recipe are documented in `SERVING.md` at the repo root.
+//!
+//! # Example (loopback round trip)
+//!
+//! ```
+//! use ntp_serve::{config::ServeConfig, server, client::Client};
+//! use ntp_trace::{TraceId, TraceRecord};
+//!
+//! let handle = server::serve(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! })?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! client.hello(1, 12, 3)?;
+//! let rec = TraceRecord::new(TraceId::new(0x0040_0000, 0, 0), 8, 0, false, false);
+//! for _ in 0..4 {
+//!     client.update(1, &rec)?;
+//! }
+//! assert!(client.update(1, &rec)?, "a self-loop is learned immediately");
+//! client.shutdown_server()?;
+//! let summary = handle.join();
+//! assert_eq!(summary.sessions, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use config::ServeConfig;
+pub use loadgen::{LoadgenConfig, LoadgenReport, SessionResult, SessionSpec};
+pub use server::{serve, ServerHandle, ServerSummary, ShardSummary};
+pub use wire::{ErrorCode, Request, Response, PROTOCOL_VERSION};

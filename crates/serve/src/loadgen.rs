@@ -1,0 +1,324 @@
+//! The replay load generator: drives an `ntp-serve` server with
+//! concurrent client sessions replaying captured trace streams, measures
+//! QPS and request-latency quantiles, and asserts the served statistics
+//! match the offline [`ntp_core::evaluate`] oracle **exactly**.
+//!
+//! Each session replays one record stream over the wire in
+//! [`LoadgenConfig::chunk`]-sized `Batch` frames, then pulls the
+//! session's final `Stats` and compares them field-for-field against a
+//! local replay of the identical configuration. Any divergence means the
+//! service's predictor state machine differs from the library's — the
+//! same lockstep discipline as `ntp verify`, but across a socket.
+//!
+//! Client sessions fan out over [`ntp_runner::map_ordered_with`], so
+//! results come back in session order and the text report is
+//! deterministic for a fixed input (latency/QPS numbers aside).
+
+use crate::client::{Client, ClientError};
+use ntp_core::{evaluate, NextTracePredictor, PredictorConfig, PredictorStats};
+use ntp_telemetry::{Histogram, Json, ToJson};
+use ntp_trace::TraceRecord;
+use std::time::{Duration, Instant};
+
+/// Load-generator parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client workers (each owns one connection at a time).
+    pub clients: usize,
+    /// Records per `Batch` frame.
+    pub chunk: usize,
+    /// Correlating-table index bits of every session's predictor.
+    pub bits: u32,
+    /// DOLC history depth of every session's predictor.
+    pub depth: u32,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: crate::config::DEFAULT_ADDR.to_string(),
+            clients: 2,
+            chunk: 256,
+            bits: 15,
+            depth: 7,
+        }
+    }
+}
+
+/// One replay stream: a name and its captured records.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Display name (benchmark or stream label).
+    pub name: String,
+    /// The captured record stream to replay.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Outcome of one served session.
+#[derive(Clone, Debug)]
+pub struct SessionResult {
+    /// Stream name.
+    pub name: String,
+    /// Session id used on the wire.
+    pub session: u64,
+    /// Shard that owned the session.
+    pub shard: u32,
+    /// Statistics the server accumulated.
+    pub served: PredictorStats,
+    /// Statistics the offline oracle computed for the same stream.
+    pub oracle: PredictorStats,
+    /// Requests this session issued (hello + batches + stats).
+    pub requests: u64,
+}
+
+impl SessionResult {
+    /// True when served and oracle statistics agree **exactly**.
+    pub fn matches(&self) -> bool {
+        self.served == self.oracle
+    }
+}
+
+/// Aggregate loadgen outcome.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Per-session outcomes, in session order.
+    pub sessions: Vec<SessionResult>,
+    /// Total requests issued.
+    pub requests: u64,
+    /// Total records replayed over the wire.
+    pub records: u64,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Per-request round-trip latency in microseconds.
+    pub latency_us: Histogram,
+    /// `Busy` replies absorbed (retried) across all sessions.
+    pub busy_retries: u64,
+}
+
+impl LoadgenReport {
+    /// True when every session matched its oracle exactly.
+    pub fn all_match(&self) -> bool {
+        self.sessions.iter().all(SessionResult::matches)
+    }
+
+    /// Requests per wall-clock second.
+    pub fn qps(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / s
+        }
+    }
+
+    /// Records replayed per wall-clock second.
+    pub fn records_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.records as f64 / s
+        }
+    }
+}
+
+impl ToJson for LoadgenReport {
+    /// `{sessions: [...], requests, records, wall_ms, qps,
+    /// records_per_sec, busy_retries, latency_us, all_match}` — latency
+    /// and throughput numbers are wall-clock derived, so reports keep
+    /// this under a volatile key (see OBSERVABILITY.md).
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with(
+                "sessions",
+                Json::Array(
+                    self.sessions
+                        .iter()
+                        .map(|s| {
+                            Json::object()
+                                .with("name", Json::Str(s.name.clone()))
+                                .with("session", Json::U64(s.session))
+                                .with("shard", Json::U64(s.shard as u64))
+                                .with("predictions", Json::U64(s.served.predictions))
+                                .with("served_correct", Json::U64(s.served.correct))
+                                .with("oracle_correct", Json::U64(s.oracle.correct))
+                                .with(
+                                    "served_mispredict_pct",
+                                    Json::F64(s.served.mispredict_pct()),
+                                )
+                                .with("matches_oracle", Json::Bool(s.matches()))
+                        })
+                        .collect(),
+                ),
+            )
+            .with("requests", Json::U64(self.requests))
+            .with("records", Json::U64(self.records))
+            .with("wall_ms", Json::F64(self.wall.as_secs_f64() * 1e3))
+            .with("qps", Json::F64(self.qps()))
+            .with("records_per_sec", Json::F64(self.records_per_sec()))
+            .with("busy_retries", Json::U64(self.busy_retries))
+            .with("latency_us", self.latency_us.to_json())
+            .with("all_match", Json::Bool(self.all_match()))
+    }
+}
+
+struct SessionRun {
+    result: SessionResult,
+    latency_us: Histogram,
+    busy_retries: u64,
+}
+
+/// Replays every `sessions` stream against the server at
+/// `cfg.addr` and scores the result. Fails fast on transport or
+/// protocol errors; oracle mismatches are *reported*, not errors (the
+/// caller decides — `ntp loadgen` exits nonzero on any mismatch).
+pub fn run(cfg: &LoadgenConfig, sessions: &[SessionSpec]) -> Result<LoadgenReport, ClientError> {
+    // Validate the predictor configuration before opening any socket, so
+    // a bad design point is one clean client-side diagnostic.
+    let pcfg = PredictorConfig::try_paper(cfg.bits, cfg.depth as usize)
+        .map_err(|e| ClientError::Protocol(format!("paper({},{}): {e}", cfg.bits, cfg.depth)))?;
+    let start = Instant::now();
+    let runs: Vec<Result<SessionRun, ClientError>> =
+        ntp_runner::map_ordered_with(cfg.clients.max(1), sessions, |i, spec| {
+            run_session(cfg, pcfg, i as u64, spec)
+        });
+    let wall = start.elapsed();
+
+    let mut report = LoadgenReport {
+        sessions: Vec::with_capacity(runs.len()),
+        requests: 0,
+        records: 0,
+        wall,
+        latency_us: Histogram::new(),
+        busy_retries: 0,
+    };
+    for run in runs {
+        let run = run?;
+        report.requests += run.result.requests;
+        report.records += run.result.served.predictions;
+        report.latency_us.merge(&run.latency_us);
+        report.busy_retries += run.busy_retries;
+        report.sessions.push(run.result);
+    }
+    Ok(report)
+}
+
+/// Replays one stream as one wire session and scores it.
+fn run_session(
+    cfg: &LoadgenConfig,
+    pcfg: PredictorConfig,
+    session: u64,
+    spec: &SessionSpec,
+) -> Result<SessionRun, ClientError> {
+    let mut client = Client::connect(&cfg.addr)?;
+    let mut latency = Histogram::new();
+    let mut requests = 0u64;
+    let mut busy_retries = 0u64;
+    let chunk = cfg.chunk.max(1);
+
+    let mut timed = |client: &mut Client,
+                     req: &crate::wire::Request|
+     -> Result<crate::wire::Response, ClientError> {
+        loop {
+            let t0 = Instant::now();
+            let resp = client.request(req)?;
+            latency.record(t0.elapsed().as_micros() as u64);
+            requests += 1;
+            if matches!(resp, crate::wire::Response::Busy) {
+                busy_retries += 1;
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            return Ok(resp);
+        }
+    };
+
+    let shard = match timed(
+        &mut client,
+        &crate::wire::Request::Hello {
+            session,
+            bits: cfg.bits,
+            depth: cfg.depth,
+        },
+    )? {
+        crate::wire::Response::HelloOk { shard, .. } => shard,
+        crate::wire::Response::Error { code, message } => {
+            return Err(ClientError::Server { code, message })
+        }
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected HelloOk, got {other:?}"
+            )))
+        }
+    };
+
+    let mut served_batches = PredictorStats::new();
+    for records in spec.records.chunks(chunk) {
+        match timed(
+            &mut client,
+            &crate::wire::Request::Batch {
+                session,
+                records: records.to_vec(),
+            },
+        )? {
+            crate::wire::Response::BatchDone {
+                predictions,
+                correct,
+            } => {
+                served_batches.predictions += predictions;
+                served_batches.correct += correct;
+            }
+            crate::wire::Response::Error { code, message } => {
+                return Err(ClientError::Server { code, message })
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected BatchDone, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    let served = match timed(&mut client, &crate::wire::Request::Stats { session })? {
+        crate::wire::Response::StatsOk { stats } => stats,
+        crate::wire::Response::Error { code, message } => {
+            return Err(ClientError::Server { code, message })
+        }
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected StatsOk, got {other:?}"
+            )))
+        }
+    };
+
+    // Cross-check the per-batch tallies against the final stats frame:
+    // they are two independent paths through the server.
+    if served.predictions != served_batches.predictions || served.correct != served_batches.correct
+    {
+        return Err(ClientError::Protocol(format!(
+            "batch tallies ({}/{}) disagree with the stats frame ({}/{})",
+            served_batches.correct, served_batches.predictions, served.correct, served.predictions
+        )));
+    }
+
+    // The offline oracle: an identical predictor replaying the identical
+    // stream in-process.
+    let mut oracle_pred = NextTracePredictor::try_new(pcfg)
+        .map_err(|e| ClientError::Protocol(format!("oracle config rejected: {e}")))?;
+    let oracle = evaluate(&mut oracle_pred, &spec.records);
+
+    Ok(SessionRun {
+        result: SessionResult {
+            name: spec.name.clone(),
+            session,
+            shard,
+            served,
+            oracle,
+            requests,
+        },
+        latency_us: latency,
+        busy_retries,
+    })
+}

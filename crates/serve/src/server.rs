@@ -1,0 +1,613 @@
+//! The TCP server: accept loop, per-connection reader threads, and the
+//! sharded session workers.
+//!
+//! # Sharding model
+//!
+//! Sessions are owned by exactly one shard worker, `session % workers`.
+//! A shard is a plain thread holding a `HashMap<u64, Session>` of
+//! single-threaded [`NextTracePredictor`]s — no locks anywhere on the
+//! prediction path. Connection threads parse frames and forward requests
+//! to the owning shard over a **bounded** queue; a full queue yields an
+//! immediate [`Response::Busy`] (explicit backpressure, the request is
+//! not applied) instead of unbounded buffering.
+//!
+//! # Limits
+//!
+//! * `max_conns` concurrent connections; excess connections get one
+//!   `Error(refused)` reply and are closed;
+//! * `max_frame` bytes per frame body; oversized frames are discarded
+//!   and refused with `Error(oversized)`, the connection survives;
+//! * read/write socket timeouts bound how long a dead peer can hold a
+//!   connection slot (and therefore how long a drain can take).
+//!
+//! # Shutdown
+//!
+//! A `Shutdown` frame (or [`ServerHandle::request_shutdown`]) flips the
+//! drain flag: the acceptor stops taking connections, established
+//! connections keep being served until their clients close (or time
+//! out), shard queues drain to empty, and [`ServerHandle::join`] returns
+//! a [`ServerSummary`] once every thread has exited. In-flight sessions
+//! are never cut off mid-request.
+
+use crate::config::ServeConfig;
+use crate::wire::{self, ErrorCode, Request, Response, WireError};
+use ntp_core::{NextTracePredictor, PredictorConfig, PredictorStats, TracePredictor};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One request in flight to a shard, with the channel its reply goes
+/// back on.
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// One live session: a predictor plus its replay statistics.
+struct Session {
+    predictor: NextTracePredictor,
+    stats: PredictorStats,
+}
+
+/// Per-shard accounting, returned when the shard drains and exits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardSummary {
+    /// Sessions created on this shard.
+    pub sessions: u64,
+    /// Requests processed (every frame routed here, including refused).
+    pub requests: u64,
+}
+
+/// Whole-server accounting, available after [`ServerHandle::join`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerSummary {
+    /// Connections accepted and served.
+    pub accepted: u64,
+    /// Connections refused at the `max_conns` limit.
+    pub refused: u64,
+    /// `Busy` backpressure replies sent (full shard queue).
+    pub busy: u64,
+    /// Frames refused at the wire layer (checksum, size, decode).
+    pub protocol_errors: u64,
+    /// Sessions created across all shards.
+    pub sessions: u64,
+    /// Requests processed across all shards.
+    pub requests: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    busy: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::join`] detaches the threads (the process keeps
+/// serving); the intended lifecycle is `serve(cfg)` → … →
+/// `request_shutdown()` (or a client `Shutdown` frame) → `join()`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active_conns: Arc<AtomicUsize>,
+    counters: Arc<Counters>,
+    accept: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<ShardSummary>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a drain: stop accepting, let in-flight work finish.
+    /// Idempotent; also triggered by a client `Shutdown` frame.
+    pub fn request_shutdown(&self) {
+        trigger_shutdown(&self.shutdown, self.addr);
+    }
+
+    /// True once a shutdown/drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the drain to complete — acceptor exited, every
+    /// connection closed, every shard queue empty — and returns the
+    /// final accounting. Call after [`ServerHandle::request_shutdown`]
+    /// (or once a client has sent `Shutdown`); joining a server nobody
+    /// shuts down blocks forever, like the listener it wraps.
+    pub fn join(mut self) -> ServerSummary {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The acceptor has exited and dropped its shard senders; each
+        // connection thread holds its own clones. Wait for those
+        // connections to finish their in-flight sessions.
+        while self.active_conns.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut summary = ServerSummary {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            busy: self.counters.busy.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            ..ServerSummary::default()
+        };
+        for h in self.shards.drain(..) {
+            if let Ok(s) = h.join() {
+                summary.sessions += s.sessions;
+                summary.requests += s.requests;
+            }
+        }
+        summary
+    }
+}
+
+/// Sets the drain flag and pokes the (blocking) acceptor awake with a
+/// throwaway loopback connection.
+fn trigger_shutdown(flag: &AtomicBool, addr: SocketAddr) {
+    if !flag.swap(true, Ordering::SeqCst) {
+        // The acceptor checks the flag before serving each accepted
+        // connection, so this wake-up connection is simply dropped.
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+    }
+}
+
+/// Binds `cfg.addr` and spawns the shard workers and the accept loop.
+///
+/// Fails (with a one-line diagnostic naming the address) when the
+/// address cannot be bound — e.g. the port is already in use — or when
+/// the configuration is invalid.
+pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
+    cfg.validate()?;
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| format!("serve: cannot bind {}: {e}", cfg.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("serve: cannot resolve bound address: {e}"))?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active_conns = Arc::new(AtomicUsize::new(0));
+    let counters = Arc::new(Counters::default());
+
+    // One bounded queue per shard. The acceptor owns the Vec of senders
+    // (inside an Arc shared with connection threads); when the acceptor
+    // and every connection have exited, the senders are all dropped and
+    // the shard receivers disconnect — drain-then-exit for free.
+    let mut senders = Vec::with_capacity(cfg.workers);
+    let mut shards = Vec::with_capacity(cfg.workers);
+    for shard_id in 0..cfg.workers {
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        senders.push(tx);
+        shards.push(
+            std::thread::Builder::new()
+                .name(format!("ntp-serve-shard-{shard_id}"))
+                .spawn(move || shard_loop(shard_id as u32, rx))
+                .map_err(|e| format!("serve: cannot spawn shard worker: {e}"))?,
+        );
+    }
+
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        let active_conns = Arc::clone(&active_conns);
+        let counters = Arc::clone(&counters);
+        let cfg = cfg.clone();
+        let senders: Arc<[SyncSender<Job>]> = senders.into();
+        std::thread::Builder::new()
+            .name("ntp-serve-accept".into())
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    addr,
+                    cfg,
+                    senders,
+                    shutdown,
+                    active_conns,
+                    counters,
+                )
+            })
+            .map_err(|e| format!("serve: cannot spawn acceptor: {e}"))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        active_conns,
+        counters,
+        accept: Some(accept),
+        shards,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+    senders: Arc<[SyncSender<Job>]>,
+    shutdown: Arc<AtomicBool>,
+    active_conns: Arc<AtomicUsize>,
+    counters: Arc<Counters>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let slot = active_conns.fetch_add(1, Ordering::SeqCst);
+        if slot >= cfg.max_conns {
+            counters.refused.fetch_add(1, Ordering::Relaxed);
+            refuse(stream, ErrorCode::Refused, "connection limit reached");
+            active_conns.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let cfg = cfg.clone();
+        let senders = Arc::clone(&senders);
+        let shutdown = Arc::clone(&shutdown);
+        let active_conns2 = Arc::clone(&active_conns);
+        let counters = Arc::clone(&counters);
+        let spawned = std::thread::Builder::new()
+            .name("ntp-serve-conn".into())
+            .spawn(move || {
+                connection_loop(stream, addr, &cfg, &senders, &shutdown, &counters);
+                active_conns2.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            active_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    // Dropping `senders` here releases the acceptor's share; shards keep
+    // running until the last connection thread drops its clone.
+}
+
+/// Sends a single error reply on a connection we will not serve.
+fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = wire::encode_response(&Response::Error {
+        code,
+        message: message.to_string(),
+    });
+    let _ = wire::write_frame(&mut stream, &body);
+}
+
+/// Serves one connection until EOF, timeout, or an unrecoverable frame.
+fn connection_loop(
+    mut stream: TcpStream,
+    addr: SocketAddr,
+    cfg: &ServeConfig,
+    senders: &[SyncSender<Job>],
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+
+    loop {
+        let body = match wire::read_frame(&mut stream, cfg.max_frame) {
+            Ok(body) => body,
+            Err(WireError::Io(_)) => break, // EOF, timeout, or dead peer.
+            Err(e @ WireError::Oversized { recoverable, .. }) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let sent = send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::Oversized,
+                        message: e.to_string(),
+                    },
+                );
+                if !recoverable || !sent {
+                    break; // Cannot resync past a huge declared length.
+                }
+                continue;
+            }
+            Err(e @ (WireError::BadChecksum | WireError::Empty)) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if !send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                ) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let req = match wire::decode_request(&body) {
+            Ok(req) => req,
+            Err(msg) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if !send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: msg,
+                    },
+                ) {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        let Some(session) = req.session() else {
+            // Shutdown: flip the drain flag, acknowledge, and close this
+            // connection. Other connections keep draining.
+            trigger_shutdown(shutdown, addr);
+            let _ = send(&mut stream, &Response::Bye);
+            break;
+        };
+
+        let shard = (session % senders.len() as u64) as usize;
+        let resp = match senders[shard].try_send(Job {
+            req,
+            reply: reply_tx.clone(),
+        }) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("shard {shard} is gone"),
+                },
+            },
+            Err(TrySendError::Full(_)) => {
+                counters.busy.fetch_add(1, Ordering::Relaxed);
+                Response::Busy
+            }
+            Err(TrySendError::Disconnected(_)) => Response::Error {
+                code: ErrorCode::Draining,
+                message: "server is draining".into(),
+            },
+        };
+        if !send(&mut stream, &resp) {
+            break;
+        }
+    }
+}
+
+/// Writes one response frame; false when the peer is gone.
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    let body = wire::encode_response(resp);
+    wire::write_frame(stream, &body)
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+/// One shard: owns its sessions, processes its queue to empty, exits
+/// when every sender is gone.
+fn shard_loop(shard_id: u32, rx: Receiver<Job>) -> ShardSummary {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut summary = ShardSummary::default();
+    for job in rx {
+        summary.requests += 1;
+        let resp = apply(shard_id, &mut sessions, &mut summary, &job.req);
+        let _ = job.reply.send(resp);
+    }
+    summary
+}
+
+/// Applies one request to the shard's session map.
+fn apply(
+    shard_id: u32,
+    sessions: &mut HashMap<u64, Session>,
+    summary: &mut ShardSummary,
+    req: &Request,
+) -> Response {
+    match req {
+        Request::Hello {
+            session,
+            bits,
+            depth,
+        } => {
+            if sessions.contains_key(session) {
+                return Response::Error {
+                    code: ErrorCode::BadConfig,
+                    message: format!("session {session} already exists"),
+                };
+            }
+            let cfg = match PredictorConfig::try_paper(*bits, *depth as usize) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::BadConfig,
+                        message: format!("paper({bits},{depth}) rejected: {e}"),
+                    }
+                }
+            };
+            let predictor = match NextTracePredictor::try_new(cfg) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::BadConfig,
+                        message: format!("paper({bits},{depth}) rejected: {e}"),
+                    }
+                }
+            };
+            sessions.insert(
+                *session,
+                Session {
+                    predictor,
+                    stats: PredictorStats::new(),
+                },
+            );
+            summary.sessions += 1;
+            Response::HelloOk {
+                session: *session,
+                shard: shard_id,
+            }
+        }
+        Request::Predict { session } => with_session(sessions, *session, |s| {
+            let pred = s.predictor.predict();
+            Response::Predicted {
+                target: pred.target,
+                source: pred.source,
+            }
+        }),
+        Request::Update { session, record } => with_session(sessions, *session, |s| {
+            let pred = s.predictor.predict();
+            s.stats.score(&pred, record);
+            s.predictor.update(record);
+            Response::Updated {
+                correct: pred.is_correct(record.id()),
+            }
+        }),
+        Request::Batch { session, records } => with_session(sessions, *session, |s| {
+            let mut correct = 0u64;
+            for record in records {
+                let pred = s.predictor.predict();
+                s.stats.score(&pred, record);
+                if pred.is_correct(record.id()) {
+                    correct += 1;
+                }
+                s.predictor.update(record);
+            }
+            Response::BatchDone {
+                predictions: records.len() as u64,
+                correct,
+            }
+        }),
+        Request::Stats { session } => with_session(sessions, *session, |s| Response::StatsOk {
+            stats: s.stats.clone(),
+        }),
+        Request::Shutdown => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "shutdown is connection-level, not shard-level".into(),
+        },
+    }
+}
+
+fn with_session(
+    sessions: &mut HashMap<u64, Session>,
+    session: u64,
+    f: impl FnOnce(&mut Session) -> Response,
+) -> Response {
+    match sessions.get_mut(&session) {
+        Some(s) => f(s),
+        None => Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: format!("session {session} has not said hello"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntp_trace::{TraceId, TraceRecord};
+
+    fn rec(pc: u32) -> TraceRecord {
+        TraceRecord::new(TraceId::new(pc, 0, 0), 8, 0, false, false)
+    }
+
+    #[test]
+    fn apply_routes_the_session_lifecycle() {
+        let mut sessions = HashMap::new();
+        let mut summary = ShardSummary::default();
+        // Unknown session first.
+        let resp = apply(
+            0,
+            &mut sessions,
+            &mut summary,
+            &Request::Stats { session: 1 },
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        ));
+        // Hello, then a batch, then stats matching the offline oracle.
+        let hello = Request::Hello {
+            session: 1,
+            bits: 12,
+            depth: 3,
+        };
+        assert!(matches!(
+            apply(0, &mut sessions, &mut summary, &hello),
+            Response::HelloOk {
+                session: 1,
+                shard: 0
+            }
+        ));
+        assert!(
+            matches!(
+                apply(0, &mut sessions, &mut summary, &hello),
+                Response::Error {
+                    code: ErrorCode::BadConfig,
+                    ..
+                }
+            ),
+            "duplicate hello refused"
+        );
+        let records: Vec<TraceRecord> =
+            (0..60).map(|k| rec(0x0040_0000 + (k % 3) * 0x40)).collect();
+        let Response::BatchDone {
+            predictions,
+            correct,
+        } = apply(
+            0,
+            &mut sessions,
+            &mut summary,
+            &Request::Batch {
+                session: 1,
+                records: records.clone(),
+            },
+        )
+        else {
+            panic!("batch should complete");
+        };
+        assert_eq!(predictions, 60);
+        let Response::StatsOk { stats } = apply(
+            0,
+            &mut sessions,
+            &mut summary,
+            &Request::Stats { session: 1 },
+        ) else {
+            panic!("stats should answer");
+        };
+        let mut oracle = NextTracePredictor::new(PredictorConfig::paper(12, 3));
+        let expect = ntp_core::evaluate(&mut oracle, &records);
+        assert_eq!(stats, expect, "served stats equal the offline oracle");
+        assert_eq!(correct, expect.correct);
+        assert_eq!(summary.sessions, 1);
+    }
+
+    #[test]
+    fn apply_refuses_hostile_configs() {
+        let mut sessions = HashMap::new();
+        let mut summary = ShardSummary::default();
+        let resp = apply(
+            0,
+            &mut sessions,
+            &mut summary,
+            &Request::Hello {
+                session: 1,
+                bits: 0,
+                depth: 64,
+            },
+        );
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::BadConfig,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        assert!(sessions.is_empty());
+    }
+}

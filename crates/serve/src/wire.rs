@@ -1,0 +1,838 @@
+//! The binary wire protocol: length-framed, FNV-1a-64-checksummed
+//! request/response frames.
+//!
+//! ```text
+//! frame    body length u32 | body | FNV-1a 64 checksum of body (u64)
+//! body     kind u8 | payload
+//! ```
+//!
+//! All integers are little-endian — the same framing discipline as the
+//! `.ntc` section codec in `ntp-tracefile` (length field, then payload,
+//! then an FNV-1a 64 checksum), reusing the identical hash from
+//! [`ntp_hash`]. The reader is *validating*: a flipped bit anywhere in the
+//! body fails the checksum, a bad length is refused before any allocation,
+//! and every decoded value is range-checked. Unlike the on-disk codec,
+//! a refused frame is **not** fatal: the stream stays framed (the reader
+//! always consumes exactly `4 + len + 8` bytes), so the server can reply
+//! with an [`Response::Error`] and keep the connection alive.
+//!
+//! Request kinds: `Hello`, `Predict`, `Update`, `Batch`, `Stats`,
+//! `Shutdown`. Response kinds mirror them, plus `Busy` (explicit
+//! backpressure when a shard queue is full) and `Error`.
+
+use ntp_core::{PredictorStats, Source, Target};
+use ntp_hash::fnv64;
+use ntp_trace::{HashedId, TraceId, TraceRecord, MAX_TRACE_LEN};
+use std::io::{Read, Write};
+
+/// Protocol version carried in every `Hello`; servers refuse other
+/// versions so a skewed client fails loudly at session setup, not with
+/// silently misdecoded frames later.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frames whose declared body length exceeds this are unrecoverable: the
+/// reader cannot cheaply skip the body to resync, so the connection is
+/// closed after the error reply. Configurable per-server limits
+/// (`max_frame`) must be at or below this.
+pub const HARD_FRAME_CAP: u32 = 64 << 20;
+
+/// Smallest sensible `max_frame`: every fixed-size frame fits.
+pub const MIN_FRAME_CAP: u32 = 64;
+
+/// A client-to-server request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Opens (creates) session `session` with a `paper(bits, depth)`
+    /// predictor. Refused if the session already exists or the
+    /// configuration is invalid.
+    Hello {
+        /// Session identifier; the owning shard is `session % workers`.
+        session: u64,
+        /// Correlating-table index bits of the predictor configuration.
+        bits: u32,
+        /// DOLC path-history depth of the predictor configuration.
+        depth: u32,
+    },
+    /// Reads the session's current prediction without training.
+    Predict {
+        /// Session identifier.
+        session: u64,
+    },
+    /// One replay step: predict, score against `record`, then train
+    /// (the immediate-update methodology of `ntp_core::evaluate`).
+    Update {
+        /// Session identifier.
+        session: u64,
+        /// The trace that actually executed.
+        record: TraceRecord,
+    },
+    /// [`Request::Update`] applied to a whole chunk in one frame.
+    Batch {
+        /// Session identifier.
+        session: u64,
+        /// The trace records, applied in order.
+        records: Vec<TraceRecord>,
+    },
+    /// Reads the session's accumulated [`PredictorStats`].
+    Stats {
+        /// Session identifier.
+        session: u64,
+    },
+    /// Asks the server to drain and exit: no new connections are
+    /// accepted, in-flight sessions run to completion.
+    Shutdown,
+}
+
+impl Request {
+    /// The session this request is routed by (`None` for [`Request::Shutdown`],
+    /// which is handled by the connection itself, not a shard).
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            Request::Hello { session, .. }
+            | Request::Predict { session }
+            | Request::Update { session, .. }
+            | Request::Batch { session, .. }
+            | Request::Stats { session } => Some(*session),
+            Request::Shutdown => None,
+        }
+    }
+}
+
+/// Why a request was refused (carried in [`Response::Error`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Frame checksum mismatch: the body arrived corrupted.
+    BadFrame,
+    /// Frame body exceeded the server's `max_frame` limit.
+    Oversized,
+    /// The body decoded to no known request, or payload values were out
+    /// of range.
+    BadRequest,
+    /// The addressed session does not exist (no `Hello` seen).
+    UnknownSession,
+    /// `Hello` named a predictor configuration the core rejected, or a
+    /// session that already exists, or a protocol-version mismatch.
+    BadConfig,
+    /// The server is at its connection limit.
+    Refused,
+    /// The server is draining for shutdown and takes no new work.
+    Draining,
+    /// Internal failure (a shard disappeared mid-request).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::Oversized => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::UnknownSession => 4,
+            ErrorCode::BadConfig => 5,
+            ErrorCode::Refused => 6,
+            ErrorCode::Draining => 7,
+            ErrorCode::Internal => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::Oversized,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::UnknownSession,
+            5 => ErrorCode::BadConfig,
+            6 => ErrorCode::Refused,
+            7 => ErrorCode::Draining,
+            8 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::BadConfig => "bad-config",
+            ErrorCode::Refused => "refused",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A server-to-client response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Session created.
+    HelloOk {
+        /// Echo of the session identifier.
+        session: u64,
+        /// The shard (worker index) that owns the session.
+        shard: u32,
+    },
+    /// The session's current prediction.
+    Predicted {
+        /// The predicted next trace, if any table had an opinion.
+        target: Option<Target>,
+        /// Which table served the prediction.
+        source: Source,
+    },
+    /// One update applied.
+    Updated {
+        /// Whether the pre-update prediction named the actual trace.
+        correct: bool,
+    },
+    /// A batch applied.
+    BatchDone {
+        /// Predictions scored in this batch (= records sent).
+        predictions: u64,
+        /// Correct predictions in this batch.
+        correct: u64,
+    },
+    /// The session's accumulated statistics.
+    StatsOk {
+        /// Exact replay statistics, byte-comparable with the offline
+        /// `ntp_core::evaluate` oracle.
+        stats: PredictorStats,
+    },
+    /// Explicit backpressure: the owning shard's queue is full. The
+    /// request was **not** applied; retry after a pause.
+    Busy,
+    /// Acknowledges [`Request::Shutdown`]; the server is draining.
+    Bye,
+    /// The request was refused.
+    Error {
+        /// Machine-readable refusal class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a frame could not be read. [`WireError::Io`] ends the connection;
+/// the other variants leave the stream framed and the connection usable.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure or clean EOF.
+    Io(std::io::Error),
+    /// Declared body length exceeds the limit. The body was consumed
+    /// (discarded) when `len <= HARD_FRAME_CAP`; `recoverable` says so.
+    Oversized {
+        /// Declared body length.
+        len: u32,
+        /// The limit it exceeded.
+        max: u32,
+        /// Whether the stream was resynced (body discarded) and the
+        /// connection can continue.
+        recoverable: bool,
+    },
+    /// Body checksum mismatch.
+    BadChecksum,
+    /// Zero-length body.
+    Empty,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Oversized { len, max, .. } => {
+                write!(f, "frame body {len} bytes exceeds limit {max}")
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::Empty => write!(f, "zero-length frame"),
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame: `len | body | fnv64(body)`.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(!body.is_empty(), "frames always carry at least a kind byte");
+    let mut out = Vec::with_capacity(4 + body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&fnv64(body).to_le_bytes());
+    w.write_all(&out)
+}
+
+/// Reads one frame body, enforcing `max_frame` and verifying the
+/// checksum. On every non-[`WireError::Io`] error the reader has consumed
+/// exactly the declared frame (when recoverable), so the caller can reply
+/// with an error and keep reading.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Vec<u8>, WireError> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4);
+    if len == 0 {
+        // Consume the trailing checksum so the stream stays framed.
+        let mut sum = [0u8; 8];
+        r.read_exact(&mut sum)?;
+        return Err(WireError::Empty);
+    }
+    if len > max_frame {
+        let recoverable = len <= HARD_FRAME_CAP;
+        if recoverable {
+            // Discard body + checksum to resync.
+            discard(r, len as u64 + 8)?;
+        }
+        return Err(WireError::Oversized {
+            len,
+            max: max_frame,
+            recoverable,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    if fnv64(&body) != u64::from_le_bytes(sum) {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(body)
+}
+
+/// Reads and drops exactly `n` bytes.
+fn discard(r: &mut impl Read, n: u64) -> std::io::Result<()> {
+    let copied = std::io::copy(&mut r.take(n), &mut std::io::sink())?;
+    if copied < n {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "stream ended while discarding an oversized frame",
+        ));
+    }
+    Ok(())
+}
+
+// Body kind bytes. Requests are < 0x80, responses >= 0x80.
+const K_HELLO: u8 = 0x01;
+const K_PREDICT: u8 = 0x02;
+const K_UPDATE: u8 = 0x03;
+const K_BATCH: u8 = 0x04;
+const K_STATS: u8 = 0x05;
+const K_SHUTDOWN: u8 = 0x06;
+const K_HELLO_OK: u8 = 0x81;
+const K_PREDICTED: u8 = 0x82;
+const K_UPDATED: u8 = 0x83;
+const K_BATCH_DONE: u8 = 0x84;
+const K_STATS_OK: u8 = 0x85;
+const K_BUSY: u8 = 0x86;
+const K_BYE: u8 = 0x87;
+const K_ERROR: u8 = 0xFF;
+
+/// A validating little-endian cursor over a frame body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() < n {
+            return Err(format!(
+                "truncated payload: wanted {n} more bytes, have {}",
+                self.bytes.len()
+            ));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing byte(s)", self.bytes.len()))
+        }
+    }
+}
+
+/// Packs one [`TraceRecord`] into its 8-byte wire form.
+fn put_record(out: &mut Vec<u8>, r: &TraceRecord) {
+    out.extend_from_slice(&r.start_pc.to_le_bytes());
+    out.push(r.branch_bits);
+    out.push(r.branch_count);
+    out.push(r.len);
+    out.push(
+        r.call_count()
+            | (u8::from(r.ends_in_return()) << 3)
+            | (u8::from(r.ends_in_indirect()) << 4),
+    );
+}
+
+/// Decodes and range-checks one 8-byte wire record.
+fn get_record(c: &mut Cursor<'_>) -> Result<TraceRecord, String> {
+    let start_pc = c.u32()?;
+    let branch_bits = c.u8()?;
+    let branch_count = c.u8()?;
+    let len = c.u8()?;
+    let flags = c.u8()?;
+    if branch_count > 6 {
+        return Err(format!("branch_count {branch_count} > 6"));
+    }
+    let mask = ((1u16 << branch_count) - 1) as u8;
+    if branch_bits & !mask != 0 {
+        return Err(format!(
+            "branch_bits {branch_bits:#04x} has bits beyond branch_count {branch_count}"
+        ));
+    }
+    if len == 0 || len as usize > MAX_TRACE_LEN {
+        return Err(format!("trace length {len} outside 1..={MAX_TRACE_LEN}"));
+    }
+    if flags & !0b1_1111 != 0 {
+        return Err(format!("record flags {flags:#04x} have reserved bits set"));
+    }
+    Ok(TraceRecord::new(
+        TraceId::new(start_pc, branch_bits, branch_count),
+        len,
+        flags & 0b111,
+        flags & 0b1000 != 0,
+        flags & 0b1_0000 != 0,
+    ))
+}
+
+/// Encodes a request into a frame body.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match req {
+        Request::Hello {
+            session,
+            bits,
+            depth,
+        } => {
+            out.push(K_HELLO);
+            out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&bits.to_le_bytes());
+            out.extend_from_slice(&depth.to_le_bytes());
+        }
+        Request::Predict { session } => {
+            out.push(K_PREDICT);
+            out.extend_from_slice(&session.to_le_bytes());
+        }
+        Request::Update { session, record } => {
+            out.push(K_UPDATE);
+            out.extend_from_slice(&session.to_le_bytes());
+            put_record(&mut out, record);
+        }
+        Request::Batch { session, records } => {
+            out.reserve(13 + records.len() * 8);
+            out.push(K_BATCH);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for r in records {
+                put_record(&mut out, r);
+            }
+        }
+        Request::Stats { session } => {
+            out.push(K_STATS);
+            out.extend_from_slice(&session.to_le_bytes());
+        }
+        Request::Shutdown => out.push(K_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a frame body into a request, validating every field.
+pub fn decode_request(body: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor { bytes: body };
+    let kind = c.u8()?;
+    let req = match kind {
+        K_HELLO => {
+            let version = c.u32()?;
+            if version != PROTOCOL_VERSION {
+                return Err(format!(
+                    "protocol version {version} (this server speaks {PROTOCOL_VERSION})"
+                ));
+            }
+            Request::Hello {
+                session: c.u64()?,
+                bits: c.u32()?,
+                depth: c.u32()?,
+            }
+        }
+        K_PREDICT => Request::Predict { session: c.u64()? },
+        K_UPDATE => Request::Update {
+            session: c.u64()?,
+            record: get_record(&mut c)?,
+        },
+        K_BATCH => {
+            let session = c.u64()?;
+            let count = c.u32()? as usize;
+            if c.bytes.len() != count * 8 {
+                return Err(format!(
+                    "batch count {count} disagrees with payload ({} bytes left)",
+                    c.bytes.len()
+                ));
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                records.push(get_record(&mut c)?);
+            }
+            Request::Batch { session, records }
+        }
+        K_STATS => Request::Stats { session: c.u64()? },
+        K_SHUTDOWN => Request::Shutdown,
+        other => return Err(format!("unknown request kind {other:#04x}")),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+fn put_source(out: &mut Vec<u8>, s: Source) {
+    out.push(match s {
+        Source::Correlated => 0,
+        Source::Secondary => 1,
+        Source::Cold => 2,
+    });
+}
+
+fn get_source(c: &mut Cursor<'_>) -> Result<Source, String> {
+    Ok(match c.u8()? {
+        0 => Source::Correlated,
+        1 => Source::Secondary,
+        2 => Source::Cold,
+        other => return Err(format!("unknown prediction source {other}")),
+    })
+}
+
+/// Encodes a response into a frame body.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match resp {
+        Response::HelloOk { session, shard } => {
+            out.push(K_HELLO_OK);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&shard.to_le_bytes());
+        }
+        Response::Predicted { target, source } => {
+            out.push(K_PREDICTED);
+            match target {
+                None => {
+                    out.push(0);
+                    out.push(0);
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+                Some(Target::Full(id)) => {
+                    out.push(1);
+                    out.push(0);
+                    out.extend_from_slice(&id.packed().to_le_bytes());
+                }
+                Some(Target::Hashed(h)) => {
+                    out.push(1);
+                    out.push(1);
+                    out.extend_from_slice(&(h.0 as u64).to_le_bytes());
+                }
+            }
+            put_source(&mut out, *source);
+        }
+        Response::Updated { correct } => {
+            out.push(K_UPDATED);
+            out.push(u8::from(*correct));
+        }
+        Response::BatchDone {
+            predictions,
+            correct,
+        } => {
+            out.push(K_BATCH_DONE);
+            out.extend_from_slice(&predictions.to_le_bytes());
+            out.extend_from_slice(&correct.to_le_bytes());
+        }
+        Response::StatsOk { stats } => {
+            out.push(K_STATS_OK);
+            for v in stats.to_array() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Busy => out.push(K_BUSY),
+        Response::Bye => out.push(K_BYE),
+        Response::Error { code, message } => {
+            out.push(K_ERROR);
+            out.push(code.to_u8());
+            let msg = message.as_bytes();
+            out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            out.extend_from_slice(msg);
+        }
+    }
+    out
+}
+
+/// Decodes a frame body into a response, validating every field.
+pub fn decode_response(body: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor { bytes: body };
+    let kind = c.u8()?;
+    let resp = match kind {
+        K_HELLO_OK => Response::HelloOk {
+            session: c.u64()?,
+            shard: c.u32()?,
+        },
+        K_PREDICTED => {
+            let has = c.u8()?;
+            let tkind = c.u8()?;
+            let key = c.u64()?;
+            let target = match (has, tkind) {
+                (0, 0) => None,
+                (1, 0) => Some(Target::Full(TraceId::from_packed(key))),
+                (1, 1) => {
+                    if key > u16::MAX as u64 {
+                        return Err(format!("hashed target {key:#x} exceeds 16 bits"));
+                    }
+                    Some(Target::Hashed(HashedId(key as u16)))
+                }
+                _ => return Err(format!("bad target encoding ({has}, {tkind})")),
+            };
+            Response::Predicted {
+                target,
+                source: get_source(&mut c)?,
+            }
+        }
+        K_UPDATED => Response::Updated {
+            correct: match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("bad bool {other}")),
+            },
+        },
+        K_BATCH_DONE => Response::BatchDone {
+            predictions: c.u64()?,
+            correct: c.u64()?,
+        },
+        K_STATS_OK => {
+            let mut a = [0u64; ntp_core::PREDICTOR_STATS_FIELDS];
+            for v in a.iter_mut() {
+                *v = c.u64()?;
+            }
+            Response::StatsOk {
+                stats: PredictorStats::from_array(a),
+            }
+        }
+        K_BUSY => Response::Busy,
+        K_BYE => Response::Bye,
+        K_ERROR => {
+            let code =
+                ErrorCode::from_u8(c.u8()?).ok_or_else(|| "unknown error code".to_string())?;
+            let len = c.u32()? as usize;
+            let msg = c.take(len)?;
+            Response::Error {
+                code,
+                message: String::from_utf8_lossy(msg).into_owned(),
+            }
+        }
+        other => return Err(format!("unknown response kind {other:#04x}")),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pc: u32, bits: u8, n: u8) -> TraceRecord {
+        TraceRecord::new(TraceId::new(pc, bits, n), 9, 2, true, true)
+    }
+
+    fn roundtrip_req(req: Request) {
+        let body = encode_request(&req);
+        assert_eq!(decode_request(&body).expect("decodes"), req, "{req:?}");
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let body = encode_response(&resp);
+        assert_eq!(decode_response(&body).expect("decodes"), resp, "{resp:?}");
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        roundtrip_req(Request::Hello {
+            session: 7,
+            bits: 15,
+            depth: 7,
+        });
+        roundtrip_req(Request::Predict { session: u64::MAX });
+        roundtrip_req(Request::Update {
+            session: 3,
+            record: rec(0x0040_0000, 0b101, 3),
+        });
+        roundtrip_req(Request::Batch {
+            session: 9,
+            records: (0..100).map(|k| rec(0x0040_0000 + k * 64, 1, 2)).collect(),
+        });
+        roundtrip_req(Request::Stats { session: 0 });
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        roundtrip_resp(Response::HelloOk {
+            session: 12,
+            shard: 3,
+        });
+        roundtrip_resp(Response::Predicted {
+            target: None,
+            source: Source::Cold,
+        });
+        roundtrip_resp(Response::Predicted {
+            target: Some(Target::Full(TraceId::new(0x0040_0040, 0b11, 2))),
+            source: Source::Correlated,
+        });
+        roundtrip_resp(Response::Predicted {
+            target: Some(Target::Hashed(HashedId(0xBEEF))),
+            source: Source::Secondary,
+        });
+        roundtrip_resp(Response::Updated { correct: true });
+        roundtrip_resp(Response::BatchDone {
+            predictions: 1000,
+            correct: 997,
+        });
+        roundtrip_resp(Response::StatsOk {
+            stats: PredictorStats {
+                predictions: 10,
+                correct: 7,
+                alternate_correct: 1,
+                from_correlated: 6,
+                from_secondary: 3,
+                cold: 1,
+                correlated_correct: 5,
+                secondary_correct: 2,
+            },
+        });
+        roundtrip_resp(Response::Busy);
+        roundtrip_resp(Response::Bye);
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::UnknownSession,
+            message: "session 9 has not said hello".into(),
+        });
+    }
+
+    #[test]
+    fn frame_roundtrips_and_any_body_flip_is_caught() {
+        let body = encode_request(&Request::Update {
+            session: 5,
+            record: rec(0x0040_0100, 0, 0),
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let back = read_frame(&mut buf.as_slice(), 1024).expect("clean frame reads");
+        assert_eq!(back, body);
+
+        // Flip every body bit in turn: the checksum must catch each one.
+        for byte in 4..4 + body.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                match read_frame(&mut corrupt.as_slice(), 1024) {
+                    Err(WireError::BadChecksum) => {}
+                    other => panic!("flip at byte {byte} bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_but_consumed() {
+        let body = vec![K_PREDICT; 300];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        // Append a good frame after the oversized one.
+        let good = encode_request(&Request::Stats { session: 1 });
+        write_frame(&mut buf, &good).unwrap();
+
+        let mut r = buf.as_slice();
+        match read_frame(&mut r, 100) {
+            Err(WireError::Oversized {
+                len: 300,
+                max: 100,
+                recoverable: true,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+        // The stream resynced: the next frame reads cleanly.
+        assert_eq!(read_frame(&mut r, 100).expect("resynced"), good);
+    }
+
+    #[test]
+    fn zero_and_truncated_frames_are_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 64),
+            Err(WireError::Empty)
+        ));
+
+        let body = encode_request(&Request::Shutdown);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        for cut in 1..framed.len() {
+            let mut r = &framed[..cut];
+            assert!(
+                matches!(read_frame(&mut r, 64), Err(WireError::Io(_))),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        // Unknown kind.
+        assert!(decode_request(&[0x7F]).is_err());
+        assert!(decode_response(&[0x00]).is_err());
+        // Trailing bytes.
+        let mut body = encode_request(&Request::Predict { session: 1 });
+        body.push(0);
+        assert!(decode_request(&body).is_err());
+        // Bad record: zero length.
+        let mut upd = encode_request(&Request::Update {
+            session: 1,
+            record: rec(0x0040_0000, 0, 0),
+        });
+        upd[1 + 8 + 6] = 0; // len byte
+        assert!(decode_request(&upd).unwrap_err().contains("length"));
+        // Bad record: branch bits beyond count.
+        let mut upd2 = encode_request(&Request::Update {
+            session: 1,
+            record: rec(0x0040_0000, 0, 0),
+        });
+        upd2[1 + 8 + 4] = 0b1111; // branch_bits with branch_count 0
+        assert!(decode_request(&upd2).is_err());
+        // Batch count disagreeing with payload.
+        let mut batch = encode_request(&Request::Batch {
+            session: 1,
+            records: vec![rec(0x0040_0000, 0, 0)],
+        });
+        batch[9] = 2; // count field (LE low byte)
+        assert!(decode_request(&batch).unwrap_err().contains("batch count"));
+        // Hello with a future protocol version.
+        let mut hello = encode_request(&Request::Hello {
+            session: 1,
+            bits: 15,
+            depth: 7,
+        });
+        hello[1] = 99;
+        assert!(decode_request(&hello).unwrap_err().contains("version"));
+    }
+}

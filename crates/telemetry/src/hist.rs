@@ -153,6 +153,24 @@ impl Histogram {
         self.max
     }
 
+    /// The `q`-quantile (0.0..=1.0), as an upper bound exact to the
+    /// pow-2 bucket resolution — an alias of
+    /// [`Histogram::quantile_upper_bound`] with the ergonomic name the
+    /// latency reports use. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_upper_bound(q)
+    }
+
+    /// Median upper bound (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile upper bound (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Iterates non-empty buckets as `(lo, hi_inclusive, count)`.
     pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -265,6 +283,40 @@ mod tests {
             b.record(9);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantile_accessors_on_empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantile_accessors_on_single_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(5); // all samples in [4,8)
+        }
+        // Every quantile lands in the one occupied bucket, clamped to max.
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.p99(), 5);
+        assert_eq!(h.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn quantile_accessors_on_saturated_samples() {
+        let mut h = Histogram::new();
+        h.record_n(u64::MAX, 3);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        // Mixing in small samples keeps p50 low and p99 saturated.
+        h.record_n(1, 97);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.count(), 100);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! refuses the file and the caller re-captures. A stale cache must never
 //! mis-load.
 
-use crate::fnv::{fnv64, Fnv64};
+use ntp_hash::{fnv64, Fnv64};
 use ntp_trace::TraceConfig;
 
 /// The canonical identity of one capture configuration.

@@ -18,9 +18,9 @@
 //! flips anywhere in the file are caught (see
 //! `tests/codec_props.rs`).
 
-use crate::fnv::{fnv64, Fnv64};
 use crate::Fingerprint;
 use ntp_baselines::{MultiBranchStats, SequentialStats};
+use ntp_hash::{fnv64, Fnv64};
 use ntp_trace::{
     ControlMix, RedundancyRaw, TraceId, TraceRecord, TraceStatsRaw, MAX_TRACE_BRANCHES,
     MAX_TRACE_LEN,

@@ -52,13 +52,16 @@
 
 pub mod counters;
 mod fingerprint;
-mod fnv;
 pub mod format;
 
 pub use counters::{counters, reset_counters, CacheCounters};
 pub use fingerprint::Fingerprint;
-pub use fnv::{fnv64, Fnv64};
+// The FNV-1a 64 implementation lives in the shared `ntp-hash` crate (the
+// `ntp-serve` wire protocol checksums frames with the same hash);
+// re-exported here so existing `ntp_tracefile::{fnv64, Fnv64}` users keep
+// working unchanged.
 pub use format::{CaptureArtifact, TraceFileError, FORMAT_VERSION, MAGIC};
+pub use ntp_hash::{fnv64, Fnv64};
 
 use std::path::PathBuf;
 

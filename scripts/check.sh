@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, the tier-1 build+test, and a
+# Local CI gate: formatting, lints, the tier-1 build+test, a
 # tiny-scale experiments smoke that validates the emitted BENCH_*.json
-# reports (parse + determinism). Run from anywhere inside the repo.
+# reports (parse + determinism), and a loopback serving smoke that
+# diffs served statistics against the offline oracle (SERVING.md).
+# Run from anywhere inside the repo.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -134,5 +136,39 @@ grep -q '\[cache\].*refused.*re-capturing' "$out_fb/stderr.txt" \
 jq -e '.throughput.trace_cache.invalid >= 1' "$out_fb"/BENCH_compress.json >/dev/null \
     || { echo "invalid-file counter not recorded"; exit 1; }
 echo "corrupt file refused with warning; fallback output byte-identical"
+
+say "serving smoke: loopback serve + loadgen, served == offline oracle"
+# SERVING.md documents the protocol and this recipe. An ephemeral-port
+# server (2 shard workers), a fixed loadgen replay (4 sessions over the
+# cached tiny-scale suite), an exact served-vs-oracle diff, then a
+# graceful shutdown that must drain every in-flight session.
+ntp_bin=target/release/ntp
+out_srv="$(mktemp -d)"
+trap 'rm -rf "$out_a" "$out_b" "$cache_dir" "$out_cold" "$out_warm" "$out_fb" "$out_srv"' EXIT
+"$ntp_bin" serve --addr 127.0.0.1:0 --workers 2 >"$out_srv/serve.txt" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_srv/serve.txt" 2>/dev/null | head -1 || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ntp serve never printed its bound address"; exit 1; }
+echo "server up on $addr"
+NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
+    "$ntp_bin" loadgen --addr "$addr" --sessions 4 --clients 2 \
+    --shutdown --json "$out_srv/loadgen.json" >"$out_srv/loadgen.txt" \
+    || { echo "loadgen failed (served != oracle?)"; cat "$out_srv/loadgen.txt"; exit 1; }
+jq -e '.all_match == true and (.sessions | length) == 4
+       and ([.sessions[] | select(.matches_oracle)] | length) == 4
+       and .latency_us.count >= .requests' \
+    "$out_srv/loadgen.json" >/dev/null \
+    || { echo "loadgen report failed validation"; exit 1; }
+echo "4 sessions served; statistics identical to the offline oracle"
+# --shutdown asked the server to drain; it must exit cleanly on its own.
+wait "$serve_pid" || { echo "ntp serve exited nonzero"; exit 1; }
+grep -q 'drained: 4 sessions' "$out_srv/serve.txt" \
+    || { echo "server summary missing the 4 drained sessions"; cat "$out_srv/serve.txt"; exit 1; }
+echo "graceful shutdown drained all sessions"
 
 printf '\nAll checks passed.\n'

@@ -25,6 +25,13 @@
 //! * [`runner`] — the zero-dependency scoped-thread worker pool
 //!   (`NTP_THREADS`) with ordered-merge results that keeps parallel
 //!   capture/replay byte-identical to the serial run;
+//! * [`serve`] — the sharded prediction service (`ntp serve`): a
+//!   length-framed FNV-checksummed binary wire protocol, session-sharded
+//!   worker pool with bounded queues and `Busy` backpressure, plus the
+//!   client library and replay load generator (`ntp loadgen`, see
+//!   `SERVING.md`);
+//! * [`hash`] — the shared FNV-1a 64 hashing primitive behind both the
+//!   `.ntc` codec and the wire protocol's frame checksums;
 //! * [`verify`] — the differential-testing and fault-injection harness
 //!   (`ntp verify`): seeded stream/config generators, cross-implementation
 //!   oracles and hostile-config sweeps (see `VERIFICATION.md`).
@@ -53,8 +60,10 @@
 pub use ntp_baselines as baselines;
 pub use ntp_core as core;
 pub use ntp_engine as engine;
+pub use ntp_hash as hash;
 pub use ntp_isa as isa;
 pub use ntp_runner as runner;
+pub use ntp_serve as serve;
 pub use ntp_sim as sim;
 pub use ntp_telemetry as telemetry;
 pub use ntp_trace as trace;
