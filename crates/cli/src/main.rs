@@ -10,8 +10,10 @@
 //! ntp verify [--seed 0xC0FFEE] [--points N]
 //! ntp capture [--dir <path>] [--verify]
 //! ntp serve [--addr host:port] [--workers N] [--max-conns N]
+//!           [--metrics-addr host:port] [--stats-interval S]
 //! ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N]
 //!             [--bits B] [--depth D] [--shutdown] [--json <path|->]
+//! ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]
 //! ntp workloads                        list the built-in benchmarks
 //! ```
 
@@ -53,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "capture" => cmd_capture(rest),
         "serve" => cmd_serve(rest),
         "loadgen" => cmd_loadgen(rest),
+        "top" => cmd_top(rest),
         "workloads" => cmd_workloads(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -72,9 +75,11 @@ fn usage() -> String {
      ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]\n  \
      ntp verify [--seed 0xC0FFEE] [--points N]\n  \
      ntp capture [--dir <path>] [--verify]\n  \
-     ntp serve [--addr host:port] [--workers N] [--max-conns N]\n  \
+     ntp serve [--addr host:port] [--workers N] [--max-conns N] \
+     [--metrics-addr host:port] [--stats-interval S]\n  \
      ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N] \
      [--bits B] [--depth D] [--shutdown] [--json <path|->]\n  \
+     ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]\n  \
      ntp workloads"
         .to_string()
 }
@@ -502,12 +507,27 @@ fn capture_verify(dir: &Path) -> Result<(), String> {
     }
 }
 
+/// Scans for `<name> <seconds>` (fractional allowed, must be > 0).
+fn flag_seconds(rest: &[String], name: &str) -> Result<Option<std::time::Duration>, String> {
+    let Some(text) = flag_str(rest, name) else {
+        return Ok(None);
+    };
+    let secs: f64 = text
+        .parse()
+        .map_err(|_| format!("{name} expects seconds, got `{text}`"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("{name} must be a positive number of seconds"));
+    }
+    Ok(Some(std::time::Duration::from_secs_f64(secs)))
+}
+
 /// `ntp serve`: runs the sharded prediction service until a client sends
 /// a `Shutdown` frame (see SERVING.md). Defaults come from
-/// `NTP_SERVE_ADDR` / `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS`, and
-/// flags override the environment. The bound address is printed on
-/// stdout — with `--addr 127.0.0.1:0` the kernel picks the port, so
-/// scripts parse this line to find it.
+/// `NTP_SERVE_ADDR` / `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` /
+/// `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL`, and flags
+/// override the environment. The bound addresses are printed on stdout —
+/// with `--addr 127.0.0.1:0` the kernel picks the port, so scripts parse
+/// these lines to find it.
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let mut cfg = ntp_serve::ServeConfig::from_env();
     if let Some(addr) = flag_str(rest, "--addr") {
@@ -519,6 +539,12 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     if let Some(max_conns) = flag_value(rest, "--max-conns")? {
         cfg.max_conns = max_conns as usize;
     }
+    if let Some(maddr) = flag_str(rest, "--metrics-addr") {
+        cfg.metrics_addr = Some(maddr.to_string());
+    }
+    if let Some(interval) = flag_seconds(rest, "--stats-interval")? {
+        cfg.stats_interval = Some(interval);
+    }
     let handle = ntp_serve::serve(cfg.clone()).map_err(|e| e.to_string())?;
     println!(
         "[serve] listening on {} ({} workers, {} max conns)",
@@ -526,19 +552,173 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         cfg.workers,
         cfg.max_conns
     );
+    if let Some(maddr) = handle.metrics_local_addr() {
+        println!("[serve] metrics on {maddr}");
+    }
     let summary = handle.join();
     println!(
         "[serve] drained: {} sessions, {} requests, {} conns accepted, \
-         {} refused, {} busy replies, {} protocol errors",
+         {} refused, {} busy replies, {} protocol errors, {} resyncs",
         summary.sessions,
         summary.requests,
         summary.accepted,
         summary.refused,
         summary.busy,
-        summary.protocol_errors
+        summary.protocol_errors,
+        summary.resyncs
     );
+    for s in &summary.per_shard {
+        println!(
+            "[serve]   shard {}: {} sessions, {} requests, {} predictions \
+             ({} correct), {} errors",
+            s.shard, s.sessions, s.requests, s.predictions, s.correct, s.errors
+        );
+    }
     Ok(())
 }
+
+/// `ntp top`: a live view of a running server's per-shard runtime
+/// metrics, polled over the `Metrics` frame (see SERVING.md). With
+/// `--json` each poll prints the raw snapshot instead of the table;
+/// `--once` polls a single time, and `--shutdown` drains the server
+/// after the final poll.
+fn cmd_top(rest: &[String]) -> Result<(), String> {
+    let addr = flag_str(rest, "--addr").unwrap_or(ntp_serve::config::DEFAULT_ADDR);
+    let interval =
+        flag_seconds(rest, "--interval")?.unwrap_or_else(|| std::time::Duration::from_secs(2));
+    let once = rest.iter().any(|a| a == "--once");
+    let as_json = rest.iter().any(|a| a == "--json");
+
+    let mut client = ntp_serve::Client::connect(addr)
+        .map_err(|e| format!("top: cannot connect to {addr}: {e}"))?;
+    loop {
+        let text = client.metrics_json().map_err(|e| format!("top: {e}"))?;
+        let snap = ntp_telemetry::json::parse(&text)
+            .map_err(|e| format!("top: bad metrics reply: {e}"))?;
+        if as_json {
+            println!("{}", snap.pretty());
+        } else {
+            if !once {
+                // Repaint in place, like top(1).
+                print!("\x1b[H\x1b[2J");
+            }
+            print_top(addr, &snap);
+        }
+        if once {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    if rest.iter().any(|a| a == "--shutdown") {
+        client
+            .shutdown_server()
+            .map_err(|e| format!("top: shutdown: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Renders one metrics snapshot as the `ntp top` table.
+fn print_top(addr: &str, snap: &Json) {
+    let counter = |sec: &str, name: &str| {
+        snap.get(sec)
+            .and_then(|s| s.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let gauge = |sec: &str, name: &str| {
+        snap.get(sec)
+            .and_then(|s| s.get("gauges"))
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let latency = |sec: &str, field: &str| {
+        snap.get(sec)
+            .and_then(|s| s.get("histograms"))
+            .and_then(|h| h.get("latency_us.all"))
+            .and_then(|h| h.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let frames = |sec: &str| -> u64 {
+        FRAME_NAMES
+            .iter()
+            .map(|f| counter(sec, &format!("frames.{f}")))
+            .sum()
+    };
+    let errors = |sec: &str| -> u64 {
+        counter(sec, "errors.unknown_session")
+            + counter(sec, "errors.bad_config")
+            + counter(sec, "errors.other")
+    };
+
+    println!(
+        "ntp top — {addr}  up {:.0}s  conns {} (refused {})  busy {}  \
+         protocol errors {}  resyncs {}",
+        gauge("server", "uptime_s"),
+        counter("server", "conns.accepted"),
+        counter("server", "conns.refused"),
+        counter("server", "busy.replies"),
+        counter("server", "protocol.errors"),
+        counter("server", "resyncs"),
+    );
+    println!(
+        "{:<7}{:>9}{:>10}{:>12}{:>9}{:>8}{:>8}{:>8}{:>7}{:>8}",
+        "shard",
+        "qps",
+        "frames",
+        "predictions",
+        "sessions",
+        "p50us",
+        "p99us",
+        "p999us",
+        "queue",
+        "errors"
+    );
+    let (mut shard, mut qps_sum, mut queue_sum) = (0usize, 0.0f64, 0.0f64);
+    loop {
+        let sec = format!("shard{shard}");
+        if snap.get(&sec).is_none() {
+            break;
+        }
+        let wsec = format!("{sec}.window");
+        let qps = counter(&wsec, "frames") as f64 / counter(&wsec, "epochs").max(1) as f64;
+        let queue = gauge(&sec, "queue.depth");
+        qps_sum += qps;
+        queue_sum += queue;
+        println!(
+            "{:<7}{:>9.1}{:>10}{:>12}{:>9}{:>8}{:>8}{:>8}{:>7.0}{:>8}",
+            shard,
+            qps,
+            frames(&sec),
+            counter(&sec, "predictions"),
+            counter(&sec, "sessions.opened"),
+            latency(&sec, "p50"),
+            latency(&sec, "p99"),
+            latency(&sec, "p999"),
+            queue,
+            errors(&sec),
+        );
+        shard += 1;
+    }
+    println!(
+        "{:<7}{:>9.1}{:>10}{:>12}{:>9}{:>8}{:>8}{:>8}{:>7.0}{:>8}",
+        "total",
+        qps_sum,
+        frames("total"),
+        counter("total", "predictions"),
+        counter("total", "sessions.opened"),
+        latency("total", "p50"),
+        latency("total", "p99"),
+        latency("total", "p999"),
+        queue_sum,
+        errors("total"),
+    );
+}
+
+/// Frame kinds as named in the shard metrics registries.
+const FRAME_NAMES: [&str; 5] = ["hello", "predict", "update", "batch", "stats"];
 
 /// `ntp loadgen`: replays the captured benchmark suite as concurrent
 /// wire sessions against a running `ntp serve`, then checks every
@@ -617,7 +797,8 @@ fn cmd_loadgen(rest: &[String]) -> Result<(), String> {
     }
     println!(
         "[loadgen] {} sessions, {} requests, {} records in {:.1} ms: \
-         {:.0} req/s, {:.0} records/s, latency p50 {} us p99 {} us, {} busy retries",
+         {:.0} req/s, {:.0} records/s, latency p50 {} us p99 {} us \
+         p99.9 {} us max {} us, {} busy retries",
         report.sessions.len(),
         report.requests,
         report.records,
@@ -626,6 +807,8 @@ fn cmd_loadgen(rest: &[String]) -> Result<(), String> {
         report.records_per_sec(),
         report.latency_us.p50(),
         report.latency_us.p99(),
+        report.latency_us.p999(),
+        report.latency_us.max(),
         report.busy_retries
     );
     if report.all_match() {

@@ -94,3 +94,24 @@ fn loadgen_unreachable_server_is_refused() {
     assert!(!out.status.success());
     assert!(diagnostic(&out).contains("paper(9,7)"));
 }
+
+/// `ntp top` against a dead address: nonzero with a one-line diagnostic
+/// naming the address; a bad `--interval` is refused before connecting.
+#[test]
+fn top_unreachable_server_is_refused() {
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("grab a port");
+        l.local_addr().unwrap().to_string()
+    };
+    let out = ntp(&["top", "--addr", &addr, "--once"]);
+    assert!(!out.status.success());
+    let line = diagnostic(&out);
+    assert!(
+        line.contains("top: cannot connect") && line.contains(&addr),
+        "diagnostic should name the address: {line:?}"
+    );
+
+    let out = ntp(&["top", "--addr", &addr, "--interval", "0"]);
+    assert!(!out.status.success());
+    assert!(diagnostic(&out).contains("--interval"));
+}

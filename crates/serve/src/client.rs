@@ -160,6 +160,16 @@ impl Client {
         }
     }
 
+    /// Reads the server's merged runtime-metrics snapshot as rendered
+    /// JSON text (sections per shard plus `server`/`total`; see
+    /// OBSERVABILITY.md "Live serving metrics" for the schema).
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            resp => Err(unexpected("Metrics", resp)),
+        }
+    }
+
     /// Asks the server to drain and exit; returns once acknowledged.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Shutdown)? {

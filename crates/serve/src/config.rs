@@ -20,6 +20,17 @@ pub const WORKERS_ENV: &str = "NTP_SERVE_WORKERS";
 /// connections are refused with an `Error(refused)` reply.
 pub const MAX_CONNS_ENV: &str = "NTP_SERVE_MAX_CONNS";
 
+/// `NTP_SERVE_METRICS_ADDR`: when set, bind a sidecar TCP listener on
+/// this `host:port` serving the merged metrics snapshot over plain HTTP
+/// (`GET /metrics` text exposition, `GET /metrics.json`). Unset by
+/// default — the sidecar is opt-in.
+pub const METRICS_ADDR_ENV: &str = "NTP_SERVE_METRICS_ADDR";
+
+/// `NTP_SERVE_STATS_INTERVAL`: when set (seconds, fractional allowed,
+/// must be > 0), print a periodic `[serve] …` summary line to stderr.
+/// Unset by default — server stderr stays quiet and deterministic.
+pub const STATS_INTERVAL_ENV: &str = "NTP_SERVE_STATS_INTERVAL";
+
 /// Default listen address (loopback; this service has no auth).
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4117";
 
@@ -50,6 +61,12 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Sidecar metrics listener address (`host:port`, `:0` for
+    /// ephemeral); `None` disables the sidecar.
+    pub metrics_addr: Option<String>,
+    /// Period of the `[serve] …` stderr summary lines; `None` disables
+    /// them.
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +79,8 @@ impl Default for ServeConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            metrics_addr: None,
+            stats_interval: None,
         }
     }
 }
@@ -93,6 +112,16 @@ impl ServeConfig {
             assert!(max_conns >= 1, "{MAX_CONNS_ENV} must be >= 1");
             cfg.max_conns = max_conns;
         }
+        if let Some(addr) = ntp_runner::parse_env::<String>(METRICS_ADDR_ENV) {
+            cfg.metrics_addr = Some(addr);
+        }
+        if let Some(secs) = ntp_runner::parse_env::<f64>(STATS_INTERVAL_ENV) {
+            assert!(
+                secs.is_finite() && secs > 0.0,
+                "{STATS_INTERVAL_ENV} must be a positive number of seconds"
+            );
+            cfg.stats_interval = Some(Duration::from_secs_f64(secs));
+        }
         cfg
     }
 
@@ -118,6 +147,12 @@ impl ServeConfig {
                 "serve: max_frame {} above the {HARD_FRAME_CAP}-byte hard cap",
                 self.max_frame
             ));
+        }
+        if matches!(self.metrics_addr.as_deref(), Some("")) {
+            return Err("serve: metrics_addr must not be empty when set".into());
+        }
+        if matches!(self.stats_interval, Some(d) if d.is_zero()) {
+            return Err("serve: stats_interval must be > 0 when set".into());
         }
         Ok(())
     }
@@ -172,6 +207,20 @@ mod tests {
                 },
                 "hard cap",
             ),
+            (
+                ServeConfig {
+                    metrics_addr: Some(String::new()),
+                    ..ServeConfig::default()
+                },
+                "metrics_addr",
+            ),
+            (
+                ServeConfig {
+                    stats_interval: Some(Duration::ZERO),
+                    ..ServeConfig::default()
+                },
+                "stats_interval",
+            ),
         ] {
             let err = cfg.validate().expect_err("must be rejected");
             assert!(err.contains(needle), "`{err}` should mention {needle}");
@@ -183,30 +232,50 @@ mod tests {
     // racing under the parallel harness (the same discipline as
     // ntp-runner's env tests).
     #[test]
-    fn from_env_reads_all_three_knobs() {
-        std::env::remove_var(ADDR_ENV);
-        std::env::remove_var(WORKERS_ENV);
-        std::env::remove_var(MAX_CONNS_ENV);
+    fn from_env_reads_every_knob() {
+        let all = [
+            ADDR_ENV,
+            WORKERS_ENV,
+            MAX_CONNS_ENV,
+            METRICS_ADDR_ENV,
+            STATS_INTERVAL_ENV,
+        ];
+        for var in all {
+            std::env::remove_var(var);
+        }
         let base = ServeConfig::from_env();
         assert_eq!(base.addr, DEFAULT_ADDR);
         assert_eq!(base.max_conns, DEFAULT_MAX_CONNS);
+        assert_eq!(base.metrics_addr, None);
+        assert_eq!(base.stats_interval, None);
 
         std::env::set_var(ADDR_ENV, "127.0.0.1:0");
         std::env::set_var(WORKERS_ENV, "3");
         std::env::set_var(MAX_CONNS_ENV, "9");
+        std::env::set_var(METRICS_ADDR_ENV, "127.0.0.1:0");
+        std::env::set_var(STATS_INTERVAL_ENV, "2.5");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.max_conns, 9);
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.stats_interval, Some(Duration::from_secs_f64(2.5)));
 
         std::env::set_var(WORKERS_ENV, "0");
         let err =
             std::panic::catch_unwind(ServeConfig::from_env).expect_err("zero workers must abort");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains(WORKERS_ENV), "{msg}");
+        std::env::set_var(WORKERS_ENV, "3");
 
-        std::env::remove_var(ADDR_ENV);
-        std::env::remove_var(WORKERS_ENV);
-        std::env::remove_var(MAX_CONNS_ENV);
+        std::env::set_var(STATS_INTERVAL_ENV, "0");
+        let err = std::panic::catch_unwind(ServeConfig::from_env)
+            .expect_err("zero stats interval must abort");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(STATS_INTERVAL_ENV), "{msg}");
+
+        for var in all {
+            std::env::remove_var(var);
+        }
     }
 }

@@ -8,21 +8,27 @@
 //! [`ntp_core::evaluate`] oracle.**
 //!
 //! * [`wire`] — the length-framed, FNV-1a-64-checksummed binary
-//!   protocol (`Hello`/`Predict`/`Update`/`Batch`/`Stats`/`Shutdown`
-//!   frames), sharing its hash with the `.ntc` codec via [`ntp_hash`];
+//!   protocol (`Hello`/`Predict`/`Update`/`Batch`/`Stats`/`Shutdown`/
+//!   `Metrics` frames), sharing its hash with the `.ntc` codec via
+//!   [`ntp_hash`];
 //! * [`server`] — the TCP listener and fixed shard-worker pool.
 //!   Sessions are owned by a single worker (`session % workers`), so
 //!   every predictor stays single-threaded and lock-free; bounded
 //!   per-shard queues reply `Busy` under load, connection/frame/timeout
-//!   limits bound resource use, and shutdown drains in-flight sessions;
+//!   limits bound resource use, and shutdown drains in-flight sessions.
+//!   Each shard also owns a private metrics registry and rolling window
+//!   — the live observability plane behind the `Metrics` frame, the
+//!   optional `NTP_SERVE_METRICS_ADDR` scrape sidecar, the
+//!   `--stats-interval` stderr summaries and `ntp top`;
 //! * [`client`] — a blocking client library with busy-retry;
 //! * [`loadgen`] — the replay load generator behind `ntp loadgen`:
 //!   replays captured trace streams as concurrent sessions, measures
-//!   QPS and p50/p99 request latency through [`ntp_telemetry`]
+//!   QPS and p50/p99/p99.9 request latency through [`ntp_telemetry`]
 //!   histograms, and asserts served == offline statistics exactly;
 //! * [`config`] — [`ServeConfig`] and the `NTP_SERVE_ADDR` /
-//!   `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` knobs (validated via
-//!   [`ntp_runner::parse_env`]).
+//!   `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` /
+//!   `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL` knobs
+//!   (validated via [`ntp_runner::parse_env`]).
 //!
 //! Protocol layout, sharding model, backpressure semantics and a
 //! loadgen recipe are documented in `SERVING.md` at the repo root.

@@ -69,8 +69,13 @@ pub struct SessionResult {
     pub served: PredictorStats,
     /// Statistics the offline oracle computed for the same stream.
     pub oracle: PredictorStats,
-    /// Requests this session issued (hello + batches + stats).
+    /// Requests this session issued (hello + batches + stats),
+    /// including `Busy` retries.
     pub requests: u64,
+    /// `Batch` frames the shard applied (retries excluded) — a pure
+    /// function of the stream length and chunk size, so metrics gates
+    /// can compare it against the server's `frames.batch` counter.
+    pub batches: u64,
 }
 
 impl SessionResult {
@@ -141,6 +146,7 @@ impl ToJson for LoadgenReport {
                                 .with("name", Json::Str(s.name.clone()))
                                 .with("session", Json::U64(s.session))
                                 .with("shard", Json::U64(s.shard as u64))
+                                .with("batches", Json::U64(s.batches))
                                 .with("predictions", Json::U64(s.served.predictions))
                                 .with("served_correct", Json::U64(s.served.correct))
                                 .with("oracle_correct", Json::U64(s.oracle.correct))
@@ -255,7 +261,9 @@ fn run_session(
     };
 
     let mut served_batches = PredictorStats::new();
+    let mut batches = 0u64;
     for records in spec.records.chunks(chunk) {
+        batches += 1;
         match timed(
             &mut client,
             &crate::wire::Request::Batch {
@@ -317,6 +325,7 @@ fn run_session(
             served,
             oracle,
             requests,
+            batches,
         },
         latency_us: latency,
         busy_retries,

@@ -1,5 +1,5 @@
-//! The TCP server: accept loop, per-connection reader threads, and the
-//! sharded session workers.
+//! The TCP server: accept loop, per-connection reader threads, the
+//! sharded session workers, and the runtime observability plane.
 //!
 //! # Sharding model
 //!
@@ -10,6 +10,29 @@
 //! to the owning shard over a **bounded** queue; a full queue yields an
 //! immediate [`Response::Busy`] (explicit backpressure, the request is
 //! not applied) instead of unbounded buffering.
+//!
+//! # Observability
+//!
+//! Each shard owns a private [`MetricsRegistry`] (frames by type,
+//! predictions, typed errors, busy/idle time, per-frame-type latency
+//! histograms) plus a [`RollingWindow`] of one-second buckets for live
+//! rates. Nothing on the prediction path is shared or atomic: snapshots
+//! travel through the same shard queue as requests (a rare
+//! `Job::Snapshot`), so reading metrics costs the shard one queue slot,
+//! not a lock. Connection-side totals (accepted/refused, `Busy` replies,
+//! protocol errors, resyncs, queue depth) live in relaxed atomics and are
+//! folded in at snapshot time. Three consumers share one collection path
+//! ([`ServerHandle::metrics_snapshot`]):
+//!
+//! * a `Metrics` wire frame, answered by the connection itself;
+//! * an optional sidecar TCP listener (`NTP_SERVE_METRICS_ADDR`)
+//!   answering plain HTTP `GET /metrics` (flat `name value` text) and
+//!   `GET /metrics.json` — scrapable with `curl`, no binary protocol;
+//! * optional periodic `[serve] …` stderr summary lines
+//!   (`--stats-interval`).
+//!
+//! The metric name table and the volatility contract (which counters are
+//! deterministic for a fixed replay) are documented in OBSERVABILITY.md.
 //!
 //! # Limits
 //!
@@ -23,29 +46,41 @@
 //! # Shutdown
 //!
 //! A `Shutdown` frame (or [`ServerHandle::request_shutdown`]) flips the
-//! drain flag: the acceptor stops taking connections, established
-//! connections keep being served until their clients close (or time
-//! out), shard queues drain to empty, and [`ServerHandle::join`] returns
-//! a [`ServerSummary`] once every thread has exited. In-flight sessions
-//! are never cut off mid-request.
+//! drain flag: the acceptor and the metrics sidecar stop taking
+//! connections, established connections keep being served until their
+//! clients close (or time out), shard queues drain to empty, and
+//! [`ServerHandle::join`] returns a [`ServerSummary`] — including
+//! per-shard attribution — once every thread has exited. In-flight
+//! sessions are never cut off mid-request.
 
 use crate::config::ServeConfig;
 use crate::wire::{self, ErrorCode, Request, Response, WireError};
 use ntp_core::{NextTracePredictor, PredictorConfig, PredictorStats, TracePredictor};
+use ntp_telemetry::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, RollingWindow, Snapshot, ToJson,
+};
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// One request in flight to a shard, with the channel its reply goes
-/// back on.
-struct Job {
-    req: Request,
-    reply: mpsc::Sender<Response>,
+/// Rolling-window span: QPS and friends are "over the last 10 seconds".
+const WINDOW_EPOCHS: usize = 10;
+
+/// One unit of shard work: a routed request, or a metrics snapshot
+/// travelling the same queue (so reading metrics never locks the shard).
+enum Job {
+    /// A wire request with the channel its reply goes back on.
+    Request {
+        req: Request,
+        reply: mpsc::Sender<Response>,
+    },
+    /// A snapshot of the shard's registry and rolling window.
+    Snapshot { reply: mpsc::Sender<ShardSnapshot> },
 }
 
 /// One live session: a predictor plus its replay statistics.
@@ -57,14 +92,22 @@ struct Session {
 /// Per-shard accounting, returned when the shard drains and exits.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ShardSummary {
+    /// Which shard (worker index) this row describes.
+    pub shard: u32,
     /// Sessions created on this shard.
     pub sessions: u64,
     /// Requests processed (every frame routed here, including refused).
     pub requests: u64,
+    /// Predictions scored (`Update` + `Batch` records).
+    pub predictions: u64,
+    /// Correct predictions among them.
+    pub correct: u64,
+    /// Requests refused with a typed error (unknown session, bad config).
+    pub errors: u64,
 }
 
 /// Whole-server accounting, available after [`ServerHandle::join`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServerSummary {
     /// Connections accepted and served.
     pub accepted: u64,
@@ -74,10 +117,15 @@ pub struct ServerSummary {
     pub busy: u64,
     /// Frames refused at the wire layer (checksum, size, decode).
     pub protocol_errors: u64,
+    /// Oversized frames survived by resyncing the stream.
+    pub resyncs: u64,
     /// Sessions created across all shards.
     pub sessions: u64,
     /// Requests processed across all shards.
     pub requests: u64,
+    /// Per-shard attribution, shard 0 first — the drain path carries
+    /// each worker's own counts through, it does not flatten them.
+    pub per_shard: Vec<ShardSummary>,
 }
 
 #[derive(Default)]
@@ -86,6 +134,111 @@ struct Counters {
     refused: AtomicU64,
     busy: AtomicU64,
     protocol_errors: AtomicU64,
+    resyncs: AtomicU64,
+}
+
+/// Connection-side per-shard state: the queue-depth gauge and the
+/// `Busy`-rejection counter live here because the rejected request never
+/// reaches the shard. Depth is signed: the enqueue increment and the
+/// shard's dequeue decrement race benignly, so the value can transiently
+/// dip below zero; readers clamp.
+#[derive(Default)]
+struct ShardShared {
+    depth: AtomicI64,
+    busy: AtomicU64,
+}
+
+/// The drain flag plus everything needed to wake blocked acceptors.
+struct DrainSignal {
+    flag: AtomicBool,
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+}
+
+impl DrainSignal {
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Sets the drain flag and pokes the (blocking) acceptors awake with
+    /// throwaway loopback connections. Idempotent.
+    fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            // Acceptors check the flag before serving each accepted
+            // connection, so these wake-up connections are simply dropped.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            if let Some(m) = self.metrics_addr {
+                let _ = TcpStream::connect_timeout(&m, Duration::from_secs(1));
+            }
+        }
+    }
+}
+
+/// The shared server core: shard queues, connection counters, the drain
+/// signal, and the snapshot-collection path every metrics consumer uses.
+/// Holding a `Hub` keeps the shard queues alive — [`ServerHandle::join`]
+/// drops every clone before joining the shard threads.
+struct Hub {
+    senders: Arc<[SyncSender<Job>]>,
+    shared: Arc<[ShardShared]>,
+    counters: Arc<Counters>,
+    drain: Arc<DrainSignal>,
+    start: Instant,
+}
+
+impl Hub {
+    /// Collects the full snapshot: a `server` section from the
+    /// connection-side atomics, one section per shard plus its rolling
+    /// window, and a `total` section merging the shard cumulatives.
+    /// Blocks until every live shard answers (snapshots ride the request
+    /// queue); a shard that has already exited is skipped.
+    fn collect(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        let mut server = MetricsRegistry::new();
+        for (name, v) in [
+            (
+                "conns.accepted",
+                self.counters.accepted.load(Ordering::Relaxed),
+            ),
+            (
+                "conns.refused",
+                self.counters.refused.load(Ordering::Relaxed),
+            ),
+            ("busy.replies", self.counters.busy.load(Ordering::Relaxed)),
+            (
+                "protocol.errors",
+                self.counters.protocol_errors.load(Ordering::Relaxed),
+            ),
+            ("resyncs", self.counters.resyncs.load(Ordering::Relaxed)),
+        ] {
+            let id = server.counter(name);
+            server.set_counter(id, v);
+        }
+        let up = server.gauge("uptime_s");
+        server.set(up, self.start.elapsed().as_secs_f64());
+        snap.push("server", server);
+
+        let mut shard_snaps = Vec::with_capacity(self.senders.len());
+        for tx in self.senders.iter() {
+            let (reply, rx) = mpsc::channel();
+            if tx.send(Job::Snapshot { reply }).is_err() {
+                continue; // Shard already drained and exited.
+            }
+            if let Ok(s) = rx.recv_timeout(Duration::from_secs(5)) {
+                shard_snaps.push(s);
+            }
+        }
+        let mut total = MetricsRegistry::new();
+        for s in &shard_snaps {
+            total.merge(&s.metrics);
+        }
+        for s in shard_snaps {
+            snap.push(&format!("shard{}", s.shard), s.metrics);
+            snap.push(&format!("shard{}.window", s.shard), s.window);
+        }
+        snap.push("total", total);
+        snap
+    }
 }
 
 /// A running server. Dropping the handle without calling
@@ -94,10 +247,14 @@ struct Counters {
 /// `request_shutdown()` (or a client `Shutdown` frame) → `join()`.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    metrics_addr: Option<SocketAddr>,
     active_conns: Arc<AtomicUsize>,
     counters: Arc<Counters>,
+    drain: Arc<DrainSignal>,
+    hub: Option<Arc<Hub>>,
     accept: Option<JoinHandle<()>>,
+    metrics_accept: Option<JoinHandle<()>>,
+    stats: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<ShardSummary>>,
 }
 
@@ -107,15 +264,27 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound metrics-sidecar address, when `metrics_addr` was
+    /// configured.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Collects a metrics [`Snapshot`] in-process (the same data the
+    /// `Metrics` frame and the sidecar endpoint serve).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.hub.as_ref().expect("hub lives until join()").collect()
+    }
+
     /// Starts a drain: stop accepting, let in-flight work finish.
     /// Idempotent; also triggered by a client `Shutdown` frame.
     pub fn request_shutdown(&self) {
-        trigger_shutdown(&self.shutdown, self.addr);
+        self.drain.trigger();
     }
 
     /// True once a shutdown/drain has been requested.
     pub fn is_draining(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.drain.is_set()
     }
 
     /// Waits for the drain to complete — acceptor exited, every
@@ -127,42 +296,47 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        // The acceptor has exited and dropped its shard senders; each
-        // connection thread holds its own clones. Wait for those
-        // connections to finish their in-flight sessions.
+        // The acceptor has exited; each connection thread holds its own
+        // hub clone. Wait for those connections to finish their
+        // in-flight sessions.
         while self.active_conns.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_millis(2));
         }
+        // The sidecar and stats threads also hold hub clones (and with
+        // them shard senders); they exit on the drain flag. Join them,
+        // then drop our own hub — at that point every sender is gone,
+        // the shard receivers disconnect, and the workers drain-and-exit.
+        if let Some(h) = self.metrics_accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.stats.take() {
+            let _ = h.join();
+        }
+        self.hub.take();
         let mut summary = ServerSummary {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             refused: self.counters.refused.load(Ordering::Relaxed),
             busy: self.counters.busy.load(Ordering::Relaxed),
             protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            resyncs: self.counters.resyncs.load(Ordering::Relaxed),
             ..ServerSummary::default()
         };
         for h in self.shards.drain(..) {
             if let Ok(s) = h.join() {
                 summary.sessions += s.sessions;
                 summary.requests += s.requests;
+                summary.per_shard.push(s);
             }
         }
         summary
     }
 }
 
-/// Sets the drain flag and pokes the (blocking) acceptor awake with a
-/// throwaway loopback connection.
-fn trigger_shutdown(flag: &AtomicBool, addr: SocketAddr) {
-    if !flag.swap(true, Ordering::SeqCst) {
-        // The acceptor checks the flag before serving each accepted
-        // connection, so this wake-up connection is simply dropped.
-        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
-    }
-}
-
-/// Binds `cfg.addr` and spawns the shard workers and the accept loop.
+/// Binds `cfg.addr` (and `cfg.metrics_addr` when set) and spawns the
+/// shard workers, the accept loop, and the optional sidecar/stats
+/// threads.
 ///
-/// Fails (with a one-line diagnostic naming the address) when the
+/// Fails (with a one-line diagnostic naming the address) when an
 /// address cannot be bound — e.g. the port is already in use — or when
 /// the configuration is invalid.
 pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
@@ -172,100 +346,144 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
     let addr = listener
         .local_addr()
         .map_err(|e| format!("serve: cannot resolve bound address: {e}"))?;
+    let metrics_listener = match &cfg.metrics_addr {
+        Some(maddr) => Some(
+            TcpListener::bind(maddr)
+                .map_err(|e| format!("serve: cannot bind metrics address {maddr}: {e}"))?,
+        ),
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(
+            l.local_addr()
+                .map_err(|e| format!("serve: cannot resolve bound metrics address: {e}"))?,
+        ),
+        None => None,
+    };
 
-    let shutdown = Arc::new(AtomicBool::new(false));
     let active_conns = Arc::new(AtomicUsize::new(0));
     let counters = Arc::new(Counters::default());
+    let drain = Arc::new(DrainSignal {
+        flag: AtomicBool::new(false),
+        addr,
+        metrics_addr,
+    });
+    let shared: Arc<[ShardShared]> = (0..cfg.workers)
+        .map(|_| ShardShared::default())
+        .collect::<Vec<_>>()
+        .into();
+    let start = Instant::now();
 
-    // One bounded queue per shard. The acceptor owns the Vec of senders
-    // (inside an Arc shared with connection threads); when the acceptor
-    // and every connection have exited, the senders are all dropped and
-    // the shard receivers disconnect — drain-then-exit for free.
+    // One bounded queue per shard. Every sender clone lives inside a Hub
+    // (acceptor, connection threads, sidecar, stats thread, handle);
+    // when the last Hub drops, the shard receivers disconnect —
+    // drain-then-exit for free.
     let mut senders = Vec::with_capacity(cfg.workers);
     let mut shards = Vec::with_capacity(cfg.workers);
     for shard_id in 0..cfg.workers {
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         senders.push(tx);
+        let shared = Arc::clone(&shared);
         shards.push(
             std::thread::Builder::new()
                 .name(format!("ntp-serve-shard-{shard_id}"))
-                .spawn(move || shard_loop(shard_id as u32, rx))
+                .spawn(move || shard_loop(shard_id as u32, rx, shared, start))
                 .map_err(|e| format!("serve: cannot spawn shard worker: {e}"))?,
         );
     }
 
+    let hub = Arc::new(Hub {
+        senders: senders.into(),
+        shared,
+        counters: Arc::clone(&counters),
+        drain: Arc::clone(&drain),
+        start,
+    });
+
     let accept = {
-        let shutdown = Arc::clone(&shutdown);
         let active_conns = Arc::clone(&active_conns);
-        let counters = Arc::clone(&counters);
         let cfg = cfg.clone();
-        let senders: Arc<[SyncSender<Job>]> = senders.into();
+        let hub = Arc::clone(&hub);
         std::thread::Builder::new()
             .name("ntp-serve-accept".into())
-            .spawn(move || {
-                accept_loop(
-                    listener,
-                    addr,
-                    cfg,
-                    senders,
-                    shutdown,
-                    active_conns,
-                    counters,
-                )
-            })
+            .spawn(move || accept_loop(listener, cfg, hub, active_conns))
             .map_err(|e| format!("serve: cannot spawn acceptor: {e}"))?
+    };
+
+    let metrics_accept = match metrics_listener {
+        Some(listener) => {
+            let hub = Arc::clone(&hub);
+            Some(
+                std::thread::Builder::new()
+                    .name("ntp-serve-metrics".into())
+                    .spawn(move || metrics_loop(listener, hub))
+                    .map_err(|e| format!("serve: cannot spawn metrics sidecar: {e}"))?,
+            )
+        }
+        None => None,
+    };
+
+    let stats = match cfg.stats_interval {
+        Some(interval) => {
+            let hub = Arc::clone(&hub);
+            Some(
+                std::thread::Builder::new()
+                    .name("ntp-serve-stats".into())
+                    .spawn(move || stats_loop(hub, interval))
+                    .map_err(|e| format!("serve: cannot spawn stats thread: {e}"))?,
+            )
+        }
+        None => None,
     };
 
     Ok(ServerHandle {
         addr,
-        shutdown,
+        metrics_addr,
         active_conns,
         counters,
+        drain,
+        hub: Some(hub),
         accept: Some(accept),
+        metrics_accept,
+        stats,
         shards,
     })
 }
 
-#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
-    addr: SocketAddr,
     cfg: ServeConfig,
-    senders: Arc<[SyncSender<Job>]>,
-    shutdown: Arc<AtomicBool>,
+    hub: Arc<Hub>,
     active_conns: Arc<AtomicUsize>,
-    counters: Arc<Counters>,
 ) {
     for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
+        if hub.drain.is_set() {
             break;
         }
         let Ok(stream) = stream else { continue };
         let slot = active_conns.fetch_add(1, Ordering::SeqCst);
         if slot >= cfg.max_conns {
-            counters.refused.fetch_add(1, Ordering::Relaxed);
+            hub.counters.refused.fetch_add(1, Ordering::Relaxed);
             refuse(stream, ErrorCode::Refused, "connection limit reached");
             active_conns.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
-        counters.accepted.fetch_add(1, Ordering::Relaxed);
+        hub.counters.accepted.fetch_add(1, Ordering::Relaxed);
         let cfg = cfg.clone();
-        let senders = Arc::clone(&senders);
-        let shutdown = Arc::clone(&shutdown);
+        let hub2 = Arc::clone(&hub);
         let active_conns2 = Arc::clone(&active_conns);
-        let counters = Arc::clone(&counters);
         let spawned = std::thread::Builder::new()
             .name("ntp-serve-conn".into())
             .spawn(move || {
-                connection_loop(stream, addr, &cfg, &senders, &shutdown, &counters);
+                connection_loop(stream, &cfg, &hub2);
                 active_conns2.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
             active_conns.fetch_sub(1, Ordering::SeqCst);
         }
     }
-    // Dropping `senders` here releases the acceptor's share; shards keep
-    // running until the last connection thread drops its clone.
+    // Dropping `hub` here releases the acceptor's share of the shard
+    // senders; shards keep running until the last holder lets go.
 }
 
 /// Sends a single error reply on a connection we will not serve.
@@ -279,14 +497,7 @@ fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
 }
 
 /// Serves one connection until EOF, timeout, or an unrecoverable frame.
-fn connection_loop(
-    mut stream: TcpStream,
-    addr: SocketAddr,
-    cfg: &ServeConfig,
-    senders: &[SyncSender<Job>],
-    shutdown: &AtomicBool,
-    counters: &Counters,
-) {
+fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let _ = stream.set_nodelay(true);
@@ -297,7 +508,10 @@ fn connection_loop(
             Ok(body) => body,
             Err(WireError::Io(_)) => break, // EOF, timeout, or dead peer.
             Err(e @ WireError::Oversized { recoverable, .. }) => {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                hub.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if recoverable {
+                    hub.counters.resyncs.fetch_add(1, Ordering::Relaxed);
+                }
                 let sent = send(
                     &mut stream,
                     &Response::Error {
@@ -311,7 +525,7 @@ fn connection_loop(
                 continue;
             }
             Err(e @ (WireError::BadChecksum | WireError::Empty)) => {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                hub.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 if !send(
                     &mut stream,
                     &Response::Error {
@@ -327,7 +541,7 @@ fn connection_loop(
         let req = match wire::decode_request(&body) {
             Ok(req) => req,
             Err(msg) => {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                hub.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 if !send(
                     &mut stream,
                     &Response::Error {
@@ -341,28 +555,46 @@ fn connection_loop(
             }
         };
 
-        let Some(session) = req.session() else {
-            // Shutdown: flip the drain flag, acknowledge, and close this
-            // connection. Other connections keep draining.
-            trigger_shutdown(shutdown, addr);
-            let _ = send(&mut stream, &Response::Bye);
-            break;
+        // Connection-level requests first; everything else routes by
+        // session to its owning shard.
+        let session = match &req {
+            Request::Shutdown => {
+                // Flip the drain flag, acknowledge, and close this
+                // connection. Other connections keep draining.
+                hub.drain.trigger();
+                let _ = send(&mut stream, &Response::Bye);
+                break;
+            }
+            Request::Metrics => {
+                let resp = Response::Metrics {
+                    json: hub.collect().to_json().render(),
+                };
+                if !send(&mut stream, &resp) {
+                    break;
+                }
+                continue;
+            }
+            routed => routed.session().expect("routed requests name a session"),
         };
 
-        let shard = (session % senders.len() as u64) as usize;
-        let resp = match senders[shard].try_send(Job {
+        let shard = (session % hub.senders.len() as u64) as usize;
+        let resp = match hub.senders[shard].try_send(Job::Request {
             req,
             reply: reply_tx.clone(),
         }) {
-            Ok(()) => match reply_rx.recv() {
-                Ok(resp) => resp,
-                Err(_) => Response::Error {
-                    code: ErrorCode::Internal,
-                    message: format!("shard {shard} is gone"),
-                },
-            },
+            Ok(()) => {
+                hub.shared[shard].depth.fetch_add(1, Ordering::Relaxed);
+                match reply_rx.recv() {
+                    Ok(resp) => resp,
+                    Err(_) => Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("shard {shard} is gone"),
+                    },
+                }
+            }
             Err(TrySendError::Full(_)) => {
-                counters.busy.fetch_add(1, Ordering::Relaxed);
+                hub.counters.busy.fetch_add(1, Ordering::Relaxed);
+                hub.shared[shard].busy.fetch_add(1, Ordering::Relaxed);
                 Response::Busy
             }
             Err(TrySendError::Disconnected(_)) => Response::Error {
@@ -384,26 +616,201 @@ fn send(stream: &mut TcpStream, resp: &Response) -> bool {
         .is_ok()
 }
 
-/// One shard: owns its sessions, processes its queue to empty, exits
-/// when every sender is gone.
-fn shard_loop(shard_id: u32, rx: Receiver<Job>) -> ShardSummary {
-    let mut sessions: HashMap<u64, Session> = HashMap::new();
-    let mut summary = ShardSummary::default();
-    for job in rx {
-        summary.requests += 1;
-        let resp = apply(shard_id, &mut sessions, &mut summary, &job.req);
-        let _ = job.reply.send(resp);
+/// Wire-request kinds a shard processes, in metric-name order.
+const FRAME_KINDS: [&str; 5] = ["hello", "predict", "update", "batch", "stats"];
+
+fn frame_kind(req: &Request) -> usize {
+    match req {
+        Request::Hello { .. } => 0,
+        Request::Predict { .. } => 1,
+        Request::Update { .. } => 2,
+        Request::Batch { .. } => 3,
+        Request::Stats { .. } => 4,
+        Request::Shutdown | Request::Metrics => unreachable!("never routed to a shard"),
     }
-    summary
+}
+
+/// A shard's private metrics: the cumulative registry, its dense
+/// handles, and the rolling window behind live rates. All recording is
+/// plain integer adds through pre-resolved ids — the ≤5% telemetry
+/// budget documented in OBSERVABILITY.md.
+struct ShardMetrics {
+    registry: MetricsRegistry,
+    window: RollingWindow,
+    c_sessions: CounterId,
+    c_frames: [CounterId; FRAME_KINDS.len()],
+    c_predictions: CounterId,
+    c_correct: CounterId,
+    c_err_unknown: CounterId,
+    c_err_badcfg: CounterId,
+    c_err_other: CounterId,
+    c_busy: CounterId,
+    c_busy_us: CounterId,
+    c_idle_us: CounterId,
+    g_queue: GaugeId,
+    g_live: GaugeId,
+    h_all: HistogramId,
+    h_kind: [HistogramId; FRAME_KINDS.len()],
+}
+
+impl ShardMetrics {
+    /// Registration order here is the serialization order of every
+    /// snapshot section, identical across shards so `total` merges
+    /// cleanly.
+    fn new() -> ShardMetrics {
+        let mut r = MetricsRegistry::new();
+        let c_sessions = r.counter("sessions.opened");
+        let c_frames = FRAME_KINDS.map(|k| r.counter(&format!("frames.{k}")));
+        let c_predictions = r.counter("predictions");
+        let c_correct = r.counter("predictions.correct");
+        let c_err_unknown = r.counter("errors.unknown_session");
+        let c_err_badcfg = r.counter("errors.bad_config");
+        let c_err_other = r.counter("errors.other");
+        let c_busy = r.counter("busy.rejections");
+        let c_busy_us = r.counter("time.busy_us");
+        let c_idle_us = r.counter("time.idle_us");
+        let g_queue = r.gauge("queue.depth");
+        let g_live = r.gauge("sessions.live");
+        let h_all = r.histogram("latency_us.all");
+        let h_kind = FRAME_KINDS.map(|k| r.histogram(&format!("latency_us.{k}")));
+        ShardMetrics {
+            registry: r,
+            window: RollingWindow::new(WINDOW_EPOCHS),
+            c_sessions,
+            c_frames,
+            c_predictions,
+            c_correct,
+            c_err_unknown,
+            c_err_badcfg,
+            c_err_other,
+            c_busy,
+            c_busy_us,
+            c_idle_us,
+            g_queue,
+            g_live,
+            h_all,
+            h_kind,
+        }
+    }
+
+    /// Accounts one processed request: frame type, outcome, latency, and
+    /// the rolling-window bucket for the epoch it landed in.
+    fn record(&mut self, req: &Request, resp: &Response, started: Instant, epoch: u64) {
+        let kind = frame_kind(req);
+        self.registry.inc(self.c_frames[kind]);
+        let (predictions, correct) = match resp {
+            Response::Updated { correct } => (1, u64::from(*correct)),
+            Response::BatchDone {
+                predictions,
+                correct,
+            } => (*predictions, *correct),
+            _ => (0, 0),
+        };
+        if predictions > 0 {
+            self.registry.add(self.c_predictions, predictions);
+            self.registry.add(self.c_correct, correct);
+        }
+        match resp {
+            Response::HelloOk { .. } => self.registry.inc(self.c_sessions),
+            Response::Error { code, .. } => self.registry.inc(match code {
+                ErrorCode::UnknownSession => self.c_err_unknown,
+                ErrorCode::BadConfig => self.c_err_badcfg,
+                _ => self.c_err_other,
+            }),
+            _ => {}
+        }
+        let latency = started.elapsed().as_micros() as u64;
+        self.registry.observe(self.h_all, latency);
+        self.registry.observe(self.h_kind[kind], latency);
+        let bucket = self.window.bucket_mut(epoch);
+        let f = bucket.counter("frames");
+        bucket.add(f, 1);
+        if predictions > 0 {
+            let p = bucket.counter("predictions");
+            bucket.add(p, predictions);
+        }
+    }
+
+    /// Builds this shard's snapshot: the cumulative registry with the
+    /// connection-side depth/busy folded in, plus the merged rolling
+    /// window annotated with how many epochs it covers (for rate math).
+    fn snapshot(&mut self, shard: u32, shared: &ShardShared, epoch: u64) -> ShardSnapshot {
+        self.window.advance_to(epoch);
+        let mut metrics = self.registry.clone();
+        metrics.set_counter(self.c_busy, shared.busy.load(Ordering::Relaxed));
+        let depth = shared.depth.load(Ordering::Relaxed).max(0) as f64;
+        metrics.set(self.g_queue, depth);
+        let mut window = self.window.merged();
+        let covered = window.counter("epochs");
+        window.set_counter(covered, (epoch + 1).min(WINDOW_EPOCHS as u64));
+        ShardSnapshot {
+            shard,
+            metrics,
+            window,
+        }
+    }
+}
+
+/// One shard's answer to a `Job::Snapshot`.
+struct ShardSnapshot {
+    shard: u32,
+    metrics: MetricsRegistry,
+    window: MetricsRegistry,
+}
+
+/// One shard: owns its sessions and its metrics, processes its queue to
+/// empty, exits when every sender is gone.
+fn shard_loop(
+    shard_id: u32,
+    rx: Receiver<Job>,
+    shared: Arc<[ShardShared]>,
+    start: Instant,
+) -> ShardSummary {
+    let own = &shared[shard_id as usize];
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut m = ShardMetrics::new();
+    let mut requests = 0u64;
+    let mut idle_from = Instant::now();
+    while let Ok(job) = rx.recv() {
+        let begun = Instant::now();
+        m.registry.add(
+            m.c_idle_us,
+            begun.duration_since(idle_from).as_micros() as u64,
+        );
+        let epoch = begun.duration_since(start).as_secs();
+        match job {
+            Job::Request { req, reply } => {
+                own.depth.fetch_sub(1, Ordering::Relaxed);
+                requests += 1;
+                let resp = apply(shard_id, &mut sessions, &req);
+                m.record(&req, &resp, begun, epoch);
+                m.registry.set(m.g_live, sessions.len() as f64);
+                let _ = reply.send(resp);
+            }
+            Job::Snapshot { reply } => {
+                let _ = reply.send(m.snapshot(shard_id, own, epoch));
+            }
+        }
+        idle_from = Instant::now();
+        m.registry.add(
+            m.c_busy_us,
+            idle_from.duration_since(begun).as_micros() as u64,
+        );
+    }
+    ShardSummary {
+        shard: shard_id,
+        sessions: m.registry.counter_value(m.c_sessions),
+        requests,
+        predictions: m.registry.counter_value(m.c_predictions),
+        correct: m.registry.counter_value(m.c_correct),
+        errors: m.registry.counter_value(m.c_err_unknown)
+            + m.registry.counter_value(m.c_err_badcfg)
+            + m.registry.counter_value(m.c_err_other),
+    }
 }
 
 /// Applies one request to the shard's session map.
-fn apply(
-    shard_id: u32,
-    sessions: &mut HashMap<u64, Session>,
-    summary: &mut ShardSummary,
-    req: &Request,
-) -> Response {
+fn apply(shard_id: u32, sessions: &mut HashMap<u64, Session>, req: &Request) -> Response {
     match req {
         Request::Hello {
             session,
@@ -441,7 +848,6 @@ fn apply(
                     stats: PredictorStats::new(),
                 },
             );
-            summary.sessions += 1;
             Response::HelloOk {
                 session: *session,
                 shard: shard_id,
@@ -480,9 +886,9 @@ fn apply(
         Request::Stats { session } => with_session(sessions, *session, |s| Response::StatsOk {
             stats: s.stats.clone(),
         }),
-        Request::Shutdown => Response::Error {
+        Request::Shutdown | Request::Metrics => Response::Error {
             code: ErrorCode::BadRequest,
-            message: "shutdown is connection-level, not shard-level".into(),
+            message: "connection-level request routed to a shard".into(),
         },
     }
 }
@@ -501,6 +907,153 @@ fn with_session(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Metrics sidecar and periodic stats
+// ---------------------------------------------------------------------------
+
+/// Serves the sidecar listener until drain: minimal HTTP/1.0, one
+/// request per connection, so `curl`/browsers/scrapers can read metrics
+/// without the binary protocol.
+fn metrics_loop(listener: TcpListener, hub: Arc<Hub>) {
+    for stream in listener.incoming() {
+        if hub.drain.is_set() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        serve_scrape(stream, &hub);
+    }
+}
+
+/// Answers one scrape: `GET /metrics` (flat text), `GET /metrics.json`
+/// (pretty JSON), 404 on other paths, 405 on other methods. Unparseable
+/// input just drops the connection.
+fn serve_scrape(mut stream: TcpStream, hub: &Hub) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let Some(req) = read_http_request_path(&mut stream) else {
+        return;
+    };
+    let (status, content_type, body) = match req {
+        HttpHead::NotGet => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported; try GET /metrics\n".to_string(),
+        ),
+        HttpHead::Get(path) => match path.as_str() {
+            "/metrics" | "/" => {
+                let snap = hub.collect();
+                ("200 OK", "text/plain; charset=utf-8", snap.to_text())
+            }
+            "/metrics.json" => {
+                let snap = hub.collect();
+                let mut body = snap.to_json().pretty();
+                body.push('\n');
+                ("200 OK", "application/json", body)
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics or /metrics.json\n".to_string(),
+            ),
+        },
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// One parsed HTTP request line from the sidecar listener.
+enum HttpHead {
+    /// A `GET` with its request path.
+    Get(String),
+    /// A well-formed request line with any other method (drawn a 405).
+    NotGet,
+}
+
+/// Reads one HTTP request head (through the blank line, capped at 8 KiB)
+/// and returns the parsed request line. `None` on malformed input.
+fn read_http_request_path(stream: &mut TcpStream) -> Option<HttpHead> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next()?.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return Some(HttpHead::NotGet);
+    }
+    Some(HttpHead::Get(path.to_string()))
+}
+
+/// Prints a `[serve] …` summary line to stderr every `interval` until
+/// drain. Polls the drain flag so it never outlives a shutdown by more
+/// than ~100ms.
+fn stats_loop(hub: Arc<Hub>, interval: Duration) {
+    let poll = interval.min(Duration::from_millis(100));
+    let mut next = Instant::now() + interval;
+    loop {
+        std::thread::sleep(poll);
+        if hub.drain.is_set() {
+            break;
+        }
+        if Instant::now() < next {
+            continue;
+        }
+        next += interval;
+        eprintln!("[serve] {}", summary_line(&hub.collect(), hub.start));
+    }
+}
+
+/// One human-scannable line from a snapshot: uptime, lifetime totals,
+/// and the rolling-window QPS.
+pub(crate) fn summary_line(snap: &Snapshot, start: Instant) -> String {
+    let zero = MetricsRegistry::new();
+    let total = snap.get("total").unwrap_or(&zero);
+    let counter = |name: &str| total.counter_by_name(name).unwrap_or(0);
+    let frames: u64 = FRAME_KINDS
+        .iter()
+        .map(|k| counter(&format!("frames.{k}")))
+        .sum();
+    let errors =
+        counter("errors.unknown_session") + counter("errors.bad_config") + counter("errors.other");
+    let mut window_frames = 0u64;
+    let mut epochs = 1u64;
+    let mut queue = 0.0f64;
+    for (name, m) in snap.sections() {
+        if name.ends_with(".window") {
+            window_frames += m.counter_by_name("frames").unwrap_or(0);
+            epochs = epochs.max(m.counter_by_name("epochs").unwrap_or(1));
+        } else if name.starts_with("shard") {
+            queue += m.gauge_by_name("queue.depth").unwrap_or(0.0).max(0.0);
+        }
+    }
+    let conns = snap
+        .get("server")
+        .and_then(|s| s.counter_by_name("conns.accepted"))
+        .unwrap_or(0);
+    format!(
+        "up {}s: {} conns, {} sessions, {} frames, {} predictions, {:.1} qps, queue {}, busy {}, errors {}",
+        start.elapsed().as_secs(),
+        conns,
+        counter("sessions.opened"),
+        frames,
+        counter("predictions"),
+        window_frames as f64 / epochs as f64,
+        queue as u64,
+        counter("busy.rejections"),
+        errors,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,14 +1066,8 @@ mod tests {
     #[test]
     fn apply_routes_the_session_lifecycle() {
         let mut sessions = HashMap::new();
-        let mut summary = ShardSummary::default();
         // Unknown session first.
-        let resp = apply(
-            0,
-            &mut sessions,
-            &mut summary,
-            &Request::Stats { session: 1 },
-        );
+        let resp = apply(0, &mut sessions, &Request::Stats { session: 1 });
         assert!(matches!(
             resp,
             Response::Error {
@@ -535,7 +1082,7 @@ mod tests {
             depth: 3,
         };
         assert!(matches!(
-            apply(0, &mut sessions, &mut summary, &hello),
+            apply(0, &mut sessions, &hello),
             Response::HelloOk {
                 session: 1,
                 shard: 0
@@ -543,7 +1090,7 @@ mod tests {
         ));
         assert!(
             matches!(
-                apply(0, &mut sessions, &mut summary, &hello),
+                apply(0, &mut sessions, &hello),
                 Response::Error {
                     code: ErrorCode::BadConfig,
                     ..
@@ -559,7 +1106,6 @@ mod tests {
         } = apply(
             0,
             &mut sessions,
-            &mut summary,
             &Request::Batch {
                 session: 1,
                 records: records.clone(),
@@ -569,29 +1115,22 @@ mod tests {
             panic!("batch should complete");
         };
         assert_eq!(predictions, 60);
-        let Response::StatsOk { stats } = apply(
-            0,
-            &mut sessions,
-            &mut summary,
-            &Request::Stats { session: 1 },
-        ) else {
+        let Response::StatsOk { stats } = apply(0, &mut sessions, &Request::Stats { session: 1 })
+        else {
             panic!("stats should answer");
         };
         let mut oracle = NextTracePredictor::new(PredictorConfig::paper(12, 3));
         let expect = ntp_core::evaluate(&mut oracle, &records);
         assert_eq!(stats, expect, "served stats equal the offline oracle");
         assert_eq!(correct, expect.correct);
-        assert_eq!(summary.sessions, 1);
     }
 
     #[test]
     fn apply_refuses_hostile_configs() {
         let mut sessions = HashMap::new();
-        let mut summary = ShardSummary::default();
         let resp = apply(
             0,
             &mut sessions,
-            &mut summary,
             &Request::Hello {
                 session: 1,
                 bits: 0,
@@ -609,5 +1148,84 @@ mod tests {
             "{resp:?}"
         );
         assert!(sessions.is_empty());
+    }
+
+    #[test]
+    fn shard_metrics_account_frames_outcomes_and_errors() {
+        let mut sessions = HashMap::new();
+        let mut m = ShardMetrics::new();
+        let t0 = Instant::now();
+        let reqs: Vec<Request> = vec![
+            Request::Hello {
+                session: 2,
+                bits: 12,
+                depth: 3,
+            },
+            Request::Update {
+                session: 2,
+                record: rec(0x0040_0000),
+            },
+            Request::Batch {
+                session: 2,
+                records: vec![rec(0x0040_0000); 5],
+            },
+            Request::Stats { session: 2 },
+            Request::Stats { session: 99 }, // unknown session
+        ];
+        for (k, req) in reqs.iter().enumerate() {
+            let resp = apply(0, &mut sessions, req);
+            m.record(req, &resp, t0, k as u64);
+        }
+        let r = &m.registry;
+        assert_eq!(r.counter_by_name("frames.hello"), Some(1));
+        assert_eq!(r.counter_by_name("frames.update"), Some(1));
+        assert_eq!(r.counter_by_name("frames.batch"), Some(1));
+        assert_eq!(r.counter_by_name("frames.stats"), Some(2));
+        assert_eq!(r.counter_by_name("predictions"), Some(6));
+        assert_eq!(r.counter_by_name("sessions.opened"), Some(1));
+        assert_eq!(r.counter_by_name("errors.unknown_session"), Some(1));
+        assert_eq!(
+            r.histogram_by_name("latency_us.all").unwrap().count(),
+            5,
+            "every frame lands in the all-frames histogram"
+        );
+        assert_eq!(r.histogram_by_name("latency_us.stats").unwrap().count(), 2);
+        // The rolling window saw one frame per epoch 0..=4.
+        let w = m.window.merged();
+        assert_eq!(w.counter_by_name("frames"), Some(5));
+        assert_eq!(w.counter_by_name("predictions"), Some(6));
+        // A snapshot folds in the connection-side shared state.
+        let shared = ShardShared::default();
+        shared.busy.store(7, Ordering::Relaxed);
+        shared.depth.store(3, Ordering::Relaxed);
+        let snap = m.snapshot(0, &shared, 4);
+        assert_eq!(snap.metrics.counter_by_name("busy.rejections"), Some(7));
+        assert_eq!(snap.metrics.gauge_by_name("queue.depth"), Some(3.0));
+        assert_eq!(snap.window.counter_by_name("epochs"), Some(5));
+    }
+
+    #[test]
+    fn summary_line_reads_totals_and_rates() {
+        let mut m = ShardMetrics::new();
+        let mut sessions = HashMap::new();
+        let t0 = Instant::now();
+        let hello = Request::Hello {
+            session: 1,
+            bits: 12,
+            depth: 3,
+        };
+        let resp = apply(0, &mut sessions, &hello);
+        m.record(&hello, &resp, t0, 0);
+        let shared = ShardShared::default();
+        let shard = m.snapshot(0, &shared, 0);
+        let mut snap = Snapshot::new();
+        snap.push("server", MetricsRegistry::new());
+        snap.push("shard0", shard.metrics.clone());
+        snap.push("shard0.window", shard.window);
+        snap.push("total", shard.metrics);
+        let line = summary_line(&snap, t0);
+        assert!(line.contains("1 sessions"), "{line}");
+        assert!(line.contains("1 frames"), "{line}");
+        assert!(line.contains("qps"), "{line}");
     }
 }

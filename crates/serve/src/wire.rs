@@ -81,11 +81,16 @@ pub enum Request {
     /// Asks the server to drain and exit: no new connections are
     /// accepted, in-flight sessions run to completion.
     Shutdown,
+    /// Reads the server's merged runtime-metrics snapshot (see
+    /// OBSERVABILITY.md "Live serving metrics"). Not routed to a shard:
+    /// the connection collects a [`Response::Metrics`] across all shards.
+    Metrics,
 }
 
 impl Request {
-    /// The session this request is routed by (`None` for [`Request::Shutdown`],
-    /// which is handled by the connection itself, not a shard).
+    /// The session this request is routed by (`None` for
+    /// [`Request::Shutdown`] and [`Request::Metrics`], which are handled
+    /// by the connection itself, not a shard).
     pub fn session(&self) -> Option<u64> {
         match self {
             Request::Hello { session, .. }
@@ -93,7 +98,7 @@ impl Request {
             | Request::Update { session, .. }
             | Request::Batch { session, .. }
             | Request::Stats { session } => Some(*session),
-            Request::Shutdown => None,
+            Request::Shutdown | Request::Metrics => None,
         }
     }
 }
@@ -206,6 +211,14 @@ pub enum Response {
     Busy,
     /// Acknowledges [`Request::Shutdown`]; the server is draining.
     Bye,
+    /// The server's merged runtime-metrics snapshot, rendered by the
+    /// telemetry JSON writer (sections per shard plus `server`/`total`).
+    /// Carried as text so the reply needs no schema negotiation; the
+    /// frame checksum still covers every byte.
+    Metrics {
+        /// The snapshot JSON document.
+        json: String,
+    },
     /// The request was refused.
     Error {
         /// Machine-readable refusal class.
@@ -322,6 +335,7 @@ const K_UPDATE: u8 = 0x03;
 const K_BATCH: u8 = 0x04;
 const K_STATS: u8 = 0x05;
 const K_SHUTDOWN: u8 = 0x06;
+const K_METRICS: u8 = 0x07;
 const K_HELLO_OK: u8 = 0x81;
 const K_PREDICTED: u8 = 0x82;
 const K_UPDATED: u8 = 0x83;
@@ -329,6 +343,7 @@ const K_BATCH_DONE: u8 = 0x84;
 const K_STATS_OK: u8 = 0x85;
 const K_BUSY: u8 = 0x86;
 const K_BYE: u8 = 0x87;
+const K_METRICS_OK: u8 = 0x88;
 const K_ERROR: u8 = 0xFF;
 
 /// A validating little-endian cursor over a frame body.
@@ -452,6 +467,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&session.to_le_bytes());
         }
         Request::Shutdown => out.push(K_SHUTDOWN),
+        Request::Metrics => out.push(K_METRICS),
     }
     out
 }
@@ -496,6 +512,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, String> {
         }
         K_STATS => Request::Stats { session: c.u64()? },
         K_SHUTDOWN => Request::Shutdown,
+        K_METRICS => Request::Metrics,
         other => return Err(format!("unknown request kind {other:#04x}")),
     };
     c.done()?;
@@ -569,6 +586,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Busy => out.push(K_BUSY),
         Response::Bye => out.push(K_BYE),
+        Response::Metrics { json } => {
+            let bytes = json.as_bytes();
+            out.reserve(5 + bytes.len());
+            out.push(K_METRICS_OK);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
         Response::Error { code, message } => {
             out.push(K_ERROR);
             out.push(code.to_u8());
@@ -631,6 +655,14 @@ pub fn decode_response(body: &[u8]) -> Result<Response, String> {
         }
         K_BUSY => Response::Busy,
         K_BYE => Response::Bye,
+        K_METRICS_OK => {
+            let len = c.u32()? as usize;
+            let raw = c.take(len)?;
+            Response::Metrics {
+                json: String::from_utf8(raw.to_vec())
+                    .map_err(|_| "metrics payload is not UTF-8".to_string())?,
+            }
+        }
         K_ERROR => {
             let code =
                 ErrorCode::from_u8(c.u8()?).ok_or_else(|| "unknown error code".to_string())?;
@@ -683,6 +715,7 @@ mod tests {
         });
         roundtrip_req(Request::Stats { session: 0 });
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Metrics);
     }
 
     #[test]
@@ -722,10 +755,59 @@ mod tests {
         });
         roundtrip_resp(Response::Busy);
         roundtrip_resp(Response::Bye);
+        roundtrip_resp(Response::Metrics {
+            json: r#"{"shard0":{"counters":{"frames.predict":12}}}"#.into(),
+        });
+        roundtrip_resp(Response::Metrics {
+            json: String::new(),
+        });
         roundtrip_resp(Response::Error {
             code: ErrorCode::UnknownSession,
             message: "session 9 has not said hello".into(),
         });
+    }
+
+    #[test]
+    fn metrics_reply_checksum_flip_is_rejected() {
+        let body = encode_response(&Response::Metrics {
+            json: r#"{"total":{"counters":{"predictions":123456}}}"#.into(),
+        });
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        let back = read_frame(&mut framed.as_slice(), 1 << 20).expect("clean frame reads");
+        assert_eq!(
+            decode_response(&back).unwrap(),
+            decode_response(&body).unwrap()
+        );
+        // Flip every bit of the frame — body bytes fail the checksum,
+        // checksum bytes fail against the intact body.
+        for byte in 4..framed.len() {
+            for bit in 0..8 {
+                let mut corrupt = framed.clone();
+                corrupt[byte] ^= 1 << bit;
+                match read_frame(&mut corrupt.as_slice(), 1 << 20) {
+                    Err(WireError::BadChecksum) => {}
+                    other => panic!("flip at byte {byte} bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_reply_payload_is_validated() {
+        // Truncated: declared length exceeds the remaining payload.
+        let mut body = encode_response(&Response::Metrics { json: "{}".into() });
+        body[1] = 200; // length field low byte
+        assert!(decode_response(&body).unwrap_err().contains("truncated"));
+        // Non-UTF-8 payload.
+        let mut bad = vec![K_METRICS_OK];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode_response(&bad).unwrap_err().contains("UTF-8"));
+        // Trailing bytes after the declared payload.
+        let mut trailing = encode_response(&Response::Metrics { json: "{}".into() });
+        trailing.push(0);
+        assert!(decode_response(&trailing).unwrap_err().contains("trailing"));
     }
 
     #[test]

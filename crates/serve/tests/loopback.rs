@@ -294,3 +294,238 @@ fn shutdown_drains_in_flight_sessions() {
     // hello + ceil(2000/250) batches + stats + shutdown.
     assert!(summary.requests > 1 + records.len() as u64 / 250);
 }
+
+/// Reads a counter out of a parsed metrics snapshot section.
+fn counter(snap: &ntp_telemetry::Json, section: &str, name: &str) -> u64 {
+    snap.get(section)
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("missing counter {section}.{name}"))
+}
+
+/// The `Metrics` frame reports exactly the work the loadgen did: summed
+/// per-shard frame and prediction counters equal the oracle-verified
+/// served totals, and the `total` section is the sum of the shards.
+#[test]
+fn metrics_frame_counts_served_work_exactly() {
+    let workers = 2;
+    let handle = serve(cfg_on("127.0.0.1:0", workers)).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let specs: Vec<SessionSpec> = (0..4)
+        .map(|i| SessionSpec {
+            name: format!("synth{i}"),
+            records: synthetic_stream(0xABCD_EF01 * (i as u64 + 1), 2_000),
+        })
+        .collect();
+    let report = loadgen::run(
+        &LoadgenConfig {
+            addr: addr.clone(),
+            clients: 2,
+            chunk: 128,
+            bits: 12,
+            depth: 5,
+        },
+        &specs,
+    )
+    .expect("loadgen runs");
+    assert!(report.all_match(), "oracle must agree before counting");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let json = client.metrics_json().expect("metrics frame");
+    let snap = ntp_telemetry::json::parse(&json).expect("metrics JSON parses");
+
+    let batches: u64 = report.sessions.iter().map(|s| s.batches).sum();
+    assert_eq!(counter(&snap, "total", "predictions"), report.records);
+    assert_eq!(
+        counter(&snap, "total", "predictions.correct"),
+        report
+            .sessions
+            .iter()
+            .map(|s| s.served.correct)
+            .sum::<u64>()
+    );
+    assert_eq!(counter(&snap, "total", "frames.batch"), batches);
+    assert_eq!(counter(&snap, "total", "frames.hello"), 4);
+    assert_eq!(counter(&snap, "total", "frames.stats"), 4);
+    assert_eq!(counter(&snap, "total", "sessions.opened"), 4);
+    assert_eq!(counter(&snap, "total", "errors.unknown_session"), 0);
+
+    // The total section is exactly the sum of the per-shard sections,
+    // and every shard histogram saw every frame it processed.
+    for name in ["predictions", "frames.batch", "sessions.opened"] {
+        let summed: u64 = (0..workers)
+            .map(|k| counter(&snap, &format!("shard{k}"), name))
+            .sum();
+        assert_eq!(summed, counter(&snap, "total", name), "{name}");
+    }
+    for k in 0..workers {
+        let section = format!("shard{k}");
+        let frames: u64 = ["hello", "predict", "update", "batch", "stats"]
+            .iter()
+            .map(|f| counter(&snap, &section, &format!("frames.{f}")))
+            .sum();
+        let observed = snap
+            .get(section.as_str())
+            .and_then(|s| s.get("histograms"))
+            .and_then(|h| h.get("latency_us.all"))
+            .and_then(|h| h.get("count"))
+            .and_then(|v| v.as_u64())
+            .expect("latency histogram present");
+        assert_eq!(observed, frames, "shard{k} latency count == frames");
+    }
+
+    client.shutdown_server().expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.sessions, 4);
+}
+
+/// A checksum-flipped `Metrics` request draws a `BadFrame` reply and the
+/// connection survives to fetch a clean snapshot.
+#[test]
+fn corrupt_metrics_request_is_refused_and_the_connection_survives() {
+    let handle = serve(cfg_on("127.0.0.1:0", 2)).expect("bind");
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_corrupt(&mut stream, &wire::encode_request(&Request::Metrics));
+    match read_reply(&mut stream) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame error, got {other:?}"),
+    }
+    write_raw(&mut stream, &wire::encode_request(&Request::Metrics));
+    match read_reply(&mut stream) {
+        Response::Metrics { json } => {
+            let snap = ntp_telemetry::json::parse(&json).expect("snapshot parses");
+            assert!(snap.get("total").is_some(), "total section present");
+            assert_eq!(
+                counter(&snap, "server", "protocol.errors"),
+                1,
+                "the corrupt frame was counted"
+            );
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+    drop(stream);
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown_server()
+        .expect("shutdown");
+    handle.join();
+}
+
+/// The sidecar listener answers plain-HTTP scrapes in both formats
+/// without speaking the binary protocol.
+#[test]
+fn metrics_sidecar_serves_text_and_json_over_http() {
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let maddr = handle.metrics_local_addr().expect("sidecar bound");
+
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.hello(3, 12, 3).expect("hello");
+    let rec = TraceRecord::new(TraceId::new(0x0040_0000, 0, 0), 8, 0, false, false);
+    client.update(3, &rec).expect("update");
+
+    let scrape = |path: &str| -> String {
+        let mut s = TcpStream::connect(maddr).expect("connect sidecar");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        use std::io::Read;
+        s.read_to_string(&mut out).expect("read response");
+        out
+    };
+
+    let text = scrape("/metrics");
+    assert!(text.starts_with("HTTP/1.0 200 OK\r\n"), "{text}");
+    assert!(text.contains("total.predictions 1\n"), "{text}");
+    assert!(text.contains("total.frames.hello 1\n"), "{text}");
+    assert!(text.contains("server.conns.accepted "), "{text}");
+
+    let http = scrape("/metrics.json");
+    assert!(http.starts_with("HTTP/1.0 200 OK\r\n"), "{http}");
+    let body = http.split("\r\n\r\n").nth(1).expect("has a body");
+    let snap = ntp_telemetry::json::parse(body).expect("body parses as JSON");
+    assert_eq!(counter(&snap, "total", "predictions"), 1);
+    assert_eq!(
+        counter(&snap, "shard1", "sessions.opened"),
+        1,
+        "session 3 owns shard 1"
+    );
+
+    let missing = scrape("/nope");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+    // Non-GET methods draw a 405 instead of a silent close.
+    let posted = {
+        let mut s = TcpStream::connect(maddr).expect("connect sidecar");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(s, "POST /metrics HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        use std::io::Read;
+        s.read_to_string(&mut out).expect("read response");
+        out
+    };
+    assert!(posted.starts_with("HTTP/1.0 405"), "{posted}");
+
+    // The in-process snapshot agrees with the scraped one.
+    let snap2 = handle.metrics_snapshot();
+    assert_eq!(
+        snap2.get("total").unwrap().counter_by_name("predictions"),
+        Some(1)
+    );
+
+    client.shutdown_server().expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.sessions, 1);
+}
+
+/// The drain path carries per-shard attribution through to the final
+/// summary instead of flattening it.
+#[test]
+fn drain_reports_per_shard_attribution() {
+    let handle = serve(cfg_on("127.0.0.1:0", 2)).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Session 0 → shard 0, session 1 → shard 1, with different volumes.
+    client.hello(0, 12, 3).expect("hello 0");
+    client.hello(1, 12, 3).expect("hello 1");
+    let rec = TraceRecord::new(TraceId::new(0x0040_0000, 0, 0), 8, 0, false, false);
+    for _ in 0..3 {
+        client.update(0, &rec).expect("update 0");
+    }
+    for _ in 0..5 {
+        client.update(1, &rec).expect("update 1");
+    }
+    let _ = client.stats(7); // unknown session → a typed error on shard 1
+    client.shutdown_server().expect("shutdown");
+
+    let summary = handle.join();
+    assert_eq!(summary.per_shard.len(), 2);
+    let s0 = &summary.per_shard[0];
+    let s1 = &summary.per_shard[1];
+    assert_eq!((s0.shard, s1.shard), (0, 1));
+    assert_eq!((s0.sessions, s1.sessions), (1, 1));
+    assert_eq!((s0.predictions, s1.predictions), (3, 5));
+    assert_eq!((s0.errors, s1.errors), (0, 1));
+    assert!(s0.correct <= 3 && s1.correct <= 5);
+    assert_eq!(
+        summary.requests,
+        summary.per_shard.iter().map(|s| s.requests).sum::<u64>(),
+        "whole-server totals are the per-shard sums"
+    );
+    assert_eq!(summary.sessions, 2);
+}

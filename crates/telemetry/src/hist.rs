@@ -171,6 +171,12 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th-percentile upper bound (`quantile(0.999)`) — the overload
+    /// tail the serving reports lead with.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Iterates non-empty buckets as `(lo, hi_inclusive, count)`.
     pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -200,8 +206,8 @@ fn bucket_top(k: usize) -> u64 {
 }
 
 impl ToJson for Histogram {
-    /// `{count, sum, min, max, mean, p50, p99, buckets: [[lo, hi, n], …]}`
-    /// with only non-empty buckets listed.
+    /// `{count, sum, min, max, mean, p50, p99, p999, buckets:
+    /// [[lo, hi, n], …]}` with only non-empty buckets listed.
     fn to_json(&self) -> Json {
         Json::object()
             .with("count", Json::U64(self.count))
@@ -211,6 +217,7 @@ impl ToJson for Histogram {
             .with("mean", Json::F64(self.mean()))
             .with("p50", Json::U64(self.quantile_upper_bound(0.5)))
             .with("p99", Json::U64(self.quantile_upper_bound(0.99)))
+            .with("p999", Json::U64(self.quantile_upper_bound(0.999)))
             .with(
                 "buckets",
                 Json::Array(
@@ -291,6 +298,22 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p99(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn p999_separates_the_tail_from_p99() {
+        let mut h = Histogram::new();
+        // 9989 fast samples, 10 slow, 1 pathological: p99 stays in the fast
+        // bucket, p99.9 lands in the slow bucket, max sees the outlier.
+        h.record_n(10, 9989);
+        h.record_n(5_000, 10);
+        h.record(1 << 30);
+        assert_eq!(h.p99(), 15, "p99 bounded by the fast bucket [8,16)");
+        assert_eq!(h.p999(), 8191, "p99.9 bounded by the slow bucket");
+        assert_eq!(h.quantile(1.0), 1 << 30);
+        let json = crate::ToJson::to_json(&h).render();
+        assert!(json.contains(r#""p999":8191"#), "p999 serialized: {json}");
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!   locks — shards own registries and [`MetricsRegistry::merge`]
 //!   aggregates);
 //! * [`Histogram`] — pow-2 bucketed distributions (trace length,
-//!   misprediction streaks, fetch bandwidth);
+//!   misprediction streaks, fetch bandwidth, serving latency tails);
+//! * [`RollingWindow`] — a fixed ring of per-epoch registry buckets for
+//!   live rates (QPS over the last N seconds), deterministic under
+//!   injected epochs;
+//! * [`Snapshot`] — named registry sections serialized as JSON or as a
+//!   flat `name value` text exposition (the scrape endpoint's format);
 //! * [`PhaseTimes`] / [`ScopeTimer`] — per-phase wall-clock profiling
 //!   (simulate / trace-build / replay / train) and
 //!   [`per_second`] throughput gauges;
@@ -56,6 +61,8 @@ mod hist;
 mod manifest;
 mod metrics;
 mod report;
+mod rolling;
+mod snapshot;
 mod timer;
 
 pub use events::{EventSink, EventSource, NullSink, PredictionEvent, TraceLog};
@@ -64,6 +71,8 @@ pub use json::Json;
 pub use manifest::RunManifest;
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use report::Report;
+pub use rolling::RollingWindow;
+pub use snapshot::Snapshot;
 pub use timer::{per_second, timed, PhaseTimes, ReplayThroughput, ScopeTimer};
 
 /// Conversion into the telemetry JSON tree. Implemented by every stats

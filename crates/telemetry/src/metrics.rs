@@ -110,6 +110,13 @@ impl MetricsRegistry {
         self.hists[id.0].record(v);
     }
 
+    /// Overwrites a counter's value. Reporting-path only: lets a snapshot
+    /// fold in totals kept elsewhere (e.g. connection-side atomics) while
+    /// still merging additively across registries.
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0] = v;
+    }
+
     /// Current value of a counter.
     pub fn counter_value(&self, id: CounterId) -> u64 {
         self.counters[id.0]
@@ -129,6 +136,42 @@ impl MetricsRegistry {
     pub fn counter_by_name(&self, name: &str) -> Option<u64> {
         let k = self.counter_names.iter().position(|n| n == name)?;
         Some(self.counters[k])
+    }
+
+    /// Looks up a gauge's current value by name (reporting path).
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        let k = self.gauge_names.iter().position(|n| n == name)?;
+        Some(self.gauges[k])
+    }
+
+    /// Looks up a histogram by name (reporting path).
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        let k = self.hist_names.iter().position(|n| n == name)?;
+        Some(&self.hists[k])
+    }
+
+    /// All counters in registration order.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .zip(self.counters.iter())
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All gauges in registration order.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauge_names
+            .iter()
+            .zip(self.gauges.iter())
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All histograms in registration order.
+    pub fn histograms_iter(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hist_names
+            .iter()
+            .zip(self.hists.iter())
+            .map(|(n, h)| (n.as_str(), h))
     }
 
     /// Merges another registry into this one: counters and histogram

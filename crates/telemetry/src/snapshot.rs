@@ -1,0 +1,210 @@
+//! A point-in-time snapshot of named metric sections.
+//!
+//! [`Snapshot`] is the wire/report shape of the live observability plane:
+//! an ordered list of `(section, MetricsRegistry)` pairs — the serving
+//! layer uses one section per shard plus `server` and `total` — with two
+//! serializations off the same data:
+//!
+//! * [`ToJson`]: an object of `section → registry JSON` in insertion
+//!   order (machines, `ntp top --json`);
+//! * [`Snapshot::to_text`]: a flat `name value` exposition, one metric
+//!   per line with section-qualified names, so `curl`/`grep`/`awk` can
+//!   scrape the sidecar endpoint without a JSON parser.
+
+use crate::json::Json;
+use crate::{MetricsRegistry, ToJson};
+
+/// An ordered collection of named [`MetricsRegistry`] sections.
+///
+/// # Examples
+///
+/// ```
+/// use ntp_telemetry::{MetricsRegistry, Snapshot, ToJson};
+/// let mut shard = MetricsRegistry::new();
+/// let c = shard.counter("frames.predict");
+/// shard.add(c, 41);
+/// let mut snap = Snapshot::new();
+/// snap.push("shard0", shard);
+/// assert!(snap.to_text().contains("shard0.frames.predict 41"));
+/// assert!(snap.to_json().render().starts_with(r#"{"shard0":"#));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    sections: Vec<(String, MetricsRegistry)>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Appends a section. Order of insertion is order of serialization;
+    /// pushing a duplicate name keeps both (callers use unique names).
+    pub fn push(&mut self, name: &str, metrics: MetricsRegistry) {
+        self.sections.push((name.to_string(), metrics));
+    }
+
+    /// Looks up a section by name.
+    pub fn get(&self, name: &str) -> Option<&MetricsRegistry> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
+    }
+
+    /// Iterates sections in insertion order.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &MetricsRegistry)> {
+        self.sections.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when no sections have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Merges every section whose name satisfies `pred` into one registry
+    /// (counters/histograms add, gauges last-writer-wins), in insertion
+    /// order.
+    pub fn merged_where(&self, pred: impl Fn(&str) -> bool) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for (name, m) in self.sections() {
+            if pred(name) {
+                out.merge(m);
+            }
+        }
+        out
+    }
+
+    /// Flat `name value` text exposition: one line per metric, names
+    /// qualified as `<section>.<metric>`. Histograms expand into
+    /// `.count/.sum/.min/.max/.mean/.p50/.p99/.p999` lines. Floats render
+    /// exactly as the JSON writer would, so the two formats never disagree
+    /// on a value.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut line = |name: &str, value: &str| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(value);
+            out.push('\n');
+        };
+        for (section, m) in self.sections() {
+            for (name, v) in m.counters_iter() {
+                line(&format!("{section}.{name}"), &v.to_string());
+            }
+            for (name, v) in m.gauges_iter() {
+                line(&format!("{section}.{name}"), &Json::F64(v).render());
+            }
+            for (name, h) in m.histograms_iter() {
+                let fields: [(&str, String); 8] = [
+                    ("count", h.count().to_string()),
+                    ("sum", h.sum().to_string()),
+                    ("min", h.min().to_string()),
+                    ("max", h.max().to_string()),
+                    ("mean", Json::F64(h.mean()).render()),
+                    ("p50", h.p50().to_string()),
+                    ("p99", h.p99().to_string()),
+                    ("p999", h.p999().to_string()),
+                ];
+                for (field, value) in fields {
+                    line(&format!("{section}.{name}.{field}"), &value);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for Snapshot {
+    /// `{<section>: {counters: …, gauges: …, histograms: …}, …}` in
+    /// insertion order.
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.sections()
+                .map(|(n, m)| (n.to_string(), m.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(frames: u64, depth: f64, lat: &[u64]) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("frames.predict");
+        m.add(c, frames);
+        let g = m.gauge("queue.depth");
+        m.set(g, depth);
+        let h = m.histogram("latency_us");
+        for v in lat {
+            m.observe(h, *v);
+        }
+        m
+    }
+
+    #[test]
+    fn sections_serialize_in_insertion_order() {
+        let mut snap = Snapshot::new();
+        snap.push("shard1", shard(2, 0.0, &[]));
+        snap.push("shard0", shard(1, 0.0, &[]));
+        let json = snap.to_json().render();
+        let s1 = json.find("shard1").unwrap();
+        let s0 = json.find("shard0").unwrap();
+        assert!(s1 < s0, "insertion order preserved: {json}");
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap.get("shard0")
+                .unwrap()
+                .counter_by_name("frames.predict"),
+            Some(1)
+        );
+        assert!(snap.get("shard9").is_none());
+    }
+
+    #[test]
+    fn text_exposition_is_flat_and_complete() {
+        let mut snap = Snapshot::new();
+        snap.push("shard0", shard(41, 3.0, &[10, 20, 4000]));
+        let text = snap.to_text();
+        assert!(text.contains("shard0.frames.predict 41\n"), "{text}");
+        assert!(text.contains("shard0.queue.depth 3.0\n"), "{text}");
+        assert!(text.contains("shard0.latency_us.count 3\n"), "{text}");
+        assert!(text.contains("shard0.latency_us.max 4000\n"), "{text}");
+        assert!(text.contains("shard0.latency_us.p999 "), "{text}");
+        // Every line is exactly `name value`.
+        for l in text.lines() {
+            assert_eq!(l.split(' ').count(), 2, "malformed line: {l}");
+        }
+    }
+
+    #[test]
+    fn merged_where_folds_matching_sections() {
+        let mut snap = Snapshot::new();
+        snap.push("server", shard(1000, 0.0, &[]));
+        snap.push("shard0", shard(3, 1.0, &[5]));
+        snap.push("shard1", shard(4, 2.0, &[9]));
+        let total = snap.merged_where(|n| n.starts_with("shard"));
+        assert_eq!(total.counter_by_name("frames.predict"), Some(7));
+        assert_eq!(total.histogram_by_name("latency_us").unwrap().count(), 2);
+        let empty = snap.merged_where(|_| false);
+        assert!(empty.counter_by_name("frames.predict").is_none());
+    }
+
+    #[test]
+    fn json_and_text_agree_on_values() {
+        let mut snap = Snapshot::new();
+        snap.push("s", shard(7, 1.5, &[2, 2, 2]));
+        let json = snap.to_json().render();
+        assert!(json.contains(r#""frames.predict":7"#), "{json}");
+        assert!(json.contains(r#""queue.depth":1.5"#), "{json}");
+        assert!(snap.to_text().contains("s.queue.depth 1.5\n"));
+    }
+}

@@ -137,38 +137,104 @@ jq -e '.throughput.trace_cache.invalid >= 1' "$out_fb"/BENCH_compress.json >/dev
     || { echo "invalid-file counter not recorded"; exit 1; }
 echo "corrupt file refused with warning; fallback output byte-identical"
 
-say "serving smoke: loopback serve + loadgen, served == offline oracle"
+say "serving smoke: loopback serve + loadgen + live metrics plane"
 # SERVING.md documents the protocol and this recipe. An ephemeral-port
-# server (2 shard workers), a fixed loadgen replay (4 sessions over the
-# cached tiny-scale suite), an exact served-vs-oracle diff, then a
-# graceful shutdown that must drain every in-flight session.
+# server (2 shard workers) with the metrics sidecar and periodic stderr
+# stats enabled, a fixed loadgen replay (4 sessions over the cached
+# tiny-scale suite), an exact served-vs-oracle diff, a mid-flight scrape
+# whose counters must equal the loadgen oracle totals, then a graceful
+# drain via `ntp top --shutdown`.
 ntp_bin=target/release/ntp
 out_srv="$(mktemp -d)"
 trap 'rm -rf "$out_a" "$out_b" "$cache_dir" "$out_cold" "$out_warm" "$out_fb" "$out_srv"' EXIT
-"$ntp_bin" serve --addr 127.0.0.1:0 --workers 2 >"$out_srv/serve.txt" &
-serve_pid=$!
-addr=""
-for _ in $(seq 1 100); do
-    addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_srv/serve.txt" 2>/dev/null | head -1 || true)"
-    [ -n "$addr" ] && break
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "ntp serve never printed its bound address"; exit 1; }
-echo "server up on $addr"
-NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
-    "$ntp_bin" loadgen --addr "$addr" --sessions 4 --clients 2 \
-    --shutdown --json "$out_srv/loadgen.json" >"$out_srv/loadgen.txt" \
-    || { echo "loadgen failed (served != oracle?)"; cat "$out_srv/loadgen.txt"; exit 1; }
+
+# Runs one serve+loadgen replay; leaves the server running, with its
+# main address in $addr, metrics address in $maddr and pid in $serve_pid.
+serve_replay() {
+    local tag="$1"
+    "$ntp_bin" serve --addr 127.0.0.1:0 --workers 2 \
+        --metrics-addr 127.0.0.1:0 --stats-interval 0.2 \
+        >"$out_srv/serve$tag.txt" 2>"$out_srv/serve$tag.err" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_srv/serve$tag.txt" 2>/dev/null | head -1 || true)"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "ntp serve never printed its bound address"; exit 1; }
+    maddr="$(grep '\[serve\] metrics on' "$out_srv/serve$tag.txt" | grep -oE '127\.0\.0\.1:[0-9]+' || true)"
+    [ -n "$maddr" ] || { echo "ntp serve never printed its metrics address"; exit 1; }
+    NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
+        "$ntp_bin" loadgen --addr "$addr" --sessions 4 --clients 2 \
+        --json "$out_srv/loadgen$tag.json" >"$out_srv/loadgen$tag.txt" \
+        || { echo "loadgen failed (served != oracle?)"; cat "$out_srv/loadgen$tag.txt"; exit 1; }
+}
+
+serve_replay 1
+echo "server up on $addr (metrics on $maddr)"
 jq -e '.all_match == true and (.sessions | length) == 4
        and ([.sessions[] | select(.matches_oracle)] | length) == 4
        and .latency_us.count >= .requests' \
-    "$out_srv/loadgen.json" >/dev/null \
+    "$out_srv/loadgen1.json" >/dev/null \
     || { echo "loadgen report failed validation"; exit 1; }
 echo "4 sessions served; statistics identical to the offline oracle"
-# --shutdown asked the server to drain; it must exit cleanly on its own.
+
+# The scraped counters must equal the loadgen oracle totals exactly: the
+# observability plane may not drop or invent a single frame.
+records=$(jq '.records' "$out_srv/loadgen1.json")
+batches=$(jq '[.sessions[].batches] | add' "$out_srv/loadgen1.json")
+curl -sf "http://$maddr/metrics" >"$out_srv/metrics.txt" \
+    || { echo "text scrape of $maddr failed"; exit 1; }
+grep -q "^total\.predictions $records\$" "$out_srv/metrics.txt" \
+    || { echo "text exposition disagrees with loadgen ($records records)"; exit 1; }
+curl -sf "http://$maddr/metrics.json" >"$out_srv/metrics.json" \
+    || { echo "json scrape of $maddr failed"; exit 1; }
+jq -e --argjson r "$records" --argjson b "$batches" '
+    .total.counters.predictions == $r
+    and .total.counters."frames.batch" == $b
+    and .total.counters."frames.hello" == 4
+    and .total.counters."frames.stats" == 4
+    and ([.shard0, .shard1 | .counters.predictions] | add) == $r
+    and .server.counters."protocol.errors" == 0' \
+    "$out_srv/metrics.json" >/dev/null \
+    || { echo "scraped counters disagree with the loadgen oracle totals"; exit 1; }
+echo "scraped counters equal the loadgen totals ($records predictions, $batches batches)"
+
+"$ntp_bin" top --addr "$addr" --once >"$out_srv/top.txt"
+grep -q '^total' "$out_srv/top.txt" \
+    || { echo "ntp top table missing the total row"; cat "$out_srv/top.txt"; exit 1; }
+# Give the 0.2 s stats heartbeat a chance to fire at least once before
+# draining — a warm-cache replay can finish faster than one interval.
+sleep 0.5
+# `ntp top --shutdown` drains the server after the final poll.
+"$ntp_bin" top --addr "$addr" --once --json --shutdown >"$out_srv/top1.json"
 wait "$serve_pid" || { echo "ntp serve exited nonzero"; exit 1; }
-grep -q 'drained: 4 sessions' "$out_srv/serve.txt" \
-    || { echo "server summary missing the 4 drained sessions"; cat "$out_srv/serve.txt"; exit 1; }
-echo "graceful shutdown drained all sessions"
+grep -q 'drained: 4 sessions' "$out_srv/serve1.txt" \
+    || { echo "server summary missing the 4 drained sessions"; cat "$out_srv/serve1.txt"; exit 1; }
+grep -q 'shard 1:' "$out_srv/serve1.txt" \
+    || { echo "drain summary lost per-shard attribution"; cat "$out_srv/serve1.txt"; exit 1; }
+grep -q '\[serve\] up' "$out_srv/serve1.err" \
+    || { echo "missing periodic [serve] stats line on stderr"; exit 1; }
+echo "graceful shutdown drained all sessions with per-shard attribution"
+
+say "serving determinism: stripped top snapshots identical across replays"
+# Re-run the identical replay against a fresh server: after stripping
+# wall-clock-derived sections (server uptime, rolling windows, latency
+# histograms, busy/idle time — see OBSERVABILITY.md), the `ntp top
+# --once --json` snapshot must be byte-identical.
+serve_replay 2
+"$ntp_bin" top --addr "$addr" --once --json --shutdown >"$out_srv/top2.json"
+wait "$serve_pid" || { echo "ntp serve exited nonzero on replay 2"; exit 1; }
+strip_top='del(.server)
+    | with_entries(select(.key | endswith(".window") | not))
+    | map_values(del(.gauges, .histograms)
+        | .counters |= del(."time.busy_us", ."time.idle_us", ."busy.rejections"))'
+if ! diff <(jq "$strip_top" "$out_srv/top1.json") \
+          <(jq "$strip_top" "$out_srv/top2.json"); then
+    echo "stripped top snapshots differ between identical replays"
+    exit 1
+fi
+echo "stripped top snapshots byte-identical"
 
 printf '\nAll checks passed.\n'
