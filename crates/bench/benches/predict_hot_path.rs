@@ -1,0 +1,95 @@
+//! The SoA hot path head-to-head: scalar `evaluate` vs the gathered
+//! `evaluate_batch` sweep, at lane counts matching the replay passes
+//! that use it (fig7 runs 3 lanes, cost_reduced runs 2), plus the raw
+//! `predict_batch`/`update_batch` step cost.
+//!
+//! Throughput is reported in records (per-lane sums), so scalar and
+//! batch rows are directly comparable: the batch sweep replays
+//! `lanes × records` with one prefetch pass per round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntp_core::{evaluate, evaluate_batch, BatchLane, NextTracePredictor, PredictorConfig};
+use ntp_trace::{TraceId, TraceRecord};
+
+/// A deterministic, moderately irregular trace stream (distinct seeds so
+/// lanes don't share table working sets).
+fn stream(seed: u32, n: usize) -> Vec<TraceRecord> {
+    let mut x: u32 = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let pc = 0x0040_0000 + ((x >> 8) % 997) * 20;
+            let bits = ((x >> 3) & 0x3F) as u8;
+            let calls = ((x >> 29) == 7) as u8;
+            let ret = (x >> 27) & 7 == 3;
+            TraceRecord::new(TraceId::new(pc, bits, 6), 14, calls, ret, ret)
+        })
+        .collect()
+}
+
+fn bench_scalar_vs_batch(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let streams: Vec<Vec<TraceRecord>> = (0..4)
+        .map(|k| stream(0x1357_9BDF ^ (k as u32 * 0x9E37), N))
+        .collect();
+    let cfg = PredictorConfig::paper(15, 7);
+
+    let mut group = c.benchmark_group("evaluate_hot_path");
+    for lanes in [1usize, 2, 3, 4] {
+        group.throughput(Throughput::Elements((lanes * N) as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                for s in streams.iter().take(lanes) {
+                    let mut p = NextTracePredictor::new(cfg);
+                    std::hint::black_box(evaluate(&mut p, s));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                let mut preds: Vec<NextTracePredictor> =
+                    (0..lanes).map(|_| NextTracePredictor::new(cfg)).collect();
+                let mut batch: Vec<BatchLane<'_>> = preds
+                    .iter_mut()
+                    .zip(streams.iter())
+                    .map(|(p, s)| BatchLane::new(p, s))
+                    .collect();
+                std::hint::black_box(evaluate_batch(&mut batch));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_steps(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let streams: Vec<Vec<TraceRecord>> = (0..4)
+        .map(|k| stream(0xBEEF ^ (k as u32 * 0x51_7CC1), N))
+        .collect();
+    let cfg = PredictorConfig::paper(15, 7);
+
+    let mut group = c.benchmark_group("batch_step");
+    group.throughput(Throughput::Elements((4 * N) as u64));
+    group.bench_function("predict_update_4_lanes", |b| {
+        let mut preds: Vec<NextTracePredictor> =
+            (0..4).map(|_| NextTracePredictor::new(cfg)).collect();
+        b.iter(|| {
+            for step in 0..N {
+                {
+                    let views: Vec<&NextTracePredictor> = preds.iter().collect();
+                    std::hint::black_box(ntp_core::predict_batch(&views));
+                }
+                let mut pairs: Vec<(&mut NextTracePredictor, &TraceRecord)> = preds
+                    .iter_mut()
+                    .zip(streams.iter())
+                    .map(|(p, s)| (p, &s[step]))
+                    .collect();
+                ntp_core::update_batch(&mut pairs);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_vs_batch, bench_batch_steps);
+criterion_main!(benches);

@@ -570,8 +570,8 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     for s in &summary.per_shard {
         println!(
             "[serve]   shard {}: {} sessions, {} requests, {} predictions \
-             ({} correct), {} errors",
-            s.shard, s.sessions, s.requests, s.predictions, s.correct, s.errors
+             ({} correct), {} errors, {} batched",
+            s.shard, s.sessions, s.requests, s.predictions, s.correct, s.errors, s.batched
         );
     }
     Ok(())
@@ -811,6 +811,20 @@ fn cmd_loadgen(rest: &[String]) -> Result<(), String> {
         report.latency_us.max(),
         report.busy_retries
     );
+    if !report.drain_batched.is_empty() {
+        let total: u64 = report.drain_batched.iter().sum();
+        let per: Vec<String> = report
+            .drain_batched
+            .iter()
+            .enumerate()
+            .map(|(k, n)| format!("shard {k}: {n}"))
+            .collect();
+        println!(
+            "[loadgen] {} requests resolved via batched drains ({})",
+            total,
+            per.join(", ")
+        );
+    }
     if report.all_match() {
         println!("[loadgen] served == offline oracle for every session");
         Ok(())

@@ -93,23 +93,30 @@ impl fmt::Display for CounterSpec {
 #[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
 pub struct Counter(u8);
 
+// The predictor's counter arrays (`Vec<Counter>`) rely on this staying a
+// bare byte: a widened counter silently doubles the hot arrays' footprint.
+const _: () = assert!(std::mem::size_of::<Counter>() == 1);
+
 impl Counter {
     /// A counter at zero (no confidence).
-    pub fn new() -> Counter {
+    pub const fn new() -> Counter {
         Counter(0)
     }
 
     /// Current value.
+    #[inline]
     pub fn value(self) -> u8 {
         self.0
     }
 
     /// True if at the saturation maximum for `spec`.
+    #[inline]
     pub fn is_saturated(self, spec: CounterSpec) -> bool {
         self.0 >= spec.max()
     }
 
     /// Registers a correct prediction.
+    #[inline]
     pub fn on_correct(&mut self, spec: CounterSpec) {
         self.0 = self.0.saturating_add(spec.inc).min(spec.max());
     }
@@ -117,6 +124,7 @@ impl Counter {
     /// Registers an incorrect prediction. Returns `true` if the counter was
     /// at zero, meaning the owning entry should replace its stored target
     /// (the counter then stays at zero).
+    #[inline]
     pub fn on_incorrect(&mut self, spec: CounterSpec) -> bool {
         if self.0 == 0 {
             true

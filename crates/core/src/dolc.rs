@@ -97,8 +97,62 @@ impl Dolc {
     /// Identifiers older than the history currently holds contribute zero
     /// bits (cold start). The gathered bit string places older traces in
     /// higher positions, then folds with XOR down to `index_bits`.
+    ///
+    /// This runs once per retired trace (the predictor refreshes its cached
+    /// index at every history shift), so the gather walks the history's
+    /// contiguous newest-first slice directly, and configurations whose
+    /// gathered total fits in 64 bits — every standard Table 3 tuple — take
+    /// a `u64` accumulator path instead of the general `u128` one. Both
+    /// paths produce identical indexes.
     pub fn index(&self, history: &PathHistory<HashedId>, index_bits: u32) -> u32 {
         debug_assert!((1..=30).contains(&index_bits));
+        if self.total_bits() <= 64 {
+            self.index_u64(history.as_slice(), index_bits)
+        } else {
+            self.index_u128(history.as_slice(), index_bits)
+        }
+    }
+
+    /// Fast accumulator path: gathered bits fit in a `u64`.
+    #[inline]
+    fn index_u64(&self, h: &[HashedId], index_bits: u32) -> u32 {
+        let mut acc: u64 = 0;
+        let mut width: u32 = 0;
+
+        let mut gather = |slot: usize, bits: u32| {
+            if bits == 0 {
+                return;
+            }
+            let v = h.get(slot).map(|id| id.low_bits(bits.min(16))).unwrap_or(0);
+            acc = (acc << bits) | v as u64;
+            width += bits;
+        };
+
+        // Oldest first so the newest trace ends up in the low bits.
+        if self.depth >= 2 {
+            for slot in (2..=self.depth).rev() {
+                gather(slot, self.older);
+            }
+        }
+        if self.depth >= 1 {
+            gather(1, self.last);
+        }
+        gather(0, self.current);
+
+        let mask = (1u64 << index_bits) - 1;
+        let mut idx: u64 = 0;
+        let mut rest = acc;
+        let mut remaining = width as i64;
+        while remaining > 0 {
+            idx ^= rest & mask;
+            rest >>= index_bits;
+            remaining -= index_bits as i64;
+        }
+        idx as u32
+    }
+
+    /// General path for experimental configurations gathering 65–120 bits.
+    fn index_u128(&self, h: &[HashedId], index_bits: u32) -> u32 {
         let mut acc: u128 = 0;
         let mut width: u32 = 0;
 
@@ -106,15 +160,11 @@ impl Dolc {
             if bits == 0 {
                 return;
             }
-            let v = history
-                .get(slot)
-                .map(|h| h.low_bits(bits.min(16)))
-                .unwrap_or(0);
+            let v = h.get(slot).map(|id| id.low_bits(bits.min(16))).unwrap_or(0);
             acc = (acc << bits) | v as u128;
             width += bits;
         };
 
-        // Oldest first so the newest trace ends up in the low bits.
         if self.depth >= 2 {
             for slot in (2..=self.depth).rev() {
                 gather(slot, self.older);

@@ -1,7 +1,5 @@
 //! The path history register: a shift register of recent trace identifiers.
 
-use std::collections::VecDeque;
-
 /// A bounded shift register of the most recent trace identifiers, newest
 /// first.
 ///
@@ -9,6 +7,12 @@ use std::collections::VecDeque;
 /// ([`ntp_trace::HashedId`]); the unbounded ("no aliasing") model stores full
 /// packed identifiers (`u64`). The register is generic over the element so
 /// both share the return-history-stack machinery.
+///
+/// Storage is a flat `Vec` kept newest-first (index 0 = newest): registers
+/// are at most a few dozen elements, so a push is one small `memmove`, and
+/// — unlike a ring buffer — every reader ([`Dolc::index`](crate::Dolc)'s
+/// gather above all, which runs once per retired trace) sees a contiguous
+/// slice with no wraparound arithmetic.
 ///
 /// # Examples
 ///
@@ -23,7 +27,8 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PathHistory<T> {
-    entries: VecDeque<T>,
+    /// Newest-first; `entries.len() <= cap` always.
+    entries: Vec<T>,
     cap: usize,
 }
 
@@ -36,42 +41,61 @@ impl<T: Copy> PathHistory<T> {
     pub fn new(cap: usize) -> PathHistory<T> {
         assert!(cap > 0, "history capacity must be nonzero");
         PathHistory {
-            entries: VecDeque::with_capacity(cap),
+            entries: Vec::with_capacity(cap),
             cap,
         }
     }
 
     /// The maximum number of identifiers retained.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.cap
     }
 
     /// Identifiers currently held (≤ capacity; fewer during warm-up).
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// True if no identifier has been pushed yet.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Shifts in the newest identifier, evicting the oldest if full.
+    #[inline]
     pub fn push(&mut self, id: T) {
         if self.entries.len() == self.cap {
-            self.entries.pop_back();
+            // Steady state: shift everything down one slot (the oldest
+            // falls off the end) and write the newcomer at the front.
+            self.entries.copy_within(..self.cap - 1, 1);
+            self.entries[0] = id;
+        } else {
+            // Warm-up: capacity was reserved up front, so this never
+            // reallocates.
+            self.entries.insert(0, id);
         }
-        self.entries.push_front(id);
     }
 
     /// The `i`-th most recent identifier (0 = newest).
+    #[inline]
     pub fn get(&self, i: usize) -> Option<T> {
         self.entries.get(i).copied()
     }
 
     /// The most recent identifier.
+    #[inline]
     pub fn newest(&self) -> Option<T> {
         self.get(0)
+    }
+
+    /// The whole register as a newest-first slice — the zero-cost read port
+    /// index generation gathers from.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.entries
     }
 
     /// Iterates newest → oldest.
@@ -83,18 +107,17 @@ impl<T: Copy> PathHistory<T> {
     /// checkpointing; the return history stack uses the allocation-free
     /// [`PathHistory::copy_into`] instead).
     pub fn snapshot(&self) -> Vec<T> {
-        self.entries.iter().copied().collect()
+        self.entries.clone()
     }
 
     /// Copies the register (newest first) into `buf` without allocating,
     /// returning how many identifiers were written. If `buf` is shorter
     /// than the register, only the newest `buf.len()` identifiers are
     /// copied.
+    #[inline]
     pub fn copy_into(&self, buf: &mut [T]) -> usize {
         let n = self.entries.len().min(buf.len());
-        for (slot, id) in buf.iter_mut().zip(self.entries.iter()) {
-            *slot = *id;
-        }
+        buf[..n].copy_from_slice(&self.entries[..n]);
         n
     }
 
@@ -106,7 +129,7 @@ impl<T: Copy> PathHistory<T> {
     pub fn restore(&mut self, snapshot: &[T]) {
         assert!(snapshot.len() <= self.cap, "snapshot exceeds capacity");
         self.entries.clear();
-        self.entries.extend(snapshot.iter().copied());
+        self.entries.extend_from_slice(snapshot);
     }
 
     /// Replaces all but the `keep` newest entries with identifiers from
@@ -117,16 +140,13 @@ impl<T: Copy> PathHistory<T> {
     /// or two traces inside the subroutine.
     /// (Allocation-free: this runs once per returning trace on the replay
     /// hot path.)
+    #[inline]
     pub fn merge_after_return(&mut self, keep: usize, saved: &[T]) {
-        // `VecDeque::truncate` keeps the *front* elements, which are the
-        // newest identifiers.
-        self.entries.truncate(keep);
-        for &s in saved {
-            if self.entries.len() == self.cap {
-                break;
-            }
-            self.entries.push_back(s);
-        }
+        // Truncation keeps the *newest* identifiers (stored first).
+        self.entries.truncate(keep.min(self.entries.len()));
+        let room = self.cap - self.entries.len();
+        let take = saved.len().min(room);
+        self.entries.extend_from_slice(&saved[..take]);
     }
 
     /// Forgets everything (used between benchmark runs).

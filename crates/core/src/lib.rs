@@ -17,7 +17,10 @@
 //!   cost-reduced hashed-target entry format (§5.5);
 //! * [`UnboundedPredictor`] — the no-aliasing model of §5.2 (Figure 6);
 //! * [`evaluate`]/[`PredictorStats`] — the immediate-update replay
-//!   methodology of §4.1.
+//!   methodology of §4.1;
+//! * [`evaluate_batch`]/[`predict_batch`]/[`update_batch`] — gathered
+//!   sweeps over many independent sessions (bit-identical to the scalar
+//!   loop, overlapping the table gathers).
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod confidence;
 mod config;
 mod counter;
@@ -52,6 +56,9 @@ mod stats;
 mod telemetry;
 mod unbounded;
 
+pub use batch::{
+    evaluate_batch, evaluate_batch_fresh, evaluate_serial, predict_batch, update_batch, BatchLane,
+};
 pub use confidence::{
     evaluate_with_confidence, ConfidenceConfig, ConfidenceEstimator, ConfidenceStats,
 };

@@ -12,6 +12,20 @@
 //! saturated secondary suppresses the correlated update, keeping
 //! single-successor traces out of the big table); otherwise a tag hit uses
 //! the correlating table; otherwise the secondary serves as warm-start.
+//!
+//! # Table layout
+//!
+//! Both tables are stored as **structures of arrays**: tags, counters,
+//! targets and alternates live in separate dense arrays, and validity (and
+//! the alternate-present flag) are `u64` bitset words. A probe therefore
+//! touches a 2-byte tag and a 1-bit valid flag instead of dragging a
+//! 32-byte entry struct through the cache, the small metadata arrays
+//! (tags/counters/validity) stay cache-resident across sweeps, and the
+//! alternate array is never read at all when the §6 alternate prediction is
+//! disabled. The layout is guarded by `const` assertions below so a future
+//! field addition fails the build instead of silently fattening the hot
+//! arrays. Batched multi-session sweeps over this layout live in
+//! [`crate::evaluate_batch`] / [`crate::predict_batch`].
 
 use crate::{
     Counter, PathHistory, Prediction, PredictorConfig, ReturnHistoryStack, Source, StoredTarget,
@@ -19,21 +33,132 @@ use crate::{
 };
 use ntp_trace::{HashedId, TraceId, TraceRecord};
 
-#[derive(Copy, Clone, Default)]
-struct CorrEntry {
-    target: u64,
-    alt: u64,
-    ctr: Counter,
-    tag: u16,
-    valid: bool,
-    has_alt: bool,
+// Layout contract of the hot arrays: one byte per counter, two bytes per
+// tag, eight per stored target, and a 12-byte index snapshot. A field
+// added to `Counter` or `IndexSnapshot` (or a widened tag) must be a
+// conscious decision, not an accident — these assertions fail the build
+// the moment the element sizes grow.
+const _: () = {
+    assert!(std::mem::size_of::<Counter>() == 1);
+    assert!(std::mem::size_of::<u16>() == 2);
+    assert!(std::mem::size_of::<u64>() == 8);
+    assert!(std::mem::size_of::<IndexSnapshot>() == 12);
+    assert!(std::mem::align_of::<Counter>() == 1);
+};
+
+/// One bit per table entry, packed into `u64` words. Powers the validity
+/// and alternate-present flags of both tables; `count_ones` makes the
+/// occupancy sweep O(entries/64) instead of O(entries).
+#[derive(Clone, Debug, Default)]
+struct BitWords(Vec<u64>);
+
+impl BitWords {
+    fn new(entries: usize) -> BitWords {
+        BitWords(vec![0; entries.div_ceil(64)])
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> bool {
+        (self.0[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize) {
+        self.0[i >> 6] |= 1 << (i & 63);
+    }
+
+    #[inline(always)]
+    fn clear(&mut self, i: usize) {
+        self.0[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    fn clear_all(&mut self) {
+        self.0.fill(0);
+    }
+
+    fn count_ones(&self) -> u64 {
+        self.0.iter().map(|w| w.count_ones() as u64).sum()
+    }
 }
 
-#[derive(Copy, Clone, Default)]
-struct SecEntry {
-    target: u64,
-    ctr: Counter,
-    valid: bool,
+/// The correlating table in structure-of-arrays form. Indexed by the DOLC
+/// hash; `valid` and `has_alt` are bitset words, everything else a dense
+/// array with one element per entry.
+struct CorrTable {
+    tags: Vec<u16>,
+    ctrs: Vec<Counter>,
+    targets: Vec<u64>,
+    alts: Vec<u64>,
+    valid: BitWords,
+    has_alt: BitWords,
+}
+
+impl CorrTable {
+    fn new(entries: usize) -> CorrTable {
+        CorrTable {
+            tags: vec![0; entries],
+            ctrs: vec![Counter::new(); entries],
+            targets: vec![0; entries],
+            alts: vec![0; entries],
+            valid: BitWords::new(entries),
+            has_alt: BitWords::new(entries),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    fn clear(&mut self) {
+        self.tags.fill(0);
+        self.ctrs.fill(Counter::new());
+        self.targets.fill(0);
+        self.alts.fill(0);
+        self.valid.clear_all();
+        self.has_alt.clear_all();
+    }
+}
+
+/// The secondary table in structure-of-arrays form, indexed by the newest
+/// hashed identifier alone.
+struct SecTable {
+    targets: Vec<u64>,
+    ctrs: Vec<Counter>,
+    valid: BitWords,
+}
+
+impl SecTable {
+    fn new(entries: usize) -> SecTable {
+        SecTable {
+            targets: vec![0; entries],
+            ctrs: vec![Counter::new(); entries],
+            valid: BitWords::new(entries),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn clear(&mut self) {
+        self.targets.fill(0);
+        self.ctrs.fill(Counter::new());
+        self.valid.clear_all();
+    }
+}
+
+/// Issues a best-effort prefetch for the cache line holding `*ptr`.
+/// A hint only — never a memory access — and a no-op off x86_64.
+#[inline(always)]
+fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a pure hint; it performs no access and is safe
+    // for any address, valid or not.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
 }
 
 /// Table indexes captured at prediction time.
@@ -79,8 +204,10 @@ pub struct AliasingCounters {
 
 /// Point-in-time valid-entry counts for both tables.
 ///
-/// Captured by [`NextTracePredictor::occupancy`]; an O(entries) sweep, so
-/// meant for end-of-run reporting, not the hot path.
+/// Captured by [`NextTracePredictor::occupancy`]; a popcount over the
+/// validity bitset words (O(entries/64)), cheap enough for periodic
+/// reporting though still meant for end-of-run summaries, not the hot
+/// path.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct TableOccupancy {
     /// Valid correlating-table entries.
@@ -129,14 +256,13 @@ pub struct NextTracePredictor {
     cfg: PredictorConfig,
     history: PathHistory<HashedId>,
     rhs: Option<ReturnHistoryStack<HashedId>>,
-    corr: Vec<CorrEntry>,
-    sec: Vec<SecEntry>,
+    corr: CorrTable,
+    sec: SecTable,
     aliasing: AliasingCounters,
     /// Table indexes implied by the current history, recomputed once per
-    /// history change (push/merge/restore) instead of re-gathering the
-    /// `depth + 1` identifiers on every [`TracePredictor::predict`] *and*
-    /// [`TracePredictor::update`] — the incremental DOLC hot-path
-    /// optimisation.
+    /// history change (push/merge/restore) instead of a gather+fold per
+    /// [`TracePredictor::predict`] *and* [`TracePredictor::update`] — the
+    /// incremental DOLC hot-path optimisation.
     cached_idx: IndexSnapshot,
 }
 
@@ -162,8 +288,8 @@ impl NextTracePredictor {
         let mut p = NextTracePredictor {
             history: PathHistory::new(cfg.history_capacity()),
             rhs: cfg.rhs.map(ReturnHistoryStack::new),
-            corr: vec![CorrEntry::default(); cfg.corr_entries()],
-            sec: vec![SecEntry::default(); cfg.secondary_entries()],
+            corr: CorrTable::new(cfg.corr_entries()),
+            sec: SecTable::new(cfg.secondary_entries()),
             aliasing: AliasingCounters::default(),
             cfg,
             cached_idx: IndexSnapshot::default(),
@@ -215,29 +341,47 @@ impl NextTracePredictor {
         };
     }
 
+    /// Hints the cache that the table lines named by the current index
+    /// snapshot are about to be probed. The gathered-probe pass of the
+    /// batch sweeps ([`crate::evaluate_batch`], [`crate::predict_batch`])
+    /// issues this across many sessions before resolving any of them, so
+    /// the gathers overlap instead of serializing on each miss. A pure
+    /// hint: no-op off x86_64, never changes behaviour.
+    #[inline]
+    pub fn prefetch_tables(&self) {
+        let c = self.cached_idx.corr_index as usize;
+        let s = self.cached_idx.sec_index as usize;
+        prefetch_read(&self.corr.tags[c]);
+        prefetch_read(&self.corr.ctrs[c]);
+        prefetch_read(&self.corr.targets[c]);
+        prefetch_read(&self.sec.targets[s]);
+        prefetch_read(&self.sec.ctrs[s]);
+    }
+
     /// Predicts using previously captured indexes (the engine's read port).
     pub fn predict_at(&self, idx: IndexSnapshot) -> Prediction {
-        let corr = &self.corr[idx.corr_index as usize];
-        let sec = &self.sec[idx.sec_index as usize];
-        let corr_usable = corr.valid && corr.tag == idx.tag;
-        let sec_wins = sec.valid && sec.ctr.is_saturated(self.cfg.secondary_counter);
+        let c = idx.corr_index as usize;
+        let s = idx.sec_index as usize;
+        let corr_usable = self.corr.valid.get(c) && self.corr.tags[c] == idx.tag;
+        let sec_valid = self.sec.valid.get(s);
+        let sec_wins = sec_valid && self.sec.ctrs[s].is_saturated(self.cfg.secondary_counter);
 
-        let alternate = if self.cfg.alternate && corr_usable && corr.has_alt {
-            Some(self.target_of(corr.alt))
+        let alternate = if self.cfg.alternate && corr_usable && self.corr.has_alt.get(c) {
+            Some(self.target_of(self.corr.alts[c]))
         } else {
             None
         };
 
         if sec_wins || !corr_usable {
-            if sec.valid {
+            if sec_valid {
                 Prediction {
-                    target: Some(self.target_of(sec.target)),
+                    target: Some(self.target_of(self.sec.targets[s])),
                     alternate,
                     source: Source::Secondary,
                 }
             } else if corr_usable {
                 Prediction {
-                    target: Some(self.target_of(corr.target)),
+                    target: Some(self.target_of(self.corr.targets[c])),
                     alternate,
                     source: Source::Correlated,
                 }
@@ -249,7 +393,7 @@ impl NextTracePredictor {
             }
         } else {
             Prediction {
-                target: Some(self.target_of(corr.target)),
+                target: Some(self.target_of(self.corr.targets[c])),
                 alternate,
                 source: Source::Correlated,
             }
@@ -264,21 +408,21 @@ impl NextTracePredictor {
         let prim_spec = self.cfg.primary_counter;
 
         // Evaluate suppression with the secondary's *pre-update* state.
-        let sec = &mut self.sec[idx.sec_index as usize];
-        let suppress_corr = sec.valid && sec.ctr.is_saturated(sec_spec) && sec.target == key;
-
-        if sec.valid {
-            if sec.target == key {
-                sec.ctr.on_correct(sec_spec);
-            } else if sec.ctr.on_incorrect(sec_spec) {
-                sec.target = key;
+        let s = idx.sec_index as usize;
+        let suppress_corr;
+        if self.sec.valid.get(s) {
+            let sec_hit = self.sec.targets[s] == key;
+            suppress_corr = sec_hit && self.sec.ctrs[s].is_saturated(sec_spec);
+            if sec_hit {
+                self.sec.ctrs[s].on_correct(sec_spec);
+            } else if self.sec.ctrs[s].on_incorrect(sec_spec) {
+                self.sec.targets[s] = key;
             }
         } else {
-            *sec = SecEntry {
-                target: key,
-                ctr: Counter::new(),
-                valid: true,
-            };
+            suppress_corr = false;
+            self.sec.targets[s] = key;
+            self.sec.ctrs[s] = Counter::new();
+            self.sec.valid.set(s);
             self.aliasing.sec_fills += 1;
         }
 
@@ -287,33 +431,31 @@ impl NextTracePredictor {
         }
 
         let alternate = self.cfg.alternate;
-        let corr = &mut self.corr[idx.corr_index as usize];
-        if corr.valid && corr.tag == idx.tag {
-            if corr.target == key {
-                corr.ctr.on_correct(prim_spec);
-            } else if corr.ctr.on_incorrect(prim_spec) {
+        let c = idx.corr_index as usize;
+        if self.corr.valid.get(c) && self.corr.tags[c] == idx.tag {
+            if self.corr.targets[c] == key {
+                self.corr.ctrs[c].on_correct(prim_spec);
+            } else if self.corr.ctrs[c].on_incorrect(prim_spec) {
                 // Counter was zero: demote the old target to the alternate
                 // slot and install the actual trace (§6).
                 if alternate {
-                    corr.alt = corr.target;
-                    corr.has_alt = true;
+                    self.corr.alts[c] = self.corr.targets[c];
+                    self.corr.has_alt.set(c);
                 }
-                corr.target = key;
+                self.corr.targets[c] = key;
             } else if alternate {
-                corr.alt = key;
-                corr.has_alt = true;
+                self.corr.alts[c] = key;
+                self.corr.has_alt.set(c);
             }
         } else {
             // Invalid or aliased by a different path: steal the entry.
-            let stolen = corr.valid;
-            *corr = CorrEntry {
-                target: key,
-                alt: 0,
-                ctr: Counter::new(),
-                tag: idx.tag,
-                valid: true,
-                has_alt: false,
-            };
+            let stolen = self.corr.valid.get(c);
+            self.corr.tags[c] = idx.tag;
+            self.corr.ctrs[c] = Counter::new();
+            self.corr.targets[c] = key;
+            self.corr.alts[c] = 0;
+            self.corr.valid.set(c);
+            self.corr.has_alt.clear(c);
             if stolen {
                 self.aliasing.steals += 1;
             } else {
@@ -361,13 +503,13 @@ impl NextTracePredictor {
         self.aliasing
     }
 
-    /// Sweeps both tables and reports valid-entry counts. O(entries); call
-    /// at end of run, not per prediction.
+    /// Reports valid-entry counts for both tables: a popcount over the
+    /// validity bitset words, O(entries/64).
     pub fn occupancy(&self) -> TableOccupancy {
         TableOccupancy {
-            corr_valid: self.corr.iter().filter(|e| e.valid).count() as u64,
+            corr_valid: self.corr.valid.count_ones(),
             corr_capacity: self.corr.len() as u64,
-            sec_valid: self.sec.iter().filter(|e| e.valid).count() as u64,
+            sec_valid: self.sec.valid.count_ones(),
             sec_capacity: self.sec.len() as u64,
         }
     }
@@ -389,8 +531,8 @@ impl TracePredictor for NextTracePredictor {
         if let Some(rhs) = &mut self.rhs {
             rhs.clear();
         }
-        self.corr.fill(CorrEntry::default());
-        self.sec.fill(SecEntry::default());
+        self.corr.clear();
+        self.sec.clear();
         self.aliasing = AliasingCounters::default();
         self.refresh_indices();
     }
@@ -418,6 +560,25 @@ mod tests {
             secondary_index_bits: 8,
             ..PredictorConfig::paper(12, 3)
         }
+    }
+
+    #[test]
+    fn bitwords_set_clear_count() {
+        let mut b = BitWords::new(130);
+        assert_eq!(b.0.len(), 3, "130 bits pack into three words");
+        assert_eq!(b.count_ones(), 0);
+        for i in [0usize, 63, 64, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 4);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert!(b.get(63) && b.get(129), "clear touches only its bit");
+        assert_eq!(b.count_ones(), 3);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
     }
 
     #[test]
@@ -475,19 +636,18 @@ mod tests {
 
         // Plant a sentinel in the correlated slot; a suppressed update must
         // leave it untouched.
-        p.corr[idx.corr_index as usize] = CorrEntry {
-            target: 12345,
-            alt: 0,
-            ctr: Counter::new(),
-            tag: idx.tag,
-            valid: true,
-            has_alt: false,
-        };
+        let ci = idx.corr_index as usize;
+        p.corr.tags[ci] = idx.tag;
+        p.corr.ctrs[ci] = Counter::new();
+        p.corr.targets[ci] = 12345;
+        p.corr.alts[ci] = 0;
+        p.corr.valid.set(ci);
+        p.corr.has_alt.clear(ci);
         p.train_at(idx, &b); // secondary saturated AND correct ⇒ suppressed
-        assert_eq!(p.corr[idx.corr_index as usize].target, 12345);
+        assert_eq!(p.corr.targets[ci], 12345);
 
         p.train_at(idx, &c); // secondary wrong ⇒ correlated trains (replace at ctr 0)
-        assert_eq!(p.corr[idx.corr_index as usize].target, p.key_of(c.id()));
+        assert_eq!(p.corr.targets[ci], p.key_of(c.id()));
     }
 
     #[test]
@@ -663,6 +823,22 @@ mod tests {
         p.reset();
         assert_eq!(p.aliasing(), AliasingCounters::default());
         assert_eq!(p.occupancy().corr_valid, 0);
+    }
+
+    #[test]
+    fn occupancy_popcount_matches_per_entry_scan() {
+        // The bitset popcount must agree with the plain definition: the
+        // number of entries whose valid bit is set.
+        let mut p = NextTracePredictor::new(cfg_small());
+        for k in 0..500u32 {
+            p.update(&rec(0x0040_0000 + (k % 211) * 0x40, 0, 0));
+        }
+        let occ = p.occupancy();
+        let corr_scan = (0..p.corr.len()).filter(|&i| p.corr.valid.get(i)).count() as u64;
+        let sec_scan = (0..p.sec.len()).filter(|&i| p.sec.valid.get(i)).count() as u64;
+        assert_eq!(occ.corr_valid, corr_scan);
+        assert_eq!(occ.sec_valid, sec_scan);
+        assert!(occ.corr_valid > 0 && occ.sec_valid > 0);
     }
 
     #[test]

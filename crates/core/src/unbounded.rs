@@ -10,6 +10,7 @@ use crate::{
     Counter, CounterSpec, PathHistory, Prediction, ReturnHistoryStack, RhsConfig, Source, Target,
     TracePredictor,
 };
+use ntp_hash::FxBuild;
 use ntp_trace::{TraceId, TraceRecord};
 use std::collections::HashMap;
 
@@ -102,8 +103,12 @@ pub struct UnboundedPredictor {
     cfg: UnboundedConfig,
     history: PathHistory<u64>,
     rhs: Option<ReturnHistoryStack<u64>>,
-    corr: HashMap<PathKey, Entry>,
-    sec: HashMap<u64, Entry>,
+    // Keyed maps are in-memory only and never iterated in an
+    // order-sensitive way, so the cheap word-wise hasher is safe here: a
+    // `PathKey` costs nine word folds instead of a SipHash pass over 72
+    // bytes, and this model hashes twice per retired trace.
+    corr: HashMap<PathKey, Entry, FxBuild>,
+    sec: HashMap<u64, Entry, FxBuild>,
 }
 
 impl UnboundedPredictor {
@@ -126,8 +131,8 @@ impl UnboundedPredictor {
         Ok(UnboundedPredictor {
             history: PathHistory::new(cfg.depth + 1),
             rhs: cfg.rhs.map(ReturnHistoryStack::new),
-            corr: HashMap::new(),
-            sec: HashMap::new(),
+            corr: HashMap::default(),
+            sec: HashMap::default(),
             cfg,
         })
     }

@@ -94,3 +94,136 @@ mod tests {
         assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
     }
 }
+
+/// A fast word-wise hasher for **in-memory** hash maps.
+///
+/// This is a Fibonacci-style multiplicative hasher over 8-byte words
+/// (the design popularised by rustc's FxHash): one rotate, one XOR and one
+/// multiply per word, an order of magnitude cheaper than the standard
+/// library's SipHash for short fixed-shape keys. It makes no DoS-resistance
+/// or cross-version-stability promises — never persist its output or put it
+/// on a wire; [`Fnv64`] is the stable hash for formats and checksums.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use ntp_hash::FxBuild;
+/// let mut m: HashMap<u64, &str, FxBuild> = HashMap::default();
+/// m.insert(7, "seven");
+/// assert_eq!(m.get(&7), Some(&"seven"));
+/// ```
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+/// `BuildHasher` for [`FxHasher64`], usable as a `HashMap`'s third type
+/// parameter.
+pub type FxBuild = std::hash::BuildHasherDefault<FxHasher64>;
+
+impl FxHasher64 {
+    /// 2^64 / φ, the usual Fibonacci-hashing multiplier.
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.state = (self.state.rotate_left(5) ^ w).wrapping_mul(Self::K);
+    }
+}
+
+impl std::hash::Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.word(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.word(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod fx_tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuild::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_and_spread() {
+        #[derive(Hash)]
+        struct Key {
+            ids: [u64; 8],
+            len: u8,
+        }
+        let a = Key {
+            ids: [1, 2, 3, 0, 0, 0, 0, 0],
+            len: 3,
+        };
+        let b = Key {
+            ids: [1, 2, 3, 0, 0, 0, 0, 0],
+            len: 3,
+        };
+        let c = Key {
+            ids: [1, 2, 4, 0, 0, 0, 0, 0],
+            len: 3,
+        };
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(hash_of(&a), hash_of(&c));
+
+        // Nearby u64 keys should not collide en masse.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..4096 {
+            seen.insert(hash_of(&k) >> 52); // top 12 bits drive bucket choice
+        }
+        assert!(seen.len() > 1024, "only {} distinct top-12s", seen.len());
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        use std::hash::Hasher;
+        let mut a = FxHasher64::default();
+        a.write(b"abcdefghi"); // 8-byte chunk + 1-byte tail
+        let mut b = FxHasher64::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

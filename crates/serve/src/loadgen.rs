@@ -100,6 +100,12 @@ pub struct LoadgenReport {
     pub latency_us: Histogram,
     /// `Busy` replies absorbed (retried) across all sessions.
     pub busy_retries: u64,
+    /// Per-shard `drain.batched` counters scraped from the server after
+    /// the replay: how many requests each shard resolved through a
+    /// batched drain (one prefetch sweep over several queued sessions).
+    /// Load-dependent, so reports treat this as volatile — it measures
+    /// how often the sweep engaged, not a deterministic replay property.
+    pub drain_batched: Vec<u64>,
 }
 
 impl LoadgenReport {
@@ -166,6 +172,10 @@ impl ToJson for LoadgenReport {
             .with("records_per_sec", Json::F64(self.records_per_sec()))
             .with("busy_retries", Json::U64(self.busy_retries))
             .with("latency_us", self.latency_us.to_json())
+            .with(
+                "drain_batched",
+                Json::Array(self.drain_batched.iter().map(|&n| Json::U64(n)).collect()),
+            )
             .with("all_match", Json::Bool(self.all_match()))
     }
 }
@@ -199,6 +209,7 @@ pub fn run(cfg: &LoadgenConfig, sessions: &[SessionSpec]) -> Result<LoadgenRepor
         wall,
         latency_us: Histogram::new(),
         busy_retries: 0,
+        drain_batched: Vec::new(),
     };
     for run in runs {
         let run = run?;
@@ -208,7 +219,28 @@ pub fn run(cfg: &LoadgenConfig, sessions: &[SessionSpec]) -> Result<LoadgenRepor
         report.busy_retries += run.busy_retries;
         report.sessions.push(run.result);
     }
+    report.drain_batched = scrape_drain_batched(&cfg.addr).unwrap_or_default();
     Ok(report)
+}
+
+/// Scrapes the server's per-shard `drain.batched` counters after a
+/// replay. Best-effort: a scrape failure (server already draining, say)
+/// leaves the report without the numbers rather than failing the run.
+fn scrape_drain_batched(addr: &str) -> Option<Vec<u64>> {
+    let mut client = Client::connect(addr).ok()?;
+    let text = client.metrics_json().ok()?;
+    let snap = ntp_telemetry::json::parse(&text).ok()?;
+    let mut per_shard = Vec::new();
+    while let Some(section) = snap.get(&format!("shard{}", per_shard.len())) {
+        per_shard.push(
+            section
+                .get("counters")
+                .and_then(|c| c.get("drain.batched"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        );
+    }
+    Some(per_shard)
 }
 
 /// Replays one stream as one wire session and scores it.

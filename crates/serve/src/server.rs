@@ -104,6 +104,12 @@ pub struct ShardSummary {
     pub correct: u64,
     /// Requests refused with a typed error (unknown session, bad config).
     pub errors: u64,
+    /// Requests that drained through a batched sweep: the shard found two
+    /// or more routed requests queued and prefetched every target
+    /// session's table lines before resolving any of them (see
+    /// `ntp_core::evaluate_batch`). Load-dependent — only a busy queue
+    /// batches — so this is a volatile counter, not a determinism gate.
+    pub batched: u64,
 }
 
 /// Whole-server accounting, available after [`ServerHandle::join`].
@@ -645,6 +651,7 @@ struct ShardMetrics {
     c_err_badcfg: CounterId,
     c_err_other: CounterId,
     c_busy: CounterId,
+    c_batched: CounterId,
     c_busy_us: CounterId,
     c_idle_us: CounterId,
     g_queue: GaugeId,
@@ -667,6 +674,7 @@ impl ShardMetrics {
         let c_err_badcfg = r.counter("errors.bad_config");
         let c_err_other = r.counter("errors.other");
         let c_busy = r.counter("busy.rejections");
+        let c_batched = r.counter("drain.batched");
         let c_busy_us = r.counter("time.busy_us");
         let c_idle_us = r.counter("time.idle_us");
         let g_queue = r.gauge("queue.depth");
@@ -684,6 +692,7 @@ impl ShardMetrics {
             c_err_badcfg,
             c_err_other,
             c_busy,
+            c_batched,
             c_busy_us,
             c_idle_us,
             g_queue,
@@ -758,8 +767,21 @@ struct ShardSnapshot {
     window: MetricsRegistry,
 }
 
+/// Most jobs one blocking `recv` may opportunistically drain. Bounds the
+/// prefetch pass (and reply latency for the job at the front) without
+/// limiting throughput — leftover jobs are simply the next drain.
+const MAX_DRAIN: usize = 64;
+
 /// One shard: owns its sessions and its metrics, processes its queue to
 /// empty, exits when every sender is gone.
+///
+/// Each wake-up drains the queue opportunistically (up to [`MAX_DRAIN`]
+/// jobs). When the drain picks up two or more routed requests — distinct
+/// sessions queued by concurrent connections — the shard runs the same
+/// gathered sweep as `ntp_core::evaluate_batch`: one prefetch pass over
+/// every target session's table lines, then the resolve pass in strict
+/// arrival order. Replies, session state and metrics are identical to
+/// one-at-a-time processing; only the cache misses overlap.
 fn shard_loop(
     shard_id: u32,
     rx: Receiver<Job>,
@@ -771,30 +793,61 @@ fn shard_loop(
     let mut m = ShardMetrics::new();
     let mut requests = 0u64;
     let mut idle_from = Instant::now();
-    while let Ok(job) = rx.recv() {
-        let begun = Instant::now();
+    let mut drained: Vec<Job> = Vec::with_capacity(MAX_DRAIN);
+    while let Ok(first) = rx.recv() {
+        let woke = Instant::now();
         m.registry.add(
             m.c_idle_us,
-            begun.duration_since(idle_from).as_micros() as u64,
+            woke.duration_since(idle_from).as_micros() as u64,
         );
-        let epoch = begun.duration_since(start).as_secs();
-        match job {
-            Job::Request { req, reply } => {
-                own.depth.fetch_sub(1, Ordering::Relaxed);
-                requests += 1;
-                let resp = apply(shard_id, &mut sessions, &req);
-                m.record(&req, &resp, begun, epoch);
-                m.registry.set(m.g_live, sessions.len() as f64);
-                let _ = reply.send(resp);
+        drained.push(first);
+        while drained.len() < MAX_DRAIN {
+            match rx.try_recv() {
+                Ok(job) => drained.push(job),
+                Err(_) => break,
             }
-            Job::Snapshot { reply } => {
-                let _ = reply.send(m.snapshot(shard_id, own, epoch));
+        }
+
+        // Gathered probe pass: with several routed requests in hand,
+        // hint every target session's table lines before resolving any.
+        let routed = drained
+            .iter()
+            .filter(|j| matches!(j, Job::Request { .. }))
+            .count();
+        if routed >= 2 {
+            for job in &drained {
+                if let Job::Request { req, .. } = job {
+                    if let Some(s) = req.session().and_then(|id| sessions.get(&id)) {
+                        s.predictor.prefetch_tables();
+                    }
+                }
+            }
+            m.registry.add(m.c_batched, routed as u64);
+        }
+
+        // Resolve pass: strict arrival order, same per-job handling (and
+        // per-job latency accounting) as the scalar loop.
+        for job in drained.drain(..) {
+            let begun = Instant::now();
+            let epoch = begun.duration_since(start).as_secs();
+            match job {
+                Job::Request { req, reply } => {
+                    own.depth.fetch_sub(1, Ordering::Relaxed);
+                    requests += 1;
+                    let resp = apply(shard_id, &mut sessions, &req);
+                    m.record(&req, &resp, begun, epoch);
+                    m.registry.set(m.g_live, sessions.len() as f64);
+                    let _ = reply.send(resp);
+                }
+                Job::Snapshot { reply } => {
+                    let _ = reply.send(m.snapshot(shard_id, own, epoch));
+                }
             }
         }
         idle_from = Instant::now();
         m.registry.add(
             m.c_busy_us,
-            idle_from.duration_since(begun).as_micros() as u64,
+            idle_from.duration_since(woke).as_micros() as u64,
         );
     }
     ShardSummary {
@@ -806,6 +859,7 @@ fn shard_loop(
         errors: m.registry.counter_value(m.c_err_unknown)
             + m.registry.counter_value(m.c_err_badcfg)
             + m.registry.counter_value(m.c_err_other),
+        batched: m.registry.counter_value(m.c_batched),
     }
 }
 

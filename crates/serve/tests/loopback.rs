@@ -529,3 +529,117 @@ fn drain_reports_per_shard_attribution() {
     );
     assert_eq!(summary.sessions, 2);
 }
+
+/// The batched shard drain at one worker: eight sessions race their
+/// `Update` frames into a single shard queue every round, so drains
+/// routinely pick up several queued sessions and resolve them through
+/// one gathered sweep.
+#[test]
+fn batched_drain_matches_oracle_one_worker() {
+    batched_drain_matches_oracle(1);
+}
+
+/// The batched shard drain with sessions spread over four workers.
+#[test]
+fn batched_drain_matches_oracle_four_workers() {
+    batched_drain_matches_oracle(4);
+}
+
+/// Every reply under a batched drain must equal the scalar oracle: the
+/// per-update `correct` bit is checked in lockstep against a local
+/// predictor, and the final served stats against a fresh
+/// [`ntp_core::evaluate`]. With one worker the drain counter must also
+/// show that batching actually engaged.
+fn batched_drain_matches_oracle(workers: usize) {
+    use ntp_core::{evaluate, NextTracePredictor, PredictorConfig, TracePredictor};
+
+    const SESSIONS: usize = 8;
+    const ROUNDS: usize = 400;
+    let handle = serve(cfg_on("127.0.0.1:0", workers)).expect("bind");
+    let addr = handle.local_addr();
+
+    let streams: Vec<Vec<TraceRecord>> = (0..SESSIONS)
+        .map(|i| synthetic_stream(0x5EED ^ ((i as u64 + 1) * 7919), ROUNDS))
+        .collect();
+    let mut conns: Vec<TcpStream> = (0..SESSIONS)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s.set_nodelay(true).unwrap();
+            s
+        })
+        .collect();
+    for (i, c) in conns.iter_mut().enumerate() {
+        write_raw(
+            c,
+            &wire::encode_request(&Request::Hello {
+                session: i as u64,
+                bits: 12,
+                depth: 5,
+            }),
+        );
+    }
+    for c in conns.iter_mut() {
+        assert!(matches!(read_reply(c), Response::HelloOk { .. }));
+    }
+
+    let mut oracles: Vec<NextTracePredictor> = (0..SESSIONS)
+        .map(|_| NextTracePredictor::new(PredictorConfig::paper(12, 5)))
+        .collect();
+    #[allow(clippy::needless_range_loop)]
+    for round in 0..ROUNDS {
+        // Write every session's frame before reading any reply, so the
+        // owning shard(s) see several independent sessions queued at once.
+        for (i, c) in conns.iter_mut().enumerate() {
+            write_raw(
+                c,
+                &wire::encode_request(&Request::Update {
+                    session: i as u64,
+                    record: streams[i][round],
+                }),
+            );
+        }
+        for (i, c) in conns.iter_mut().enumerate() {
+            let rec = &streams[i][round];
+            let want = oracles[i].predict().is_correct(rec.id());
+            oracles[i].update(rec);
+            match read_reply(c) {
+                Response::Updated { correct } => {
+                    assert_eq!(correct, want, "session {i} round {round}")
+                }
+                other => panic!("expected Updated, got {other:?}"),
+            }
+        }
+    }
+
+    // Served statistics equal a fresh offline replay, field for field.
+    let mut client = Client::connect(addr).expect("connect");
+    for (i, stream) in streams.iter().enumerate() {
+        let served = client.stats(i as u64).expect("stats");
+        let offline = evaluate(
+            &mut NextTracePredictor::new(PredictorConfig::paper(12, 5)),
+            stream,
+        );
+        assert_eq!(served, offline, "session {i} diverged at {workers} workers");
+    }
+
+    let snap =
+        ntp_telemetry::json::parse(&client.metrics_json().expect("metrics")).expect("parses");
+    let scraped: u64 = (0..workers)
+        .map(|k| counter(&snap, &format!("shard{k}"), "drain.batched"))
+        .sum();
+    if workers == 1 {
+        // 3200 racing updates into one queue: the drain must have found
+        // at least one opportunity to batch.
+        assert!(scraped > 0, "single-shard drain never batched");
+    }
+
+    client.shutdown_server().expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.sessions, SESSIONS as u64);
+    assert_eq!(
+        summary.per_shard.iter().map(|s| s.batched).sum::<u64>(),
+        scraped,
+        "drain summary and scraped counter disagree"
+    );
+}

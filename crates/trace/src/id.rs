@@ -31,6 +31,7 @@ impl TraceId {
     /// # Panics
     ///
     /// Panics if `branch_count > 6`.
+    #[inline]
     pub fn new(start_pc: u32, branch_bits: u8, branch_count: u8) -> TraceId {
         assert!(branch_count <= 6, "a trace holds at most 6 branches");
         let mask = (1u16 << branch_count) as u8 - 1;
@@ -45,6 +46,7 @@ impl TraceId {
     ///
     /// This is what a hardware table entry would store (the paper's "36-bit
     /// identifier").
+    #[inline]
     pub fn packed(self) -> u64 {
         (((self.start_pc >> 2) as u64 & 0x3FFF_FFFF) << 6) | (self.branch_bits as u64 & 0x3F)
     }
@@ -55,6 +57,7 @@ impl TraceId {
     /// the position of the highest set outcome bit as a lower bound (0 if no
     /// branch was taken). Equality of trace IDs in packed form is what the
     /// predictor tables rely on.
+    #[inline]
     pub fn from_packed(packed: u64) -> TraceId {
         let branch_bits = (packed & 0x3F) as u8;
         let count = 8 - branch_bits.leading_zeros() as u8;
@@ -70,6 +73,7 @@ impl TraceId {
     /// # Panics
     ///
     /// Panics if `i >= branch_count`.
+    #[inline]
     pub fn outcome(self, i: usize) -> bool {
         assert!(i < self.branch_count as usize);
         (self.branch_bits >> i) & 1 == 1
@@ -83,6 +87,7 @@ impl TraceId {
     ///   (byte bits are always zero);
     /// * bits `[15:4]`: the remaining outcome bits XORed with the next
     ///   least-significant PC bits.
+    #[inline]
     pub fn hashed(self) -> HashedId {
         let b = self.branch_bits as u32;
         let low2 = b & 0b11;
@@ -132,6 +137,7 @@ impl HashedId {
     /// (a panic in debug builds, a wrapped mask in release), so a DOLC or
     /// tag width that slipped past validation turned into a crash or a
     /// silently truncated index here.
+    #[inline]
     pub fn low_bits(self, n: u32) -> u32 {
         let n = n.min(HASHED_ID_BITS);
         (self.0 as u32) & ((1u32 << n) - 1)

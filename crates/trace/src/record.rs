@@ -51,21 +51,25 @@ impl TraceRecord {
     }
 
     /// The trace's identifier.
+    #[inline]
     pub fn id(&self) -> TraceId {
         TraceId::new(self.start_pc, self.branch_bits, self.branch_count)
     }
 
     /// Number of calls in the trace (saturated at 7).
+    #[inline]
     pub fn call_count(&self) -> u8 {
         self.flags & 0b111
     }
 
     /// True if the trace ends in a return.
+    #[inline]
     pub fn ends_in_return(&self) -> bool {
         self.flags & 0b1000 != 0
     }
 
     /// True if the trace ends in any indirect-target instruction.
+    #[inline]
     pub fn ends_in_indirect(&self) -> bool {
         self.flags & 0b1_0000 != 0
     }

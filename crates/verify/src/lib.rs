@@ -12,6 +12,9 @@
 //!   operating point) must report identical statistics;
 //! * [`runner_determinism`] — the worker pool's ordered merge must equal
 //!   the serial result vector at any thread count;
+//! * [`batch_vs_scalar`] — the gathered batch sweeps (`evaluate_batch`,
+//!   `predict_batch`/`update_batch`) must be bit-identical to the scalar
+//!   replay on every prediction, statistic and final table state;
 //! * [`fault_sweep`] — hostile configurations (stall-inducing engine
 //!   windows, phantom DOLC history bits, out-of-range table geometry,
 //!   stuck counters) must be *rejected* by the `try_validate` layer, and
@@ -43,7 +46,8 @@ pub use gen::{
     PAPER_INDEX_BITS,
 };
 pub use oracle::{
-    bounded_vs_unbounded, evaluate_equivalence, runner_determinism, Divergence, OracleOutcome,
+    batch_vs_scalar, bounded_vs_unbounded, evaluate_equivalence, runner_determinism, Divergence,
+    OracleOutcome,
 };
 pub use rng::XorShift64;
 
@@ -106,7 +110,7 @@ impl fmt::Display for VerifyReport {
     }
 }
 
-/// Runs all three differential oracles plus the fault-injection sweep with
+/// Runs all four differential oracles plus the fault-injection sweep with
 /// `points` generated cases each.
 ///
 /// Deterministic: the same `(seed, points)` always replays the same streams
@@ -120,6 +124,7 @@ pub fn run_all(seed: u64, points: usize) -> VerifyReport {
             bounded_vs_unbounded(seed, points),
             evaluate_equivalence(seed, points),
             runner_determinism(seed, points),
+            batch_vs_scalar(seed, points),
             fault_sweep(seed, points),
         ],
     }
@@ -133,7 +138,7 @@ mod tests {
     fn run_all_is_clean_and_reports_counts() {
         let r = run_all(0xC0FFEE, 4);
         assert!(r.is_clean(), "{r}");
-        assert_eq!(r.oracles.len(), 4);
+        assert_eq!(r.oracles.len(), 5);
         assert!(r.total_comparisons() > 100);
         let text = r.to_string();
         assert!(text.contains("CLEAN"), "{text}");

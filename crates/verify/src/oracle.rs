@@ -1,7 +1,7 @@
 //! The differential oracles: pairs (or triples) of implementations that
 //! must agree exactly, replayed over generated streams.
 //!
-//! Three oracles, each attacking a different seam of the stack:
+//! Four oracles, each attacking a different seam of the stack:
 //!
 //! 1. [`bounded_vs_unbounded`] — the finite tagged predictor against the
 //!    unbounded no-aliasing model on alias-free streams, compared
@@ -10,7 +10,9 @@
 //!    delayed-update engine (at a latency-free operating point) must produce
 //!    identical [`PredictorStats`];
 //! 3. [`runner_determinism`] — the worker pool's ordered merge must be
-//!    byte-identical to the serial path at any thread count.
+//!    byte-identical to the serial path at any thread count;
+//! 4. [`batch_vs_scalar`] — the gathered batch sweeps must be bit-identical
+//!    to the scalar replay, per prediction and per final table state.
 //!
 //! Every failure is a [`Divergence`] naming the oracle, the master seed, the
 //! case index (whose [`crate::XorShift64::fork`] rebuilds the exact stream)
@@ -20,8 +22,9 @@
 use crate::gen::{alias_free_point, paper_point, random_stream};
 use crate::rng::XorShift64;
 use ntp_core::{
-    evaluate, evaluate_with_sink, NextTracePredictor, PredictorConfig, PredictorStats,
-    TracePredictor, UnboundedPredictor,
+    evaluate, evaluate_batch, evaluate_serial, evaluate_with_sink, predict_batch, update_batch,
+    BatchLane, NextTracePredictor, PredictorConfig, PredictorStats, TracePredictor,
+    UnboundedPredictor,
 };
 use ntp_engine::{DelayedUpdateEngine, EngineConfig};
 use ntp_runner::map_ordered_with;
@@ -304,16 +307,138 @@ pub fn runner_determinism(seed: u64, cases: usize) -> OracleOutcome {
     }
 }
 
+/// Oracle 4: the batched sweeps (`evaluate_batch`, and the lockstep
+/// `predict_batch`/`update_batch` pair) must be bit-identical to the
+/// scalar replay — every [`PredictorStats`] field, every per-step
+/// [`ntp_core::Prediction`], and the predictors' final aliasing counters,
+/// occupancy and cached table indexes. The sweep only overlaps table
+/// gathers via prefetch hints; any observable difference is a bug.
+pub fn batch_vs_scalar(seed: u64, cases: usize) -> OracleOutcome {
+    const NAME: &str = "batch-vs-scalar";
+    let master = XorShift64::new(seed ^ 0xBA7C_4ED0);
+    let mut comparisons = 0u64;
+    let mut divergences = Vec::new();
+
+    for case in 0..cases {
+        let mut rng = master.fork(case as u64);
+        let lanes_n = rng.range(2, 7) as usize;
+        let mut cfgs = Vec::with_capacity(lanes_n);
+        let mut streams = Vec::with_capacity(lanes_n);
+        for _ in 0..lanes_n {
+            let (index_bits, depth) = paper_point(&mut rng);
+            cfgs.push(
+                PredictorConfig::try_paper(index_bits, depth)
+                    .expect("paper points are valid by construction"),
+            );
+            let len = rng.range(200, 800) as usize;
+            streams.push(random_stream(&mut rng, len));
+        }
+        let fresh = |cfgs: &[PredictorConfig]| -> Vec<NextTracePredictor> {
+            cfgs.iter().map(|c| NextTracePredictor::new(*c)).collect()
+        };
+        let mut diverge = |index: Option<u64>, detail: String| {
+            divergences.push(Divergence {
+                oracle: NAME,
+                seed,
+                case,
+                index,
+                config: format!("{lanes_n} lanes: {cfgs:?}"),
+                detail,
+            });
+        };
+
+        // Whole-replay comparison over ragged lanes.
+        let mut batch_preds = fresh(&cfgs);
+        let mut lanes: Vec<BatchLane<'_>> = batch_preds
+            .iter_mut()
+            .zip(streams.iter())
+            .map(|(p, s)| BatchLane::new(p, s))
+            .collect();
+        let batch_stats = evaluate_batch(&mut lanes);
+        let mut serial_preds = fresh(&cfgs);
+        let mut lanes: Vec<BatchLane<'_>> = serial_preds
+            .iter_mut()
+            .zip(streams.iter())
+            .map(|(p, s)| BatchLane::new(p, s))
+            .collect();
+        let serial_stats = evaluate_serial(&mut lanes);
+        comparisons += lanes_n as u64;
+        for (k, (b, s)) in batch_stats.iter().zip(serial_stats.iter()).enumerate() {
+            if b != s {
+                diverge(None, format!("lane {k} stats: batch {b:?} vs scalar {s:?}"));
+            }
+        }
+        comparisons += lanes_n as u64;
+        for (k, (b, s)) in batch_preds.iter().zip(serial_preds.iter()).enumerate() {
+            if b.aliasing() != s.aliasing()
+                || b.occupancy() != s.occupancy()
+                || b.indices() != s.indices()
+            {
+                diverge(
+                    None,
+                    format!(
+                        "lane {k} final state: batch aliasing {:?} occupancy {:?} indices {:?} \
+                         vs scalar {:?} / {:?} / {:?}",
+                        b.aliasing(),
+                        s.aliasing(),
+                        b.occupancy(),
+                        s.occupancy(),
+                        b.indices(),
+                        s.indices()
+                    ),
+                );
+            }
+        }
+
+        // Lockstep comparison: every per-step Prediction, over the common
+        // prefix of all lanes, through predict_batch/update_batch.
+        let steps = streams.iter().map(Vec::len).min().unwrap_or(0);
+        let mut batch_preds = fresh(&cfgs);
+        let mut scalar_preds = fresh(&cfgs);
+        'case: for step in 0..steps {
+            let views: Vec<&NextTracePredictor> = batch_preds.iter().collect();
+            let preds = predict_batch(&views);
+            comparisons += lanes_n as u64;
+            for (k, sp) in scalar_preds.iter().enumerate() {
+                let want = sp.predict();
+                if preds[k] != want {
+                    diverge(
+                        Some(step as u64),
+                        format!("lane {k}: predict_batch {:?} vs scalar {want:?}", preds[k]),
+                    );
+                    break 'case;
+                }
+            }
+            let mut pairs: Vec<(&mut NextTracePredictor, &ntp_trace::TraceRecord)> = batch_preds
+                .iter_mut()
+                .zip(streams.iter())
+                .map(|(p, s)| (p, &s[step]))
+                .collect();
+            update_batch(&mut pairs);
+            for (p, s) in scalar_preds.iter_mut().zip(streams.iter()) {
+                p.update(&s[step]);
+            }
+        }
+    }
+    OracleOutcome {
+        name: NAME,
+        cases,
+        comparisons,
+        divergences,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn all_three_oracles_are_clean_on_a_small_sweep() {
+    fn all_oracles_are_clean_on_a_small_sweep() {
         for o in [
             bounded_vs_unbounded(0xC0FFEE, 8),
             evaluate_equivalence(0xC0FFEE, 8),
             runner_determinism(0xC0FFEE, 4),
+            batch_vs_scalar(0xC0FFEE, 6),
         ] {
             assert!(o.is_clean(), "{o}\n{:#?}", o.divergences);
             assert!(o.comparisons > 0);

@@ -107,6 +107,34 @@ cold_ms=$(jq '.phases_ms.simulate' "$out_cold"/BENCH_compress.json)
 warm_ms=$(jq '.phases_ms.cache_load // 0' "$out_warm"/BENCH_compress.json)
 echo "cold simulate ${cold_ms} ms vs warm cache_load ${warm_ms} ms"
 
+say "perf gate: warm replay throughput vs scripts/BENCH_baseline.json"
+# The warm-cache run above replays the same records through the same
+# configurations as the checked-in baseline (tiny scale, 1 thread), so
+# its .throughput.replay_traces_per_sec is directly comparable. The
+# default floor percentage is deliberately loose — it exists to catch
+# "the SoA hot path got deoptimised" class regressions, not scheduler
+# jitter; tighten with NTP_PERF_FLOOR_PCT=90 when hunting smaller ones.
+baseline=scripts/BENCH_baseline.json
+floor_pct="${NTP_PERF_FLOOR_PCT:-$(jq '.floor_pct_default' "$baseline")}"
+perf_fail=0
+for f in "$out_warm"/BENCH_*.json; do
+    name=$(jq -r '.manifest.name' "$f")
+    base=$(jq -r --arg n "$name" '.replay_traces_per_sec[$n] // empty' "$baseline")
+    [ -n "$base" ] || { echo "  $name: no baseline entry, skipped"; continue; }
+    got=$(jq -r '.throughput.replay_traces_per_sec' "$f")
+    if jq -ne --argjson got "$got" --argjson base "$base" --argjson pct "$floor_pct" \
+        '$got >= $base * $pct / 100' >/dev/null; then
+        printf '  %-10s %11.0f rec/s (baseline %.0f, floor %s%%)\n' \
+            "$name" "$got" "$base" "$floor_pct"
+    else
+        printf '  %-10s %11.0f rec/s REGRESSION: below %s%% of baseline %.0f\n' \
+            "$name" "$got" "$floor_pct" "$base"
+        perf_fail=1
+    fi
+done
+[ "$perf_fail" -eq 0 ] || { echo "replay throughput regression (see above)"; exit 1; }
+echo "all benchmarks at or above the ${floor_pct}% floor"
+
 say "trace cache: audit passes, corruption falls back to re-capture"
 NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
     cargo run --release -q -p ntp-cli -- capture --verify >/dev/null
@@ -229,7 +257,7 @@ wait "$serve_pid" || { echo "ntp serve exited nonzero on replay 2"; exit 1; }
 strip_top='del(.server)
     | with_entries(select(.key | endswith(".window") | not))
     | map_values(del(.gauges, .histograms)
-        | .counters |= del(."time.busy_us", ."time.idle_us", ."busy.rejections"))'
+        | .counters |= del(."time.busy_us", ."time.idle_us", ."busy.rejections", ."drain.batched"))'
 if ! diff <(jq "$strip_top" "$out_srv/top1.json") \
           <(jq "$strip_top" "$out_srv/top2.json"); then
     echo "stripped top snapshots differ between identical replays"
