@@ -9,8 +9,12 @@
 //! ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]
 //! ntp verify [--seed 0xC0FFEE] [--points N]
 //! ntp capture [--dir <path>] [--verify]
+//! ntp snapshot save <file.s|file.bin|@workload> -o <out.nts>
+//!              [--bits B] [--depth D] [--budget N] [--json <path|->]
+//! ntp snapshot verify <file.nts> [--json <path|->]
 //! ntp serve [--addr host:port] [--workers N] [--max-conns N]
 //!           [--metrics-addr host:port] [--stats-interval S]
+//!           [--warm <file.nts|dir>] [--snapshot-on-drain <dir>]
 //! ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N]
 //!             [--bits B] [--depth D] [--shutdown] [--json <path|->]
 //! ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]
@@ -53,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "report" => cmd_report(rest),
         "verify" => cmd_verify(rest),
         "capture" => cmd_capture(rest),
+        "snapshot" => cmd_snapshot(rest),
         "serve" => cmd_serve(rest),
         "loadgen" => cmd_loadgen(rest),
         "top" => cmd_top(rest),
@@ -75,8 +80,12 @@ fn usage() -> String {
      ntp report <file.s|file.bin|@workload> [--budget N] [--depth D] [--bits B] [--json <path|->]\n  \
      ntp verify [--seed 0xC0FFEE] [--points N]\n  \
      ntp capture [--dir <path>] [--verify]\n  \
+     ntp snapshot save <file.s|file.bin|@workload> -o <out.nts> \
+     [--bits B] [--depth D] [--budget N] [--json <path|->]\n  \
+     ntp snapshot verify <file.nts> [--json <path|->]\n  \
      ntp serve [--addr host:port] [--workers N] [--max-conns N] \
-     [--metrics-addr host:port] [--stats-interval S]\n  \
+     [--metrics-addr host:port] [--stats-interval S] \
+     [--warm <file.nts|dir>] [--snapshot-on-drain <dir>]\n  \
      ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N] \
      [--bits B] [--depth D] [--shutdown] [--json <path|->]\n  \
      ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]\n  \
@@ -507,6 +516,140 @@ fn capture_verify(dir: &Path) -> Result<(), String> {
     }
 }
 
+/// `ntp snapshot`: save and verify `.nts` predictor-state snapshots
+/// (see SERVING.md, "Predictor state snapshots").
+///
+/// * `save` trains a `paper(bits, depth)` predictor on the workload's
+///   captured trace stream and writes the learned state as a
+///   single-session snapshot (session id 0, ready for `ntp serve
+///   --warm`);
+/// * `verify` decodes a snapshot, rebuilds every session's predictor
+///   from it, and reports per-session statistics. Any refusal —
+///   corruption, truncation, version skew, state that does not fit its
+///   embedded config — is a nonzero exit, so this doubles as the
+///   snapshot gate in `scripts/check.sh`.
+///
+/// Both subcommands emit the same `--json` shape, derived from the
+/// instantiated predictors: diffing `save --json` against a later
+/// `verify --json` proves the on-disk round trip preserved stats and
+/// table state.
+fn cmd_snapshot(rest: &[String]) -> Result<(), String> {
+    match rest.first().map(String::as_str) {
+        Some("save") => snapshot_save(&rest[1..]),
+        Some("verify") => snapshot_verify(&rest[1..]),
+        Some(other) => Err(format!(
+            "unknown snapshot subcommand `{other}`\n{}",
+            usage()
+        )),
+        None => Err(format!("snapshot needs `save` or `verify`\n{}", usage())),
+    }
+}
+
+/// Renders the canonical per-session JSON both snapshot subcommands
+/// print: stats plus occupancy of the *instantiated* predictor, so a
+/// verify after a save re-derives every number from the decoded state.
+fn snapshot_json(artifact: &ntp_tracefile::SnapshotArtifact) -> Result<Json, String> {
+    let mut sessions = Vec::with_capacity(artifact.sessions.len());
+    for s in &artifact.sessions {
+        let predictor = s
+            .instantiate()
+            .map_err(|e| format!("session {}: {e}", s.session_id))?;
+        let occ = predictor.occupancy();
+        sessions.push(
+            Json::object()
+                .with("session", Json::U64(s.session_id))
+                .with("config", Json::Str(ntp_tracefile::config_canon(&s.config)))
+                .with("predictions", Json::U64(s.stats.predictions))
+                .with("correct", Json::U64(s.stats.correct))
+                .with("mispredict_pct", Json::F64(s.stats.mispredict_pct()))
+                .with("corr_valid", Json::U64(occ.corr_valid))
+                .with("sec_valid", Json::U64(occ.sec_valid)),
+        );
+    }
+    Ok(Json::object()
+        .with("sessions", Json::Array(sessions))
+        .with("session_count", Json::U64(artifact.sessions.len() as u64)))
+}
+
+/// Writes or prints the snapshot JSON per the `--json` flag, and prints
+/// the one-line-per-session summary otherwise.
+fn snapshot_report(
+    rest: &[String],
+    artifact: &ntp_tracefile::SnapshotArtifact,
+) -> Result<(), String> {
+    let j = snapshot_json(artifact)?;
+    match flag_str(rest, "--json") {
+        Some("-") => println!("{}", j.pretty()),
+        Some(path) => {
+            let mut text = j.pretty();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("[json] wrote {path}");
+        }
+        None => {
+            for s in &artifact.sessions {
+                println!(
+                    "session {:<6} {:>10} predictions  {:>6.2}% mispredict  {}",
+                    s.session_id,
+                    s.stats.predictions,
+                    s.stats.mispredict_pct(),
+                    ntp_tracefile::config_canon(&s.config)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ntp snapshot save`: capture, train, persist.
+fn snapshot_save(rest: &[String]) -> Result<(), String> {
+    let input = positional(rest)?;
+    let out = flag_str(rest, "-o")
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("snapshot save needs -o <out.nts>\n{}", usage()))?;
+    let budget = flag_value(rest, "--budget")?.unwrap_or(10_000_000);
+    let depth = flag_value(rest, "--depth")?.unwrap_or(7) as usize;
+    let bits = flag_value(rest, "--bits")?.unwrap_or(15) as u32;
+    let cfg = PredictorConfig::try_paper(bits, depth).map_err(|e| e.to_string())?;
+
+    let program = load(input)?;
+    let mut machine = Machine::new(program);
+    let mut records: Vec<TraceRecord> = Vec::new();
+    run_traces(&mut machine, budget, TraceConfig::default(), |t| {
+        records.push(TraceRecord::from(t));
+    })
+    .map_err(|e| e.to_string())?;
+
+    let mut predictor = NextTracePredictor::try_new(cfg).map_err(|e| e.to_string())?;
+    let stats = evaluate(&mut predictor, &records);
+    let artifact = ntp_tracefile::SnapshotArtifact {
+        sessions: vec![ntp_tracefile::SessionSnapshot::capture(
+            0, &predictor, &stats,
+        )],
+    };
+    let bytes = ntp_tracefile::write_snapshot_file(&out, &artifact)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!(
+        "[snapshot] {}: 1 session, {} records trained, {} bytes",
+        out.display(),
+        records.len(),
+        bytes
+    );
+    snapshot_report(rest, &artifact)
+}
+
+/// `ntp snapshot verify`: decode, rebuild, report — nonzero on refusal.
+fn snapshot_verify(rest: &[String]) -> Result<(), String> {
+    let input = positional(rest)?;
+    let (artifact, bytes) =
+        ntp_tracefile::read_snapshot_file(Path::new(input)).map_err(|e| format!("{input}: {e}"))?;
+    eprintln!(
+        "[snapshot] {input}: {} session(s), {bytes} bytes, all states restore",
+        artifact.sessions.len()
+    );
+    snapshot_report(rest, &artifact)
+}
+
 /// Scans for `<name> <seconds>` (fractional allowed, must be > 0).
 fn flag_seconds(rest: &[String], name: &str) -> Result<Option<std::time::Duration>, String> {
     let Some(text) = flag_str(rest, name) else {
@@ -524,10 +667,13 @@ fn flag_seconds(rest: &[String], name: &str) -> Result<Option<std::time::Duratio
 /// `ntp serve`: runs the sharded prediction service until a client sends
 /// a `Shutdown` frame (see SERVING.md). Defaults come from
 /// `NTP_SERVE_ADDR` / `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` /
-/// `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL`, and flags
-/// override the environment. The bound addresses are printed on stdout —
-/// with `--addr 127.0.0.1:0` the kernel picks the port, so scripts parse
-/// these lines to find it.
+/// `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL` /
+/// `NTP_SERVE_WARM` / `NTP_SERVE_SNAPSHOT_DIR`, and flags override the
+/// environment. The bound addresses are printed on stdout — with
+/// `--addr 127.0.0.1:0` the kernel picks the port, so scripts parse
+/// these lines to find it. `--warm` preloads sessions from a `.nts`
+/// snapshot (file or directory); `--snapshot-on-drain` writes one
+/// `shard<k>.nts` per shard at graceful shutdown.
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let mut cfg = ntp_serve::ServeConfig::from_env();
     if let Some(addr) = flag_str(rest, "--addr") {
@@ -545,6 +691,12 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     if let Some(interval) = flag_seconds(rest, "--stats-interval")? {
         cfg.stats_interval = Some(interval);
     }
+    if let Some(warm) = flag_str(rest, "--warm") {
+        cfg.warm_path = Some(PathBuf::from(warm));
+    }
+    if let Some(dir) = flag_str(rest, "--snapshot-on-drain") {
+        cfg.snapshot_dir = Some(PathBuf::from(dir));
+    }
     let handle = ntp_serve::serve(cfg.clone()).map_err(|e| e.to_string())?;
     println!(
         "[serve] listening on {} ({} workers, {} max conns)",
@@ -558,20 +710,31 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let summary = handle.join();
     println!(
         "[serve] drained: {} sessions, {} requests, {} conns accepted, \
-         {} refused, {} busy replies, {} protocol errors, {} resyncs",
+         {} refused, {} busy replies, {} protocol errors, {} resyncs, \
+         {} read timeouts, {} sockopt errors",
         summary.sessions,
         summary.requests,
         summary.accepted,
         summary.refused,
         summary.busy,
         summary.protocol_errors,
-        summary.resyncs
+        summary.resyncs,
+        summary.read_timeouts,
+        summary.sockopt_errors
     );
     for s in &summary.per_shard {
         println!(
             "[serve]   shard {}: {} sessions, {} requests, {} predictions \
-             ({} correct), {} errors, {} batched",
-            s.shard, s.sessions, s.requests, s.predictions, s.correct, s.errors, s.batched
+             ({} correct), {} errors, {} batched, {} warmed, {} snapshotted",
+            s.shard,
+            s.sessions,
+            s.requests,
+            s.predictions,
+            s.correct,
+            s.errors,
+            s.batched,
+            s.warmed,
+            s.snapshotted
         );
     }
     Ok(())
@@ -655,13 +818,15 @@ fn print_top(addr: &str, snap: &Json) {
 
     println!(
         "ntp top — {addr}  up {:.0}s  conns {} (refused {})  busy {}  \
-         protocol errors {}  resyncs {}",
+         protocol errors {}  resyncs {}  read timeouts {}  sockopt errors {}",
         gauge("server", "uptime_s"),
         counter("server", "conns.accepted"),
         counter("server", "conns.refused"),
         counter("server", "busy.replies"),
         counter("server", "protocol.errors"),
         counter("server", "resyncs"),
+        counter("server", "conn.read_timeouts"),
+        counter("server", "conn.sockopt_errors"),
     );
     println!(
         "{:<7}{:>9}{:>10}{:>12}{:>9}{:>8}{:>8}{:>8}{:>7}{:>8}",

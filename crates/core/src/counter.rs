@@ -109,6 +109,15 @@ impl Counter {
         self.0
     }
 
+    /// Rebuilds a counter from a raw stored value (state restore). The
+    /// caller is responsible for range-checking the value against its
+    /// [`CounterSpec::max`] — the predictor's
+    /// [`restore_state`](crate::NextTracePredictor::restore_state) does.
+    #[inline]
+    pub const fn from_value(value: u8) -> Counter {
+        Counter(value)
+    }
+
     /// True if at the saturation maximum for `spec`.
     #[inline]
     pub fn is_saturated(self, spec: CounterSpec) -> bool {

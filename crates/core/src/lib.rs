@@ -69,7 +69,8 @@ pub use error::ConfigError;
 pub use history::PathHistory;
 pub use prediction::{Prediction, Source, Target, TracePredictor};
 pub use predictor::{
-    AliasingCounters, Checkpoint, IndexSnapshot, NextTracePredictor, TableOccupancy,
+    AliasingCounters, Checkpoint, IndexSnapshot, NextTracePredictor, PredictorState, StateError,
+    TableOccupancy,
 };
 pub use rhs::{ReturnHistoryStack, RhsConfig, RHS_SNAPSHOT_CAP};
 pub use stats::{evaluate, PredictorStats, PREDICTOR_STATS_FIELDS};

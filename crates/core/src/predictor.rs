@@ -32,6 +32,7 @@ use crate::{
     Target, TracePredictor,
 };
 use ntp_trace::{HashedId, TraceId, TraceRecord};
+use std::fmt;
 
 // Layout contract of the hot arrays: one byte per counter, two bytes per
 // tag, eight per stored target, and a 12-byte index snapshot. A field
@@ -78,6 +79,16 @@ impl BitWords {
 
     fn count_ones(&self) -> u64 {
         self.0.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    fn words(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Overwrites the bitmap from raw words; `words` must already have the
+    /// right length (checked by `restore_state` before any mutation).
+    fn load_words(&mut self, words: &[u64]) {
+        self.0.copy_from_slice(words);
     }
 }
 
@@ -238,6 +249,148 @@ impl TableOccupancy {
             self.sec_valid as f64 / self.sec_capacity as f64
         }
     }
+}
+
+/// The complete learned state of a [`NextTracePredictor`] as plain data.
+///
+/// Produced by [`NextTracePredictor::save_state`] and consumed by
+/// [`NextTracePredictor::restore_state`]; every field is a dense array or
+/// scalar so an external codec (the on-disk `.nts` snapshot format) can
+/// serialize it without reaching into predictor internals. Restoring into
+/// a predictor built with the *same configuration* reproduces the original
+/// bit-for-bit: identical predictions, counters, occupancy and aliasing
+/// statistics from that point on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PredictorState {
+    /// Correlating-table tags, one per entry.
+    pub corr_tags: Vec<u16>,
+    /// Correlating-table counter values, one per entry.
+    pub corr_ctrs: Vec<u8>,
+    /// Correlating-table stored targets, one per entry.
+    pub corr_targets: Vec<u64>,
+    /// Correlating-table alternate targets (§6), one per entry.
+    pub corr_alts: Vec<u64>,
+    /// Correlating-table validity bitmap, 64 entries per word.
+    pub corr_valid: Vec<u64>,
+    /// Correlating-table alternate-present bitmap, 64 entries per word.
+    pub corr_has_alt: Vec<u64>,
+    /// Secondary-table stored targets, one per entry.
+    pub sec_targets: Vec<u64>,
+    /// Secondary-table counter values, one per entry.
+    pub sec_ctrs: Vec<u8>,
+    /// Secondary-table validity bitmap, 64 entries per word.
+    pub sec_valid: Vec<u64>,
+    /// Path-history register, newest first, as raw hashed identifiers.
+    pub history: Vec<u16>,
+    /// Return-history-stack snapshots, oldest call first; empty when the
+    /// RHS is disabled.
+    pub rhs: Vec<Vec<u16>>,
+    /// Training-path aliasing counters: `[steals, cold_fills, sec_fills]`.
+    pub aliasing: [u64; 3],
+}
+
+/// Why a [`PredictorState`] was refused by
+/// [`NextTracePredictor::restore_state`].
+///
+/// Restoration is all-or-nothing: a refused state leaves the predictor
+/// exactly as it was (cold-start fallback is the caller's decision).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// An array has the wrong length for the predictor's configuration.
+    Geometry {
+        /// Which array.
+        field: &'static str,
+        /// Length the configuration requires.
+        expected: usize,
+        /// Length the state carried.
+        found: usize,
+    },
+    /// A stored value exceeds what the configuration can represent.
+    Value {
+        /// Which array.
+        field: &'static str,
+        /// Offending element index.
+        index: usize,
+        /// The out-of-range value.
+        value: u64,
+        /// The configuration's maximum for this field.
+        max: u64,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Geometry {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "state geometry mismatch: {field} has {found} elements, config requires {expected}"
+            ),
+            StateError::Value {
+                field,
+                index,
+                value,
+                max,
+            } => write!(
+                f,
+                "state value out of range: {field}[{index}] = {value} exceeds config maximum {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Checks that any bits beyond `entries` in the final bitmap word are zero
+/// (a corrupted tail would silently skew `count_ones` occupancy).
+fn check_bitmap(field: &'static str, words: &[u64], entries: usize) -> Result<(), StateError> {
+    let expected = entries.div_ceil(64);
+    if words.len() != expected {
+        return Err(StateError::Geometry {
+            field,
+            expected,
+            found: words.len(),
+        });
+    }
+    let tail = entries % 64;
+    if tail != 0 {
+        let last = words[expected - 1];
+        if last >> tail != 0 {
+            return Err(StateError::Value {
+                field,
+                index: expected - 1,
+                value: last,
+                max: (1u64 << tail) - 1,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_len<T>(field: &'static str, got: &[T], expected: usize) -> Result<(), StateError> {
+    if got.len() != expected {
+        return Err(StateError::Geometry {
+            field,
+            expected,
+            found: got.len(),
+        });
+    }
+    Ok(())
+}
+
+fn check_max(field: &'static str, values: &[u64], max: u64) -> Result<(), StateError> {
+    if let Some(index) = values.iter().position(|&v| v > max) {
+        return Err(StateError::Value {
+            field,
+            index,
+            value: values[index],
+            max,
+        });
+    }
+    Ok(())
 }
 
 /// The bounded hybrid path-based next trace predictor.
@@ -512,6 +665,169 @@ impl NextTracePredictor {
             sec_valid: self.sec.valid.count_ones(),
             sec_capacity: self.sec.len() as u64,
         }
+    }
+
+    /// Captures the complete learned state — both tables with their
+    /// bitmaps, the path history, the return history stack and the
+    /// aliasing counters — as plain data for external serialization.
+    pub fn save_state(&self) -> PredictorState {
+        PredictorState {
+            corr_tags: self.corr.tags.clone(),
+            corr_ctrs: self.corr.ctrs.iter().map(|c| c.value()).collect(),
+            corr_targets: self.corr.targets.clone(),
+            corr_alts: self.corr.alts.clone(),
+            corr_valid: self.corr.valid.words().to_vec(),
+            corr_has_alt: self.corr.has_alt.words().to_vec(),
+            sec_targets: self.sec.targets.clone(),
+            sec_ctrs: self.sec.ctrs.iter().map(|c| c.value()).collect(),
+            sec_valid: self.sec.valid.words().to_vec(),
+            history: self.history.snapshot().iter().map(|h| h.0).collect(),
+            rhs: self
+                .rhs
+                .as_ref()
+                .map(ReturnHistoryStack::snapshot)
+                .unwrap_or_default()
+                .iter()
+                .map(|saved| saved.iter().map(|h| h.0).collect())
+                .collect(),
+            aliasing: [
+                self.aliasing.steals,
+                self.aliasing.cold_fills,
+                self.aliasing.sec_fills,
+            ],
+        }
+    }
+
+    /// Restores a state captured by [`NextTracePredictor::save_state`] into
+    /// a predictor built with the *same* configuration, reproducing the
+    /// saved predictor bit-for-bit.
+    ///
+    /// Every array is validated against the configuration's geometry and
+    /// value ranges *before* anything is written, so a refused state (wrong
+    /// table sizes, counter values past saturation, tags wider than
+    /// `tag_bits`, bitmap tail bits beyond the table, an RHS deeper than
+    /// configured) leaves the predictor untouched. Config mismatches
+    /// between a snapshot file and the serving predictor are meant to be
+    /// caught earlier by the codec's fingerprint; this layer is the final
+    /// defence.
+    pub fn restore_state(&mut self, state: &PredictorState) -> Result<(), StateError> {
+        let corr_n = self.corr.len();
+        let sec_n = self.sec.len();
+        check_len("corr_tags", &state.corr_tags, corr_n)?;
+        check_len("corr_ctrs", &state.corr_ctrs, corr_n)?;
+        check_len("corr_targets", &state.corr_targets, corr_n)?;
+        check_len("corr_alts", &state.corr_alts, corr_n)?;
+        check_bitmap("corr_valid", &state.corr_valid, corr_n)?;
+        check_bitmap("corr_has_alt", &state.corr_has_alt, corr_n)?;
+        check_len("sec_targets", &state.sec_targets, sec_n)?;
+        check_len("sec_ctrs", &state.sec_ctrs, sec_n)?;
+        check_bitmap("sec_valid", &state.sec_valid, sec_n)?;
+
+        let prim_max = self.cfg.primary_counter.max() as u64;
+        if let Some(index) = state.corr_ctrs.iter().position(|&v| v as u64 > prim_max) {
+            return Err(StateError::Value {
+                field: "corr_ctrs",
+                index,
+                value: state.corr_ctrs[index] as u64,
+                max: prim_max,
+            });
+        }
+        let sec_max = self.cfg.secondary_counter.max() as u64;
+        if let Some(index) = state.sec_ctrs.iter().position(|&v| v as u64 > sec_max) {
+            return Err(StateError::Value {
+                field: "sec_ctrs",
+                index,
+                value: state.sec_ctrs[index] as u64,
+                max: sec_max,
+            });
+        }
+        if self.cfg.tag_bits < 16 {
+            let tag_max = (1u64 << self.cfg.tag_bits) - 1;
+            if let Some(index) = state.corr_tags.iter().position(|&t| t as u64 > tag_max) {
+                return Err(StateError::Value {
+                    field: "corr_tags",
+                    index,
+                    value: state.corr_tags[index] as u64,
+                    max: tag_max,
+                });
+            }
+        }
+        if self.cfg.stored_target == StoredTarget::Hashed {
+            // Hashed targets round-trip through u16; wider values would be
+            // silently truncated on the next predict.
+            check_max("corr_targets", &state.corr_targets, u16::MAX as u64)?;
+            check_max("corr_alts", &state.corr_alts, u16::MAX as u64)?;
+            check_max("sec_targets", &state.sec_targets, u16::MAX as u64)?;
+        }
+        if state.history.len() > self.history.capacity() {
+            return Err(StateError::Geometry {
+                field: "history",
+                expected: self.history.capacity(),
+                found: state.history.len(),
+            });
+        }
+        match (&self.rhs, self.cfg.rhs) {
+            (Some(_), Some(rhs_cfg)) => {
+                if state.rhs.len() > rhs_cfg.max_depth {
+                    return Err(StateError::Geometry {
+                        field: "rhs",
+                        expected: rhs_cfg.max_depth,
+                        found: state.rhs.len(),
+                    });
+                }
+                for saved in &state.rhs {
+                    if saved.len() > crate::RHS_SNAPSHOT_CAP {
+                        return Err(StateError::Geometry {
+                            field: "rhs entry",
+                            expected: crate::RHS_SNAPSHOT_CAP,
+                            found: saved.len(),
+                        });
+                    }
+                }
+            }
+            _ => {
+                if !state.rhs.is_empty() {
+                    return Err(StateError::Geometry {
+                        field: "rhs",
+                        expected: 0,
+                        found: state.rhs.len(),
+                    });
+                }
+            }
+        }
+
+        // Everything checked; from here on the restore cannot fail.
+        self.corr.tags.copy_from_slice(&state.corr_tags);
+        for (dst, &v) in self.corr.ctrs.iter_mut().zip(&state.corr_ctrs) {
+            *dst = Counter::from_value(v);
+        }
+        self.corr.targets.copy_from_slice(&state.corr_targets);
+        self.corr.alts.copy_from_slice(&state.corr_alts);
+        self.corr.valid.load_words(&state.corr_valid);
+        self.corr.has_alt.load_words(&state.corr_has_alt);
+        self.sec.targets.copy_from_slice(&state.sec_targets);
+        for (dst, &v) in self.sec.ctrs.iter_mut().zip(&state.sec_ctrs) {
+            *dst = Counter::from_value(v);
+        }
+        self.sec.valid.load_words(&state.sec_valid);
+        let history: Vec<HashedId> = state.history.iter().map(|&h| HashedId(h)).collect();
+        self.history.restore(&history);
+        if let Some(rhs) = &mut self.rhs {
+            rhs.restore(
+                state
+                    .rhs
+                    .iter()
+                    .map(|saved| saved.iter().map(|&h| HashedId(h)).collect())
+                    .collect(),
+            );
+        }
+        self.aliasing = AliasingCounters {
+            steals: state.aliasing[0],
+            cold_fills: state.aliasing[1],
+            sec_fills: state.aliasing[2],
+        };
+        self.refresh_indices();
+        Ok(())
     }
 }
 
@@ -898,6 +1214,179 @@ mod tests {
         p.update(&rec(0x0040_0000, 0, 0));
         p.update(&rec(0x0040_0400, 0, 0));
         assert_eq!(p.history_len(), 2);
+    }
+
+    #[test]
+    fn save_restore_state_is_bit_identical() {
+        // Train one predictor, snapshot, restore into a fresh predictor,
+        // then drive both in lockstep: every prediction, occupancy and
+        // aliasing counter must agree from the cut point on.
+        let cfg = PredictorConfig::paper(12, 3);
+        let mut trained = NextTracePredictor::new(cfg);
+        let mut seed = 0x9E3779B9u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let step = |r: u32| {
+            let calls = (r & 3) as u8 % 3;
+            let ret = r & 4 != 0;
+            TraceRecord::new(
+                TraceId::new(0x0040_0000 + (r % 131) * 0x40, (r >> 8) as u8 & 0b11, 2),
+                8,
+                calls,
+                ret,
+                ret,
+            )
+        };
+        for _ in 0..700 {
+            let r = rng();
+            trained.update(&step(r));
+        }
+        let state = trained.save_state();
+        let mut restored = NextTracePredictor::new(cfg);
+        restored.restore_state(&state).expect("state is valid");
+        assert_eq!(restored.save_state(), state, "save∘restore is identity");
+        assert_eq!(restored.aliasing(), trained.aliasing());
+        assert_eq!(restored.occupancy(), trained.occupancy());
+        assert_eq!(restored.indices(), trained.indices());
+        for k in 0..400 {
+            let r = rng();
+            let rec = step(r);
+            assert_eq!(restored.predict(), trained.predict(), "step {k}");
+            trained.update(&rec);
+            restored.update(&rec);
+        }
+        assert_eq!(restored.aliasing(), trained.aliasing());
+    }
+
+    #[test]
+    fn restore_state_refuses_bad_geometry_and_values() {
+        let cfg = cfg_small();
+        let mut p = NextTracePredictor::new(cfg);
+        for k in 0..200u32 {
+            p.update(&rec(0x0040_0000 + (k % 61) * 0x40, 0, 0));
+        }
+        let good = p.save_state();
+        let fingerprint = p.save_state();
+
+        let mut wrong_len = good.clone();
+        wrong_len.corr_tags.pop();
+        let mut oversize_ctr = good.clone();
+        oversize_ctr.sec_ctrs[0] = 200; // 4-bit counter maxes at 15
+        let mut wide_tag = good.clone();
+        wide_tag.corr_tags[3] = u16::MAX; // paper tag is 10 bits
+        let mut deep_history = good.clone();
+        deep_history.history = vec![1; 40];
+        let mut deep_rhs = good.clone();
+        deep_rhs.rhs = vec![vec![1; 2]; 64];
+        let mut fat_rhs = good.clone();
+        fat_rhs.rhs = vec![vec![1; crate::RHS_SNAPSHOT_CAP + 1]];
+
+        for (name, bad) in [
+            ("truncated corr_tags", wrong_len),
+            ("oversize secondary counter", oversize_ctr),
+            ("tag wider than tag_bits", wide_tag),
+            ("history deeper than capacity", deep_history),
+            ("rhs deeper than max_depth", deep_rhs),
+            ("rhs entry wider than inline cap", fat_rhs),
+        ] {
+            assert!(p.restore_state(&bad).is_err(), "{name} must be refused");
+            assert_eq!(
+                p.save_state(),
+                fingerprint,
+                "{name}: refused restore must not mutate the predictor"
+            );
+        }
+        assert!(p.restore_state(&good).is_ok());
+    }
+
+    #[test]
+    fn restore_state_refuses_stray_bitmap_tail_bits() {
+        // A 2-entry correlating table uses 2 bits of one word; any higher
+        // bit is corruption that would skew occupancy popcounts.
+        let cfg = PredictorConfig {
+            index_bits: 1,
+            dolc: crate::Dolc {
+                depth: 3,
+                older: 4,
+                last: 6,
+                current: 8,
+            },
+            secondary_index_bits: 8,
+            ..PredictorConfig::paper(12, 3)
+        };
+        let mut p = NextTracePredictor::new(cfg);
+        p.update(&rec(0x0040_0000, 0, 0));
+        let mut state = p.save_state();
+        state.corr_valid[0] |= 1 << 2;
+        assert!(matches!(
+            p.restore_state(&state),
+            Err(StateError::Value {
+                field: "corr_valid",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn restore_state_refuses_rhs_when_disabled() {
+        let cfg = PredictorConfig {
+            rhs: None,
+            ..cfg_small()
+        };
+        let mut with_rhs = NextTracePredictor::new(cfg_small());
+        with_rhs.update(&rec_callret(0x0040_0100, 1, false));
+        let mut state = with_rhs.save_state();
+        state.rhs = vec![vec![7]];
+        // Same table geometry, but the target predictor has no RHS.
+        let mut p = NextTracePredictor::new(cfg);
+        assert!(matches!(
+            p.restore_state(&state),
+            Err(StateError::Geometry { field: "rhs", .. })
+        ));
+    }
+
+    #[test]
+    fn restore_state_refuses_wide_hashed_targets() {
+        let cfg = PredictorConfig {
+            stored_target: StoredTarget::Hashed,
+            secondary_index_bits: 8,
+            ..PredictorConfig::paper(12, 1)
+        };
+        let mut p = NextTracePredictor::new(cfg);
+        p.update(&rec(0x0040_0000, 0, 0));
+        p.update(&rec(0x0040_0400, 0, 0));
+        let mut state = p.save_state();
+        state.sec_targets[0] = u16::MAX as u64 + 1;
+        assert!(matches!(
+            p.restore_state(&state),
+            Err(StateError::Value {
+                field: "sec_targets",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn state_error_reports_are_specific() {
+        let g = StateError::Geometry {
+            field: "corr_tags",
+            expected: 4096,
+            found: 4095,
+        };
+        let v = StateError::Value {
+            field: "sec_ctrs",
+            index: 7,
+            value: 200,
+            max: 15,
+        };
+        assert!(g.to_string().contains("corr_tags"), "{g}");
+        assert!(g.to_string().contains("4095"), "{g}");
+        assert!(v.to_string().contains("sec_ctrs[7]"), "{v}");
+        assert!(v.to_string().contains("200"), "{v}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use ntp_core::{PredictorStats, Source, Target};
 use ntp_trace::TraceRecord;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default client-side frame limit (matches the server default).
 pub const CLIENT_MAX_FRAME: u32 = crate::config::DEFAULT_MAX_FRAME;
@@ -24,8 +24,12 @@ pub enum ClientError {
         /// Server-provided detail.
         message: String,
     },
-    /// The shard queue stayed full through every retry.
-    Busy,
+    /// The shard queue stayed full through every retry, or the retries
+    /// ran past the total wall-clock budget ([`Client::busy_deadline`]).
+    Busy {
+        /// How long the client kept retrying before giving up.
+        elapsed: Duration,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -34,7 +38,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
-            ClientError::Busy => write!(f, "server busy: shard queue full after retries"),
+            ClientError::Busy { elapsed } => write!(
+                f,
+                "server busy: shard queue stayed full through {elapsed:?} of retries"
+            ),
         }
     }
 }
@@ -51,8 +58,11 @@ impl From<std::io::Error> for ClientError {
 ///
 /// One request is in flight at a time (the protocol is strictly
 /// request/reply per connection). Methods that hit backpressure
-/// ([`Response::Busy`]) retry with a short linear backoff before giving
-/// up with [`ClientError::Busy`].
+/// ([`Response::Busy`]) retry with a short linear backoff, giving up
+/// with [`ClientError::Busy`] after [`Client::busy_retries`] attempts
+/// *or* once [`Client::busy_deadline`] of wall-clock time has passed —
+/// whichever comes first, so a slow server cannot stretch a bounded
+/// retry count into an unbounded wait.
 pub struct Client {
     stream: TcpStream,
     max_frame: u32,
@@ -60,6 +70,8 @@ pub struct Client {
     pub busy_retries: u32,
     /// Pause between busy retries.
     pub busy_backoff: Duration,
+    /// Total wall-clock budget across all busy retries of one request.
+    pub busy_deadline: Duration,
 }
 
 impl Client {
@@ -74,6 +86,7 @@ impl Client {
             max_frame: CLIENT_MAX_FRAME,
             busy_retries: 200,
             busy_backoff: Duration::from_millis(2),
+            busy_deadline: Duration::from_secs(5),
         })
     }
 
@@ -90,15 +103,29 @@ impl Client {
     }
 
     /// [`Client::request`] with busy retries; returns the first
-    /// non-`Busy` reply.
+    /// non-`Busy` reply. Gives up after [`Client::busy_retries`]
+    /// attempts or [`Client::busy_deadline`] of elapsed time.
     fn request_patient(&mut self, req: &Request) -> Result<Response, ClientError> {
-        for _ in 0..=self.busy_retries {
+        let started = Instant::now();
+        for attempt in 0..=self.busy_retries {
             match self.request(req)? {
-                Response::Busy => std::thread::sleep(self.busy_backoff),
+                Response::Busy => {
+                    // Stop before a sleep that would overrun the budget;
+                    // the per-request transport time counts too, so a
+                    // server answering `Busy` slowly still hits the cap.
+                    if attempt == self.busy_retries
+                        || started.elapsed() + self.busy_backoff > self.busy_deadline
+                    {
+                        break;
+                    }
+                    std::thread::sleep(self.busy_backoff);
+                }
                 resp => return Ok(resp),
             }
         }
-        Err(ClientError::Busy)
+        Err(ClientError::Busy {
+            elapsed: started.elapsed(),
+        })
     }
 
     /// Opens session `session` with a `paper(bits, depth)` predictor;

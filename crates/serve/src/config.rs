@@ -6,6 +6,7 @@
 //! full knob table lives in `SERVING.md`.
 
 use crate::wire::{HARD_FRAME_CAP, MIN_FRAME_CAP};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// `NTP_SERVE_ADDR`: the listen address (`host:port`; port `0` asks the
@@ -30,6 +31,17 @@ pub const METRICS_ADDR_ENV: &str = "NTP_SERVE_METRICS_ADDR";
 /// must be > 0), print a periodic `[serve] …` summary line to stderr.
 /// Unset by default — server stderr stays quiet and deterministic.
 pub const STATS_INTERVAL_ENV: &str = "NTP_SERVE_STATS_INTERVAL";
+
+/// `NTP_SERVE_WARM`: when set, a `.nts` predictor-state snapshot (or a
+/// directory of them) to warm-start from before accepting connections. A
+/// snapshot that fails validation is logged and ignored — the server
+/// starts cold, it never partially loads.
+pub const WARM_ENV: &str = "NTP_SERVE_WARM";
+
+/// `NTP_SERVE_SNAPSHOT_DIR`: when set, each shard writes its sessions to
+/// `<dir>/shard<k>.nts` during a graceful drain, so the next
+/// `--warm <dir>` start resumes where this one stopped.
+pub const SNAPSHOT_DIR_ENV: &str = "NTP_SERVE_SNAPSHOT_DIR";
 
 /// Default listen address (loopback; this service has no auth).
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4117";
@@ -67,6 +79,13 @@ pub struct ServeConfig {
     /// Period of the `[serve] …` stderr summary lines; `None` disables
     /// them.
     pub stats_interval: Option<Duration>,
+    /// `.nts` snapshot file (or directory of snapshot files) to
+    /// warm-start sessions from before accepting connections; `None`
+    /// starts cold.
+    pub warm_path: Option<PathBuf>,
+    /// Directory for per-shard drain snapshots (`shard<k>.nts`); `None`
+    /// discards learned state at shutdown.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +100,8 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(30),
             metrics_addr: None,
             stats_interval: None,
+            warm_path: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -122,6 +143,17 @@ impl ServeConfig {
             );
             cfg.stats_interval = Some(Duration::from_secs_f64(secs));
         }
+        if let Some(path) = ntp_runner::parse_env::<String>(WARM_ENV) {
+            assert!(!path.is_empty(), "{WARM_ENV} must not be empty when set");
+            cfg.warm_path = Some(PathBuf::from(path));
+        }
+        if let Some(dir) = ntp_runner::parse_env::<String>(SNAPSHOT_DIR_ENV) {
+            assert!(
+                !dir.is_empty(),
+                "{SNAPSHOT_DIR_ENV} must not be empty when set"
+            );
+            cfg.snapshot_dir = Some(PathBuf::from(dir));
+        }
         cfg
     }
 
@@ -154,6 +186,12 @@ impl ServeConfig {
         if matches!(self.stats_interval, Some(d) if d.is_zero()) {
             return Err("serve: stats_interval must be > 0 when set".into());
         }
+        if matches!(&self.warm_path, Some(p) if p.as_os_str().is_empty()) {
+            return Err("serve: warm_path must not be empty when set".into());
+        }
+        if matches!(&self.snapshot_dir, Some(p) if p.as_os_str().is_empty()) {
+            return Err("serve: snapshot_dir must not be empty when set".into());
+        }
         Ok(())
     }
 }
@@ -161,6 +199,7 @@ impl ServeConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn defaults_validate() {
@@ -221,6 +260,20 @@ mod tests {
                 },
                 "stats_interval",
             ),
+            (
+                ServeConfig {
+                    warm_path: Some(PathBuf::new()),
+                    ..ServeConfig::default()
+                },
+                "warm_path",
+            ),
+            (
+                ServeConfig {
+                    snapshot_dir: Some(PathBuf::new()),
+                    ..ServeConfig::default()
+                },
+                "snapshot_dir",
+            ),
         ] {
             let err = cfg.validate().expect_err("must be rejected");
             assert!(err.contains(needle), "`{err}` should mention {needle}");
@@ -239,6 +292,8 @@ mod tests {
             MAX_CONNS_ENV,
             METRICS_ADDR_ENV,
             STATS_INTERVAL_ENV,
+            WARM_ENV,
+            SNAPSHOT_DIR_ENV,
         ];
         for var in all {
             std::env::remove_var(var);
@@ -248,18 +303,24 @@ mod tests {
         assert_eq!(base.max_conns, DEFAULT_MAX_CONNS);
         assert_eq!(base.metrics_addr, None);
         assert_eq!(base.stats_interval, None);
+        assert_eq!(base.warm_path, None);
+        assert_eq!(base.snapshot_dir, None);
 
         std::env::set_var(ADDR_ENV, "127.0.0.1:0");
         std::env::set_var(WORKERS_ENV, "3");
         std::env::set_var(MAX_CONNS_ENV, "9");
         std::env::set_var(METRICS_ADDR_ENV, "127.0.0.1:0");
         std::env::set_var(STATS_INTERVAL_ENV, "2.5");
+        std::env::set_var(WARM_ENV, "warm.nts");
+        std::env::set_var(SNAPSHOT_DIR_ENV, "snaps");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.max_conns, 9);
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cfg.stats_interval, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(cfg.warm_path.as_deref(), Some(Path::new("warm.nts")));
+        assert_eq!(cfg.snapshot_dir.as_deref(), Some(Path::new("snaps")));
 
         std::env::set_var(WORKERS_ENV, "0");
         let err =

@@ -19,15 +19,22 @@
 //!   Each shard also owns a private metrics registry and rolling window
 //!   — the live observability plane behind the `Metrics` frame, the
 //!   optional `NTP_SERVE_METRICS_ADDR` scrape sidecar, the
-//!   `--stats-interval` stderr summaries and `ntp top`;
-//! * [`client`] — a blocking client library with busy-retry;
+//!   `--stats-interval` stderr summaries and `ntp top`. Sessions can be
+//!   **warm-started** from a `.nts` predictor-state snapshot
+//!   ([`ServeConfig::warm_path`]; all-or-nothing, refusals log and fall
+//!   back to a cold start) and persisted per shard at graceful drain
+//!   ([`ServeConfig::snapshot_dir`]), so a restart resumes byte-exactly
+//!   where the previous process stopped;
+//! * [`client`] — a blocking client library with busy-retry bounded by
+//!   both an attempt count and a total wall-clock deadline;
 //! * [`loadgen`] — the replay load generator behind `ntp loadgen`:
 //!   replays captured trace streams as concurrent sessions, measures
 //!   QPS and p50/p99/p99.9 request latency through [`ntp_telemetry`]
 //!   histograms, and asserts served == offline statistics exactly;
 //! * [`config`] — [`ServeConfig`] and the `NTP_SERVE_ADDR` /
 //!   `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` /
-//!   `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL` knobs
+//!   `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL` /
+//!   `NTP_SERVE_WARM` / `NTP_SERVE_SNAPSHOT_DIR` knobs
 //!   (validated via [`ntp_runner::parse_env`]).
 //!
 //! Protocol layout, sharding model, backpressure semantics and a

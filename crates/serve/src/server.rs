@@ -59,9 +59,13 @@ use ntp_core::{NextTracePredictor, PredictorConfig, PredictorStats, TracePredict
 use ntp_telemetry::{
     CounterId, GaugeId, HistogramId, MetricsRegistry, RollingWindow, Snapshot, ToJson,
 };
+use ntp_tracefile::snapshot::{
+    read_snapshot_file, write_snapshot_file, SessionSnapshot, SnapshotArtifact, SNAPSHOT_EXT,
+};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -110,6 +114,11 @@ pub struct ShardSummary {
     /// `ntp_core::evaluate_batch`). Load-dependent — only a busy queue
     /// batches — so this is a volatile counter, not a determinism gate.
     pub batched: u64,
+    /// Sessions restored from a warm-start snapshot at startup.
+    pub warmed: u64,
+    /// Sessions written to this shard's drain snapshot (`shard<k>.nts`),
+    /// when a snapshot directory was configured and the write succeeded.
+    pub snapshotted: u64,
 }
 
 /// Whole-server accounting, available after [`ServerHandle::join`].
@@ -125,6 +134,13 @@ pub struct ServerSummary {
     pub protocol_errors: u64,
     /// Oversized frames survived by resyncing the stream.
     pub resyncs: u64,
+    /// Connections dropped because the peer stayed idle past the socket
+    /// read timeout (`WouldBlock`/`TimedOut`), as opposed to a clean EOF
+    /// or a transport error.
+    pub read_timeouts: u64,
+    /// Socket-option calls (`set_read_timeout` / `set_write_timeout` /
+    /// `set_nodelay`) that failed while preparing a connection.
+    pub sockopt_errors: u64,
     /// Sessions created across all shards.
     pub sessions: u64,
     /// Requests processed across all shards.
@@ -141,6 +157,23 @@ struct Counters {
     busy: AtomicU64,
     protocol_errors: AtomicU64,
     resyncs: AtomicU64,
+    read_timeouts: AtomicU64,
+    sockopt_errors: AtomicU64,
+}
+
+/// Records a socket-option failure: always counted, logged only the
+/// first time per process so a systemically broken stack cannot flood
+/// stderr.
+fn note_sockopt(counters: &Counters, what: &str, result: std::io::Result<()>) {
+    static LOGGED: AtomicBool = AtomicBool::new(false);
+    if let Err(e) = result {
+        counters.sockopt_errors.fetch_add(1, Ordering::Relaxed);
+        if !LOGGED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "[serve] {what} failed: {e} (further failures only counted in conn.sockopt_errors)"
+            );
+        }
+    }
 }
 
 /// Connection-side per-shard state: the queue-depth gauge and the
@@ -216,6 +249,14 @@ impl Hub {
                 self.counters.protocol_errors.load(Ordering::Relaxed),
             ),
             ("resyncs", self.counters.resyncs.load(Ordering::Relaxed)),
+            (
+                "conn.read_timeouts",
+                self.counters.read_timeouts.load(Ordering::Relaxed),
+            ),
+            (
+                "conn.sockopt_errors",
+                self.counters.sockopt_errors.load(Ordering::Relaxed),
+            ),
         ] {
             let id = server.counter(name);
             server.set_counter(id, v);
@@ -325,6 +366,8 @@ impl ServerHandle {
             busy: self.counters.busy.load(Ordering::Relaxed),
             protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
             resyncs: self.counters.resyncs.load(Ordering::Relaxed),
+            read_timeouts: self.counters.read_timeouts.load(Ordering::Relaxed),
+            sockopt_errors: self.counters.sockopt_errors.load(Ordering::Relaxed),
             ..ServerSummary::default()
         };
         for h in self.shards.drain(..) {
@@ -338,15 +381,79 @@ impl ServerHandle {
     }
 }
 
+/// Loads every warm-start session from `path` (one `.nts` file, or a
+/// directory scanned for `*.nts`), instantiates the predictors, and
+/// partitions them by owning shard (`session % workers`).
+///
+/// All-or-nothing: any refused file, refused state, or duplicate session
+/// id fails the whole load — the caller logs the reason and starts cold.
+/// A partial warm start would silently serve a mix of restored and
+/// reset sessions, which is worse than either extreme.
+fn load_warm_sessions(path: &Path, workers: usize) -> Result<Vec<Vec<(u64, Session)>>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path).map_err(|e| format!("cannot scan {path:?}: {e}"))?;
+        for entry in entries {
+            let p = entry
+                .map_err(|e| format!("cannot scan {path:?}: {e}"))?
+                .path();
+            if p.extension().is_some_and(|ext| ext == SNAPSHOT_EXT) {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no .{SNAPSHOT_EXT} files under {path:?}"));
+        }
+    } else {
+        files.push(path.to_path_buf());
+    }
+
+    let mut per_shard: Vec<Vec<(u64, Session)>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut seen = std::collections::HashSet::new();
+    for file in &files {
+        let (artifact, _) = read_snapshot_file(file).map_err(|e| format!("{file:?}: {e}"))?;
+        for s in &artifact.sessions {
+            if !seen.insert(s.session_id) {
+                return Err(format!("{file:?}: duplicate session {}", s.session_id));
+            }
+            let predictor = s
+                .instantiate()
+                .map_err(|e| format!("{file:?}: session {}: {e}", s.session_id))?;
+            per_shard[(s.session_id % workers as u64) as usize].push((
+                s.session_id,
+                Session {
+                    predictor,
+                    stats: s.stats.clone(),
+                },
+            ));
+        }
+    }
+    Ok(per_shard)
+}
+
 /// Binds `cfg.addr` (and `cfg.metrics_addr` when set) and spawns the
 /// shard workers, the accept loop, and the optional sidecar/stats
-/// threads.
+/// threads. With [`ServeConfig::warm_path`] set, restores the snapshot's
+/// sessions first (a refused snapshot is logged and the server starts
+/// cold); with [`ServeConfig::snapshot_dir`] set, each shard persists
+/// its sessions to `<dir>/shard<k>.nts` during the graceful drain.
 ///
 /// Fails (with a one-line diagnostic naming the address) when an
 /// address cannot be bound — e.g. the port is already in use — or when
 /// the configuration is invalid.
 pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
     cfg.validate()?;
+    // Warm-start before binding anything: no connection can ever observe
+    // a partially restored session map. A refused snapshot is a logged
+    // cold start, never a partial load (the `.nts` contract).
+    let mut warm: Vec<Vec<(u64, Session)>> = (0..cfg.workers).map(|_| Vec::new()).collect();
+    if let Some(path) = &cfg.warm_path {
+        match load_warm_sessions(path, cfg.workers) {
+            Ok(loaded) => warm = loaded,
+            Err(e) => eprintln!("[serve] warm-start refused, starting cold: {e}"),
+        }
+    }
     let listener = TcpListener::bind(&cfg.addr)
         .map_err(|e| format!("serve: cannot bind {}: {e}", cfg.addr))?;
     let addr = listener
@@ -386,14 +493,26 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
     // drain-then-exit for free.
     let mut senders = Vec::with_capacity(cfg.workers);
     let mut shards = Vec::with_capacity(cfg.workers);
+    let mut warm = warm.into_iter();
     for shard_id in 0..cfg.workers {
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         senders.push(tx);
         let shared = Arc::clone(&shared);
+        let warm_sessions = warm.next().expect("one warm bucket per shard");
+        let snapshot_dir = cfg.snapshot_dir.clone();
         shards.push(
             std::thread::Builder::new()
                 .name(format!("ntp-serve-shard-{shard_id}"))
-                .spawn(move || shard_loop(shard_id as u32, rx, shared, start))
+                .spawn(move || {
+                    shard_loop(
+                        shard_id as u32,
+                        rx,
+                        shared,
+                        start,
+                        warm_sessions,
+                        snapshot_dir,
+                    )
+                })
                 .map_err(|e| format!("serve: cannot spawn shard worker: {e}"))?,
         );
     }
@@ -470,7 +589,12 @@ fn accept_loop(
         let slot = active_conns.fetch_add(1, Ordering::SeqCst);
         if slot >= cfg.max_conns {
             hub.counters.refused.fetch_add(1, Ordering::Relaxed);
-            refuse(stream, ErrorCode::Refused, "connection limit reached");
+            refuse(
+                stream,
+                ErrorCode::Refused,
+                "connection limit reached",
+                &hub.counters,
+            );
             active_conns.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
@@ -493,8 +617,12 @@ fn accept_loop(
 }
 
 /// Sends a single error reply on a connection we will not serve.
-fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str, counters: &Counters) {
+    note_sockopt(
+        counters,
+        "set_write_timeout",
+        stream.set_write_timeout(Some(Duration::from_secs(1))),
+    );
     let body = wire::encode_response(&Response::Error {
         code,
         message: message.to_string(),
@@ -502,17 +630,43 @@ fn refuse(mut stream: TcpStream, code: ErrorCode, message: &str) {
     let _ = wire::write_frame(&mut stream, &body);
 }
 
+/// True for the error kinds a socket read timeout surfaces as (platform
+/// dependent: Unix reports `WouldBlock`, Windows `TimedOut`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Serves one connection until EOF, timeout, or an unrecoverable frame.
 fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
+    note_sockopt(
+        &hub.counters,
+        "set_read_timeout",
+        stream.set_read_timeout(Some(cfg.read_timeout)),
+    );
+    note_sockopt(
+        &hub.counters,
+        "set_write_timeout",
+        stream.set_write_timeout(Some(cfg.write_timeout)),
+    );
+    note_sockopt(&hub.counters, "set_nodelay", stream.set_nodelay(true));
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
 
     loop {
         let body = match wire::read_frame(&mut stream, cfg.max_frame) {
             Ok(body) => body,
-            Err(WireError::Io(_)) => break, // EOF, timeout, or dead peer.
+            Err(WireError::Io(e)) => {
+                // The connection is done either way, but an idle peer
+                // hitting the read timeout is an operational signal
+                // (tune `read_timeout`, look for stuck clients) — not
+                // the same thing as a clean EOF or a dead transport.
+                if is_timeout(&e) {
+                    hub.counters.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
             Err(e @ WireError::Oversized { recoverable, .. }) => {
                 hub.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 if recoverable {
@@ -644,6 +798,7 @@ struct ShardMetrics {
     registry: MetricsRegistry,
     window: RollingWindow,
     c_sessions: CounterId,
+    c_warmed: CounterId,
     c_frames: [CounterId; FRAME_KINDS.len()],
     c_predictions: CounterId,
     c_correct: CounterId,
@@ -667,6 +822,7 @@ impl ShardMetrics {
     fn new() -> ShardMetrics {
         let mut r = MetricsRegistry::new();
         let c_sessions = r.counter("sessions.opened");
+        let c_warmed = r.counter("sessions.warmed");
         let c_frames = FRAME_KINDS.map(|k| r.counter(&format!("frames.{k}")));
         let c_predictions = r.counter("predictions");
         let c_correct = r.counter("predictions.correct");
@@ -685,6 +841,7 @@ impl ShardMetrics {
             registry: r,
             window: RollingWindow::new(WINDOW_EPOCHS),
             c_sessions,
+            c_warmed,
             c_frames,
             c_predictions,
             c_correct,
@@ -787,10 +944,15 @@ fn shard_loop(
     rx: Receiver<Job>,
     shared: Arc<[ShardShared]>,
     start: Instant,
+    warm: Vec<(u64, Session)>,
+    snapshot_dir: Option<PathBuf>,
 ) -> ShardSummary {
     let own = &shared[shard_id as usize];
-    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let warmed = warm.len() as u64;
+    let mut sessions: HashMap<u64, Session> = warm.into_iter().collect();
     let mut m = ShardMetrics::new();
+    m.registry.add(m.c_warmed, warmed);
+    m.registry.set(m.g_live, sessions.len() as f64);
     let mut requests = 0u64;
     let mut idle_from = Instant::now();
     let mut drained: Vec<Job> = Vec::with_capacity(MAX_DRAIN);
@@ -850,6 +1012,23 @@ fn shard_loop(
             idle_from.duration_since(woke).as_micros() as u64,
         );
     }
+    // Graceful drain: persist this shard's learned state so the next
+    // start can `--warm` from it. Written even when empty — a stale
+    // snapshot from a previous run must not outlive this drain.
+    let mut snapshotted = 0u64;
+    if let Some(dir) = &snapshot_dir {
+        let artifact = SnapshotArtifact {
+            sessions: sessions
+                .iter()
+                .map(|(&id, s)| SessionSnapshot::capture(id, &s.predictor, &s.stats))
+                .collect(),
+        };
+        let path = dir.join(format!("shard{shard_id}.{SNAPSHOT_EXT}"));
+        match write_snapshot_file(&path, &artifact) {
+            Ok(_) => snapshotted = artifact.sessions.len() as u64,
+            Err(e) => eprintln!("[serve] shard {shard_id}: drain snapshot {path:?} failed: {e}"),
+        }
+    }
     ShardSummary {
         shard: shard_id,
         sessions: m.registry.counter_value(m.c_sessions),
@@ -860,6 +1039,8 @@ fn shard_loop(
             + m.registry.counter_value(m.c_err_badcfg)
             + m.registry.counter_value(m.c_err_other),
         batched: m.registry.counter_value(m.c_batched),
+        warmed,
+        snapshotted,
     }
 }
 
@@ -982,8 +1163,16 @@ fn metrics_loop(listener: TcpListener, hub: Arc<Hub>) {
 /// (pretty JSON), 404 on other paths, 405 on other methods. Unparseable
 /// input just drops the connection.
 fn serve_scrape(mut stream: TcpStream, hub: &Hub) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    note_sockopt(
+        &hub.counters,
+        "set_read_timeout",
+        stream.set_read_timeout(Some(Duration::from_secs(5))),
+    );
+    note_sockopt(
+        &hub.counters,
+        "set_write_timeout",
+        stream.set_write_timeout(Some(Duration::from_secs(5))),
+    );
     let Some(req) = read_http_request_path(&mut stream) else {
         return;
     };

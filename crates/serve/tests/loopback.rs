@@ -643,3 +643,133 @@ fn batched_drain_matches_oracle(workers: usize) {
         "drain summary and scraped counter disagree"
     );
 }
+
+/// Graceful drain persists every session to per-shard `.nts` snapshots;
+/// a second server warm-starts from them (at a *different* worker count,
+/// so sessions re-partition) and continues each session in exact
+/// agreement with an offline oracle replaying the concatenated stream.
+#[test]
+fn warm_start_resumes_drained_sessions_exactly() {
+    use ntp_core::{evaluate, NextTracePredictor, PredictorConfig};
+
+    let dir = std::env::temp_dir().join(format!("ntp-warm-{}", std::process::id()));
+    let snap_dir = dir.join("snaps");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: a cold two-worker server learns two sessions, then drains
+    // into the snapshot directory.
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        snapshot_dir: Some(snap_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let first: Vec<Vec<TraceRecord>> = (0..2)
+        .map(|i| synthetic_stream(0xFEED ^ (i + 1), 1_500))
+        .collect();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for (i, stream) in first.iter().enumerate() {
+        client.hello(i as u64, 12, 3).expect("hello");
+        client.batch(i as u64, stream).expect("batch");
+    }
+    let stats0 = client.stats(0).expect("stats 0");
+    client.shutdown_server().expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(
+        summary.per_shard.iter().map(|s| s.snapshotted).sum::<u64>(),
+        2,
+        "both sessions persisted at drain"
+    );
+    for k in 0..2 {
+        assert!(
+            snap_dir.join(format!("shard{k}.nts")).is_file(),
+            "shard{k}.nts written"
+        );
+    }
+
+    // Phase 2: warm-start a one-worker server from the directory. Both
+    // sessions are live without any Hello, stats carry over exactly, and
+    // a duplicate Hello is refused like any existing session.
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        warm_path: Some(snap_dir),
+        ..ServeConfig::default()
+    })
+    .expect("warm bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    assert_eq!(client.stats(0).expect("warm stats"), stats0);
+    match client.hello(0, 12, 3) {
+        Err(ntp_serve::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadConfig)
+        }
+        other => panic!("expected BadConfig on a warm session id, got {other:?}"),
+    }
+
+    // Continuing session 1 must match an offline oracle that replays the
+    // phase-1 and phase-2 streams back to back on one predictor.
+    let more = synthetic_stream(0xBADC_0FFE, 800);
+    client.batch(1, &more).expect("batch after warm start");
+    let served = client.stats(1).expect("stats 1");
+    let mut oracle = NextTracePredictor::new(PredictorConfig::paper(12, 3));
+    let mut offline = evaluate(&mut oracle, &first[1]);
+    offline.merge(&evaluate(&mut oracle, &more));
+    assert_eq!(
+        served, offline,
+        "a warm-started session must continue exactly where the drain stopped"
+    );
+
+    let snap = handle.metrics_snapshot();
+    assert_eq!(
+        snap.get("shard0")
+            .and_then(|s| s.counter_by_name("sessions.warmed")),
+        Some(2),
+        "warm restores are counted per shard"
+    );
+    client.shutdown_server().expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.per_shard[0].warmed, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted warm snapshot is refused outright: the server logs, starts
+/// cold (no partially restored sessions), and serves normally.
+#[test]
+fn corrupt_warm_snapshot_falls_back_to_cold_start() {
+    let dir = std::env::temp_dir().join(format!("ntp-warm-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("seed.nts");
+
+    // A valid single-session snapshot, then one flipped byte in the body.
+    let mut p = ntp_core::NextTracePredictor::new(ntp_core::PredictorConfig::paper(12, 3));
+    let stats = ntp_core::evaluate(&mut p, &synthetic_stream(0xACED, 600));
+    let artifact = ntp_tracefile::SnapshotArtifact {
+        sessions: vec![ntp_tracefile::SessionSnapshot::capture(0, &p, &stats)],
+    };
+    ntp_tracefile::write_snapshot_file(&path, &artifact).expect("write");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        warm_path: Some(path),
+        ..ServeConfig::default()
+    })
+    .expect("bind despite corrupt warm file");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    match client.stats(0) {
+        Err(ntp_serve::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownSession, "cold start: no session 0")
+        }
+        other => panic!("expected UnknownSession after cold start, got {other:?}"),
+    }
+    client.hello(0, 12, 3).expect("cold server still serves");
+    client.shutdown_server().expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.per_shard.iter().map(|s| s.warmed).sum::<u64>(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

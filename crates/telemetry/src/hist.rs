@@ -343,6 +343,50 @@ mod tests {
     }
 
     #[test]
+    fn quantile_rank_rounding_at_exact_bucket_edges() {
+        // 50 samples at 1 (bucket [1,1]) and 50 at 100 (bucket [64,128)):
+        // rank ceil(0.5 * 100) = 50 is reached exactly at the end of the
+        // first bucket, so p50 must NOT spill into the second.
+        let mut h = Histogram::new();
+        h.record_n(1, 50);
+        h.record_n(100, 50);
+        assert_eq!(h.p50(), 1, "rank 50 satisfied by the first bucket");
+        // One rank past the edge crosses into the top bucket, clamped to
+        // the observed max (100), not the bucket top (127).
+        assert_eq!(h.quantile_upper_bound(0.51), 100);
+        // q = 0.0 still reports rank 1 (the minimum's bucket), not rank 0.
+        assert_eq!(h.quantile_upper_bound(0.0), 1);
+    }
+
+    #[test]
+    fn quantile_is_max_at_one_and_clamps_out_of_range_q() {
+        let mut h = Histogram::new();
+        for v in [3u64, 900, 77, 12_345] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper_bound(1.0), h.max());
+        // Out-of-range q is clamped, not an error or a wild rank.
+        assert_eq!(h.quantile_upper_bound(2.0), h.quantile_upper_bound(1.0));
+        assert_eq!(h.quantile_upper_bound(-3.0), h.quantile_upper_bound(0.0));
+        // NaN degrades to the lowest rank rather than panicking.
+        assert_eq!(h.quantile_upper_bound(f64::NAN), 3);
+    }
+
+    #[test]
+    fn quantile_rank_math_survives_huge_counts() {
+        // Counts near u64::MAX exercise the f64 rank computation: the
+        // product q * count and the cast back to u64 must not overflow,
+        // wrap, or land outside the populated buckets.
+        let mut h = Histogram::new();
+        h.record_n(7, u64::MAX - 1);
+        h.record(1 << 40);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p999(), 7, "the tail sample is far below rank 99.9%");
+        assert_eq!(h.quantile_upper_bound(1.0), 1 << 40);
+    }
+
+    #[test]
     fn empty_histogram_is_sane() {
         let h = Histogram::new();
         assert_eq!(h.min(), 0);

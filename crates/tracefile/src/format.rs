@@ -163,15 +163,15 @@ impl From<std::io::Error> for TraceFileError {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -180,26 +180,26 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
 /// `tag | len | payload | checksum` into the underlying sink. Only one
 /// section is resident at a time, so the peak memory cost is the largest
 /// section (the record stream), not the whole file.
-struct SectionWriter<W: Write> {
+pub(crate) struct SectionWriter<W: Write> {
     sink: W,
-    bytes_written: u64,
+    pub(crate) bytes_written: u64,
 }
 
 impl<W: Write> SectionWriter<W> {
-    fn new(sink: W) -> SectionWriter<W> {
+    pub(crate) fn new(sink: W) -> SectionWriter<W> {
         SectionWriter {
             sink,
             bytes_written: 0,
         }
     }
 
-    fn raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+    pub(crate) fn raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.sink.write_all(bytes)?;
         self.bytes_written += bytes.len() as u64;
         Ok(())
     }
 
-    fn section(&mut self, tag: &[u8; 4], payload: &[u8]) -> std::io::Result<()> {
+    pub(crate) fn section(&mut self, tag: &[u8; 4], payload: &[u8]) -> std::io::Result<()> {
         let len = (payload.len() as u64).to_le_bytes();
         let mut h = Fnv64::new();
         h.update(tag);
@@ -389,17 +389,21 @@ pub fn write_file(
 // Decoding
 // ---------------------------------------------------------------------------
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
         Cursor { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceFileError> {
+    pub(crate) fn take(
+        &mut self,
+        n: usize,
+        what: &'static str,
+    ) -> Result<&'a [u8], TraceFileError> {
         let end = self
             .pos
             .checked_add(n)
@@ -410,33 +414,33 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &'static str) -> Result<u8, TraceFileError> {
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, TraceFileError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &'static str) -> Result<u32, TraceFileError> {
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, TraceFileError> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
-    fn u64(&mut self, what: &'static str) -> Result<u64, TraceFileError> {
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, TraceFileError> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 }
 
-fn malformed(section: &'static str, what: impl Into<String>) -> TraceFileError {
+pub(crate) fn malformed(section: &'static str, what: impl Into<String>) -> TraceFileError {
     TraceFileError::Malformed {
         section,
         what: what.into(),
     }
 }
 
-fn decode_str(
+pub(crate) fn decode_str(
     c: &mut Cursor<'_>,
     section: &'static str,
     what: &'static str,
@@ -447,7 +451,7 @@ fn decode_str(
 }
 
 /// Reads one section's payload, verifying tag and checksum.
-fn section<'a>(
+pub(crate) fn section<'a>(
     c: &mut Cursor<'a>,
     tag: &'static [u8; 4],
     name: &'static str,

@@ -18,7 +18,11 @@
 //!   Stale or corrupt files are **hard errors** ([`TraceFileError`]) — the
 //!   caller re-captures; a cache can never mis-load;
 //! * [`counters`] — process-wide hit/miss/bytes/time telemetry, surfaced
-//!   by the bench reports under the volatile `"throughput"` section.
+//!   by the bench reports under the volatile `"throughput"` section;
+//! * [`snapshot`] — the `.nts` predictor *state* snapshot codec: the same
+//!   validating section/checksum/fingerprint discipline applied to trained
+//!   predictor sessions, so `ntp serve` can warm-start instead of
+//!   relearning (see [`SnapshotArtifact`]).
 //!
 //! The cache is off by default. `NTP_TRACE_CACHE=1` enables it at the
 //! default location `.ntp-cache/`; any other non-empty value is used as
@@ -53,9 +57,15 @@
 pub mod counters;
 mod fingerprint;
 pub mod format;
+pub mod snapshot;
 
 pub use counters::{counters, reset_counters, CacheCounters};
 pub use fingerprint::Fingerprint;
+pub use snapshot::{
+    config_canon, decode_snapshot, encode_snapshot, read_snapshot_file, write_snapshot_file,
+    SessionSnapshot, SnapshotArtifact, SnapshotError, SNAPSHOT_EXT, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 // The FNV-1a 64 implementation lives in the shared `ntp-hash` crate (the
 // `ntp-serve` wire protocol checksums frames with the same hash);
 // re-exported here so existing `ntp_tracefile::{fnv64, Fnv64}` users keep

@@ -15,6 +15,11 @@
 //! * [`batch_vs_scalar`] — the gathered batch sweeps (`evaluate_batch`,
 //!   `predict_batch`/`update_batch`) must be bit-identical to the scalar
 //!   replay on every prediction, statistic and final table state;
+//! * [`snapshot_restore_lockstep`] — a predictor torn down and rebuilt
+//!   through `save_state`/`restore_state` at random cut points must stay
+//!   in prediction-by-prediction lockstep with one never snapshotted, and
+//!   end in identical table state (the in-memory core of the `.nts`
+//!   warm-start contract);
 //! * [`fault_sweep`] — hostile configurations (stall-inducing engine
 //!   windows, phantom DOLC history bits, out-of-range table geometry,
 //!   stuck counters) must be *rejected* by the `try_validate` layer, and
@@ -46,8 +51,8 @@ pub use gen::{
     PAPER_INDEX_BITS,
 };
 pub use oracle::{
-    batch_vs_scalar, bounded_vs_unbounded, evaluate_equivalence, runner_determinism, Divergence,
-    OracleOutcome,
+    batch_vs_scalar, bounded_vs_unbounded, evaluate_equivalence, runner_determinism,
+    snapshot_restore_lockstep, Divergence, OracleOutcome,
 };
 pub use rng::XorShift64;
 
@@ -110,7 +115,7 @@ impl fmt::Display for VerifyReport {
     }
 }
 
-/// Runs all four differential oracles plus the fault-injection sweep with
+/// Runs all five differential oracles plus the fault-injection sweep with
 /// `points` generated cases each.
 ///
 /// Deterministic: the same `(seed, points)` always replays the same streams
@@ -125,6 +130,7 @@ pub fn run_all(seed: u64, points: usize) -> VerifyReport {
             evaluate_equivalence(seed, points),
             runner_determinism(seed, points),
             batch_vs_scalar(seed, points),
+            snapshot_restore_lockstep(seed, points),
             fault_sweep(seed, points),
         ],
     }
@@ -138,7 +144,7 @@ mod tests {
     fn run_all_is_clean_and_reports_counts() {
         let r = run_all(0xC0FFEE, 4);
         assert!(r.is_clean(), "{r}");
-        assert_eq!(r.oracles.len(), 5);
+        assert_eq!(r.oracles.len(), 6);
         assert!(r.total_comparisons() > 100);
         let text = r.to_string();
         assert!(text.contains("CLEAN"), "{text}");

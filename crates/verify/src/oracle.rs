@@ -1,7 +1,7 @@
 //! The differential oracles: pairs (or triples) of implementations that
 //! must agree exactly, replayed over generated streams.
 //!
-//! Four oracles, each attacking a different seam of the stack:
+//! Five oracles, each attacking a different seam of the stack:
 //!
 //! 1. [`bounded_vs_unbounded`] — the finite tagged predictor against the
 //!    unbounded no-aliasing model on alias-free streams, compared
@@ -12,7 +12,10 @@
 //! 3. [`runner_determinism`] — the worker pool's ordered merge must be
 //!    byte-identical to the serial path at any thread count;
 //! 4. [`batch_vs_scalar`] — the gathered batch sweeps must be bit-identical
-//!    to the scalar replay, per prediction and per final table state.
+//!    to the scalar replay, per prediction and per final table state;
+//! 5. [`snapshot_restore_lockstep`] — a predictor torn down and rebuilt
+//!    through `save_state`/`restore_state` at random cut points must stay
+//!    in lockstep with one that was never snapshotted.
 //!
 //! Every failure is a [`Divergence`] naming the oracle, the master seed, the
 //! case index (whose [`crate::XorShift64::fork`] rebuilds the exact stream)
@@ -428,6 +431,94 @@ pub fn batch_vs_scalar(seed: u64, cases: usize) -> OracleOutcome {
     }
 }
 
+/// Oracle 5: snapshot/restore must be invisible. One predictor replays the
+/// stream untouched; a second is torn down at random cut points —
+/// `save_state`, rebuild a fresh predictor from the same configuration,
+/// `restore_state` — and both must emit bit-identical predictions at every
+/// step and end with identical aliasing counters, occupancy and cached
+/// table indexes. This is the in-memory core of the `.nts` warm-start
+/// contract (SERVING.md): if this oracle is clean, any served/offline
+/// divergence after a warm start must live in the codec or the serve
+/// layer, not in the state capture itself.
+pub fn snapshot_restore_lockstep(seed: u64, cases: usize) -> OracleOutcome {
+    const NAME: &str = "snapshot-lockstep";
+    let master = XorShift64::new(seed ^ 0x5AF3_57A7);
+    let mut comparisons = 0u64;
+    let mut divergences = Vec::new();
+
+    for case in 0..cases {
+        let mut rng = master.fork(case as u64);
+        let (index_bits, depth) = paper_point(&mut rng);
+        let cfg = PredictorConfig::try_paper(index_bits, depth)
+            .expect("paper points are valid by construction");
+        let stream_len = rng.range(400, 1200) as usize;
+        let stream = random_stream(&mut rng, stream_len);
+        let cuts = rng.range(1, 6) as usize;
+        let cut_points: Vec<usize> = (0..cuts)
+            .map(|_| rng.range(0, stream_len as u64) as usize)
+            .collect();
+
+        let mut baseline = NextTracePredictor::new(cfg);
+        let mut cycled = NextTracePredictor::new(cfg);
+        for (i, r) in stream.iter().enumerate() {
+            if cut_points.contains(&i) {
+                let state = cycled.save_state();
+                let mut rebuilt =
+                    NextTracePredictor::try_new(cfg).expect("config already validated");
+                rebuilt
+                    .restore_state(&state)
+                    .expect("a saved state always fits the config it came from");
+                cycled = rebuilt;
+            }
+            let pb = baseline.predict();
+            let pc = cycled.predict();
+            comparisons += 1;
+            if pb != pc {
+                divergences.push(Divergence {
+                    oracle: NAME,
+                    seed,
+                    case,
+                    index: Some(i as u64),
+                    config: format!("{cfg:?} cuts {cut_points:?}"),
+                    detail: format!("baseline said {pb:?}, snapshot-cycled said {pc:?}"),
+                });
+                break;
+            }
+            baseline.update(r);
+            cycled.update(r);
+        }
+        comparisons += 1;
+        if baseline.aliasing() != cycled.aliasing()
+            || baseline.occupancy() != cycled.occupancy()
+            || baseline.indices() != cycled.indices()
+        {
+            divergences.push(Divergence {
+                oracle: NAME,
+                seed,
+                case,
+                index: None,
+                config: format!("{cfg:?} cuts {cut_points:?}"),
+                detail: format!(
+                    "final state: baseline aliasing {:?} occupancy {:?} indices {:?} \
+                     vs cycled {:?} / {:?} / {:?}",
+                    baseline.aliasing(),
+                    baseline.occupancy(),
+                    baseline.indices(),
+                    cycled.aliasing(),
+                    cycled.occupancy(),
+                    cycled.indices()
+                ),
+            });
+        }
+    }
+    OracleOutcome {
+        name: NAME,
+        cases,
+        comparisons,
+        divergences,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +530,7 @@ mod tests {
             evaluate_equivalence(0xC0FFEE, 8),
             runner_determinism(0xC0FFEE, 4),
             batch_vs_scalar(0xC0FFEE, 6),
+            snapshot_restore_lockstep(0xC0FFEE, 8),
         ] {
             assert!(o.is_clean(), "{o}\n{:#?}", o.divergences);
             assert!(o.comparisons > 0);

@@ -13,11 +13,11 @@ use ntp_verify::{alias_free_point, run_all, Divergence, OracleOutcome, VerifyRep
 
 #[test]
 fn full_sweep_at_the_pinned_seed_is_clean() {
-    // The acceptance gate: all four differential oracles plus the fault
+    // The acceptance gate: all five differential oracles plus the fault
     // sweep over 64 generated points each, zero divergences.
     let report = run_all(0xC0FFEE, 64);
     assert!(report.is_clean(), "{report}");
-    assert_eq!(report.oracles.len(), 5);
+    assert_eq!(report.oracles.len(), 6);
     for oracle in &report.oracles {
         assert_eq!(oracle.cases, 64, "{}", oracle.name);
         assert!(oracle.comparisons >= 64, "{}", oracle.name);

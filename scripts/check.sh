@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the tier-1 build+test, a
 # tiny-scale experiments smoke that validates the emitted BENCH_*.json
-# reports (parse + determinism), and a loopback serving smoke that
-# diffs served statistics against the offline oracle (SERVING.md).
+# reports (parse + determinism), a loopback serving smoke that
+# diffs served statistics against the offline oracle (SERVING.md), and
+# a .nts snapshot gate (save/verify/warm-serve/drain round trip plus
+# corruption refusal).
 # Run from anywhere inside the repo.
 set -euo pipefail
 
@@ -264,5 +266,73 @@ if ! diff <(jq "$strip_top" "$out_srv/top1.json") \
     exit 1
 fi
 echo "stripped top snapshots byte-identical"
+
+say "snapshot gate: save -> verify -> warm-serve -> drain round trip"
+# SERVING.md "Predictor state snapshots". An offline-trained .nts must
+# verify to the exact JSON it was saved with, warm-start a server, and
+# come back byte-identical from an untouched drain (the codec encodes
+# deterministically, so cmp(1) is the whole comparison). A corrupted
+# copy must be refused by verify *and* fall back to a cold start.
+out_snap="$(mktemp -d)"
+trap 'rm -rf "$out_a" "$out_b" "$cache_dir" "$out_cold" "$out_warm" "$out_fb" "$out_srv" "$out_snap"' EXIT
+"$ntp_bin" snapshot save @compress -o "$out_snap/seed.nts" --budget 300000 \
+    --json "$out_snap/save.json" 2>/dev/null
+"$ntp_bin" snapshot verify "$out_snap/seed.nts" \
+    --json "$out_snap/verify.json" 2>/dev/null
+if ! diff <(jq -S . "$out_snap/save.json") <(jq -S . "$out_snap/verify.json"); then
+    echo "snapshot verify re-derived different stats than save reported"
+    exit 1
+fi
+jq -e '.session_count == 1 and .sessions[0].predictions > 0' \
+    "$out_snap/save.json" >/dev/null \
+    || { echo "snapshot save trained nothing"; exit 1; }
+echo "offline save/verify JSON identical"
+
+mkdir "$out_snap/drain"
+"$ntp_bin" serve --addr 127.0.0.1:0 --workers 1 \
+    --warm "$out_snap/seed.nts" --snapshot-on-drain "$out_snap/drain" \
+    >"$out_snap/serve.txt" 2>"$out_snap/serve.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_snap/serve.txt" 2>/dev/null | head -1 || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "warm ntp serve never printed its bound address"; exit 1; }
+"$ntp_bin" top --addr "$addr" --once --shutdown >/dev/null
+wait "$serve_pid" || { echo "warm ntp serve exited nonzero"; cat "$out_snap/serve.err"; exit 1; }
+grep -q '1 warmed, 1 snapshotted' "$out_snap/serve.txt" \
+    || { echo "drain summary missing warm/snapshot attribution"; cat "$out_snap/serve.txt"; exit 1; }
+cmp "$out_snap/seed.nts" "$out_snap/drain/shard0.nts" \
+    || { echo "untouched warm session did not round-trip byte-identically"; exit 1; }
+echo "warm-serve drain snapshot byte-identical to the seed"
+
+cp "$out_snap/seed.nts" "$out_snap/bad.nts"
+# Flip (not just overwrite) one byte so the corruption is guaranteed.
+byte=$(od -An -tu1 -j200 -N1 "$out_snap/bad.nts" | tr -d ' ')
+printf "$(printf '\\%03o' $(( (byte + 1) % 256 )))" \
+    | dd of="$out_snap/bad.nts" bs=1 seek=200 count=1 conv=notrunc 2>/dev/null
+if "$ntp_bin" snapshot verify "$out_snap/bad.nts" >/dev/null 2>&1; then
+    echo "snapshot verify accepted a corrupted file"
+    exit 1
+fi
+"$ntp_bin" serve --addr 127.0.0.1:0 --workers 1 --warm "$out_snap/bad.nts" \
+    >"$out_snap/serve_bad.txt" 2>"$out_snap/serve_bad.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_snap/serve_bad.txt" 2>/dev/null | head -1 || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "cold-fallback ntp serve never printed its bound address"; exit 1; }
+"$ntp_bin" top --addr "$addr" --once --shutdown >/dev/null
+wait "$serve_pid" || { echo "cold-fallback ntp serve exited nonzero"; exit 1; }
+grep -q 'warm-start refused, starting cold' "$out_snap/serve_bad.err" \
+    || { echo "corrupt snapshot did not log a warm-start refusal"; cat "$out_snap/serve_bad.err"; exit 1; }
+grep -q '0 warmed' "$out_snap/serve_bad.txt" \
+    || { echo "corrupt snapshot warmed sessions anyway"; cat "$out_snap/serve_bad.txt"; exit 1; }
+echo "corrupt snapshot refused by verify and by warm start (cold fallback)"
 
 printf '\nAll checks passed.\n'
