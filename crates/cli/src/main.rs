@@ -13,10 +13,12 @@
 //!              [--bits B] [--depth D] [--budget N] [--json <path|->]
 //! ntp snapshot verify <file.nts> [--json <path|->]
 //! ntp serve [--addr host:port] [--workers N] [--max-conns N]
+//!           [--event-threads N] [--queue-depth N]
 //!           [--metrics-addr host:port] [--stats-interval S]
 //!           [--warm <file.nts|dir>] [--snapshot-on-drain <dir>]
 //! ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N]
 //!             [--bits B] [--depth D] [--shutdown] [--json <path|->]
+//!             [--open-loop] [--rate R] [--duration S] [--zipf Z] [--seed S]
 //! ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]
 //! ntp workloads                        list the built-in benchmarks
 //! ```
@@ -84,10 +86,12 @@ fn usage() -> String {
      [--bits B] [--depth D] [--budget N] [--json <path|->]\n  \
      ntp snapshot verify <file.nts> [--json <path|->]\n  \
      ntp serve [--addr host:port] [--workers N] [--max-conns N] \
+     [--event-threads N] [--queue-depth N] \
      [--metrics-addr host:port] [--stats-interval S] \
      [--warm <file.nts|dir>] [--snapshot-on-drain <dir>]\n  \
      ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N] \
-     [--bits B] [--depth D] [--shutdown] [--json <path|->]\n  \
+     [--bits B] [--depth D] [--shutdown] [--json <path|->] \
+     [--open-loop] [--rate R] [--duration S] [--zipf Z] [--seed S]\n  \
      ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]\n  \
      ntp workloads"
         .to_string()
@@ -685,6 +689,16 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     if let Some(max_conns) = flag_value(rest, "--max-conns")? {
         cfg.max_conns = max_conns as usize;
     }
+    if let Some(threads) = flag_value(rest, "--event-threads")? {
+        // 0 explicitly selects the blocking thread-per-connection frontend.
+        cfg.event_threads = threads as usize;
+    }
+    if let Some(depth) = flag_value(rest, "--queue-depth")? {
+        if depth == 0 {
+            return Err("--queue-depth must be at least 1".to_string());
+        }
+        cfg.queue_depth = depth as usize;
+    }
     if let Some(maddr) = flag_str(rest, "--metrics-addr") {
         cfg.metrics_addr = Some(maddr.to_string());
     }
@@ -711,7 +725,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     println!(
         "[serve] drained: {} sessions, {} requests, {} conns accepted, \
          {} refused, {} busy replies, {} protocol errors, {} resyncs, \
-         {} read timeouts, {} sockopt errors",
+         {} read timeouts, {} sockopt errors, {} partial reads",
         summary.sessions,
         summary.requests,
         summary.accepted,
@@ -720,12 +734,14 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         summary.protocol_errors,
         summary.resyncs,
         summary.read_timeouts,
-        summary.sockopt_errors
+        summary.sockopt_errors,
+        summary.partial_reads
     );
     for s in &summary.per_shard {
         println!(
             "[serve]   shard {}: {} sessions, {} requests, {} predictions \
-             ({} correct), {} errors, {} batched, {} warmed, {} snapshotted",
+             ({} correct), {} errors, {} batched, {} coalesced, {} warmed, \
+             {} snapshotted",
             s.shard,
             s.sessions,
             s.requests,
@@ -733,6 +749,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
             s.correct,
             s.errors,
             s.batched,
+            s.coalesced,
             s.warmed,
             s.snapshotted
         );
@@ -885,6 +902,20 @@ fn print_top(addr: &str, snap: &Json) {
 /// Frame kinds as named in the shard metrics registries.
 const FRAME_NAMES: [&str; 5] = ["hello", "predict", "update", "batch", "stats"];
 
+/// Scans for `<name> <value>` as a positive finite float.
+fn flag_float(rest: &[String], name: &str) -> Result<Option<f64>, String> {
+    let Some(text) = flag_str(rest, name) else {
+        return Ok(None);
+    };
+    let v: f64 = text
+        .parse()
+        .map_err(|_| format!("{name} expects a number, got `{text}`"))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!("{name} must be a positive number"));
+    }
+    Ok(Some(v))
+}
+
 /// `ntp loadgen`: replays the captured benchmark suite as concurrent
 /// wire sessions against a running `ntp serve`, then checks every
 /// session's served statistics against the offline oracle **exactly**
@@ -892,6 +923,13 @@ const FRAME_NAMES: [&str; 5] = ["hello", "predict", "update", "batch", "stats"];
 /// doubles as the serving gate in `scripts/check.sh`. Records come from
 /// the same persistent trace cache as `ntp capture`, so a pre-warmed
 /// cache makes this simulation-free.
+///
+/// With `--open-loop` the generator switches from closed-loop replay to
+/// a fixed-rate arrival schedule with Zipf session popularity: requests
+/// go out on schedule whether or not earlier replies are back, `Busy`
+/// replies are shed (not retried), and latency is measured from the
+/// *scheduled* send time — so queueing delay under overload shows up in
+/// p99/p99.9 instead of being coordinated away.
 fn cmd_loadgen(rest: &[String]) -> Result<(), String> {
     let mut cfg = ntp_serve::LoadgenConfig::default();
     if let Some(addr) = flag_str(rest, "--addr") {
@@ -928,6 +966,10 @@ fn cmd_loadgen(rest: &[String]) -> Result<(), String> {
             }
         })
         .collect();
+
+    if rest.iter().any(|a| a == "--open-loop") {
+        return loadgen_open_loop(rest, &cfg, &specs);
+    }
 
     let report = ntp_serve::loadgen::run(&cfg, &specs).map_err(|e| e.to_string())?;
 
@@ -997,6 +1039,97 @@ fn cmd_loadgen(rest: &[String]) -> Result<(), String> {
         let bad = report.sessions.iter().filter(|s| !s.matches()).count();
         Err(format!(
             "{bad} session(s) diverged from the offline oracle (served != evaluate)"
+        ))
+    }
+}
+
+/// The `--open-loop` arm of `ntp loadgen`: fixed-rate Zipf schedule,
+/// shed `Busy` replies, scheduled-send-time latency, exact oracle check
+/// over the applied subsequence.
+fn loadgen_open_loop(
+    rest: &[String],
+    cfg: &ntp_serve::LoadgenConfig,
+    specs: &[ntp_serve::SessionSpec],
+) -> Result<(), String> {
+    let mut ocfg = ntp_serve::OpenLoopConfig {
+        addr: cfg.addr.clone(),
+        conns: cfg.clients,
+        bits: cfg.bits,
+        depth: cfg.depth,
+        ..ntp_serve::OpenLoopConfig::default()
+    };
+    if let Some(rate) = flag_float(rest, "--rate")? {
+        ocfg.rate = rate;
+    }
+    if let Some(duration) = flag_seconds(rest, "--duration")? {
+        ocfg.duration = duration;
+    }
+    if let Some(zipf) = flag_float(rest, "--zipf")? {
+        ocfg.zipf = zipf;
+    }
+    ocfg.seed = flag_seed(rest, "--seed", ocfg.seed)?;
+
+    let report = ntp_serve::run_open_loop(&ocfg, specs).map_err(|e| e.to_string())?;
+
+    if rest.iter().any(|a| a == "--shutdown") {
+        let mut client =
+            ntp_serve::Client::connect(&ocfg.addr).map_err(|e| format!("shutdown: {e}"))?;
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown: {e}"))?;
+    }
+
+    match flag_str(rest, "--json") {
+        Some("-") => println!("{}", report.to_json().pretty()),
+        Some(path) => {
+            let mut text = report.to_json().pretty();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("[json] wrote {path}");
+        }
+        None => {}
+    }
+
+    for s in &report.sessions {
+        println!(
+            "{:<14} shard {}  {:>8} sent  {:>8} applied  {:>7} busy  oracle {}",
+            s.name,
+            s.shard,
+            s.sent,
+            s.applied,
+            s.busy,
+            if s.matches() { "match" } else { "MISMATCH" }
+        );
+    }
+    println!(
+        "[loadgen] open loop: offered {} ({:.0}/s over {:.1}s, zipf {}, seed {:#x}), \
+         applied {} ({:.0}/s achieved), {} busy, {} late sends",
+        report.offered,
+        report.offered_qps(),
+        ocfg.duration.as_secs_f64(),
+        ocfg.zipf,
+        ocfg.seed,
+        report.applied,
+        report.achieved_qps(),
+        report.busy,
+        report.late
+    );
+    println!(
+        "[loadgen] sojourn latency p50 {} us p99 {} us p99.9 {} us max {} us \
+         (schedule digest {:016x})",
+        report.latency_us.p50(),
+        report.latency_us.p99(),
+        report.latency_us.p999(),
+        report.latency_us.max(),
+        report.schedule_digest
+    );
+    if report.all_match() {
+        println!("[loadgen] served == lockstep oracle over the applied subsequence");
+        Ok(())
+    } else {
+        let bad = report.sessions.iter().filter(|s| !s.matches()).count();
+        Err(format!(
+            "{bad} session(s) diverged from the lockstep oracle under open loop"
         ))
     }
 }

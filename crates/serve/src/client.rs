@@ -66,6 +66,10 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     stream: TcpStream,
     max_frame: u32,
+    /// Reusable frame buffer: each request is encoded and framed in
+    /// place, then written with a single syscall — no per-request
+    /// allocation, no separate header/body/checksum writes.
+    scratch: Vec<u8>,
     /// Busy retries before giving up.
     pub busy_retries: u32,
     /// Pause between busy retries.
@@ -84,6 +88,7 @@ impl Client {
         Ok(Client {
             stream,
             max_frame: CLIENT_MAX_FRAME,
+            scratch: Vec::with_capacity(256),
             busy_retries: 200,
             busy_backoff: Duration::from_millis(2),
             busy_deadline: Duration::from_secs(5),
@@ -92,8 +97,8 @@ impl Client {
 
     /// Sends one request and reads one reply (no busy retry).
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let body = wire::encode_request(req);
-        wire::write_frame(&mut self.stream, &body)?;
+        wire::frame_request(&mut self.scratch, req);
+        self.stream.write_all(&self.scratch)?;
         self.stream.flush()?;
         match wire::read_frame(&mut self.stream, self.max_frame) {
             Ok(body) => wire::decode_response(&body).map_err(ClientError::Protocol),

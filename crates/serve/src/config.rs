@@ -21,6 +21,17 @@ pub const WORKERS_ENV: &str = "NTP_SERVE_WORKERS";
 /// connections are refused with an `Error(refused)` reply.
 pub const MAX_CONNS_ENV: &str = "NTP_SERVE_MAX_CONNS";
 
+/// `NTP_SERVE_EVENT_THREADS`: event-loop thread count for the
+/// nonblocking (epoll) connection frontend. `0` disables the event
+/// frontend and serves every connection from a dedicated blocking
+/// thread — the only mode available off Linux, where this knob is
+/// ignored.
+pub const EVENT_THREADS_ENV: &str = "NTP_SERVE_EVENT_THREADS";
+
+/// `NTP_SERVE_QUEUE_DEPTH`: bounded per-shard request-queue depth;
+/// beyond it the server replies `Busy` instead of queueing.
+pub const QUEUE_DEPTH_ENV: &str = "NTP_SERVE_QUEUE_DEPTH";
+
 /// `NTP_SERVE_METRICS_ADDR`: when set, bind a sidecar TCP listener on
 /// this `host:port` serving the merged metrics snapshot over plain HTTP
 /// (`GET /metrics` text exposition, `GET /metrics.json`). Unset by
@@ -68,6 +79,10 @@ pub struct ServeConfig {
     pub max_frame: u32,
     /// Bounded per-shard queue depth; a full queue yields `Busy`.
     pub queue_depth: usize,
+    /// Event-loop threads for the nonblocking connection frontend
+    /// (Linux only). `0` falls back to one blocking thread per
+    /// connection; off Linux the blocking path is always used.
+    pub event_threads: usize,
     /// Per-connection socket read timeout (an idle connection past this
     /// is dropped, which also bounds shutdown drain).
     pub read_timeout: Duration,
@@ -96,6 +111,7 @@ impl Default for ServeConfig {
             max_conns: DEFAULT_MAX_CONNS,
             max_frame: DEFAULT_MAX_FRAME,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            event_threads: default_event_threads(),
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             metrics_addr: None,
@@ -111,6 +127,18 @@ impl Default for ServeConfig {
 /// long-lived threads, and prediction state is small.
 pub fn default_workers() -> usize {
     ntp_runner::thread_count().min(8)
+}
+
+/// Default event-loop thread count: a small slice of the
+/// `NTP_THREADS`-governed pool width on Linux (the loops only shuttle
+/// bytes — shard workers do the prediction work), `0` elsewhere (the
+/// epoll frontend is Linux-only).
+pub fn default_event_threads() -> usize {
+    if cfg!(target_os = "linux") {
+        ntp_runner::thread_count().clamp(1, 4)
+    } else {
+        0
+    }
 }
 
 impl ServeConfig {
@@ -132,6 +160,13 @@ impl ServeConfig {
         if let Some(max_conns) = ntp_runner::parse_env::<usize>(MAX_CONNS_ENV) {
             assert!(max_conns >= 1, "{MAX_CONNS_ENV} must be >= 1");
             cfg.max_conns = max_conns;
+        }
+        if let Some(threads) = ntp_runner::parse_env::<usize>(EVENT_THREADS_ENV) {
+            cfg.event_threads = threads; // 0 = blocking frontend
+        }
+        if let Some(depth) = ntp_runner::parse_env::<usize>(QUEUE_DEPTH_ENV) {
+            assert!(depth >= 1, "{QUEUE_DEPTH_ENV} must be >= 1");
+            cfg.queue_depth = depth;
         }
         if let Some(addr) = ntp_runner::parse_env::<String>(METRICS_ADDR_ENV) {
             cfg.metrics_addr = Some(addr);
@@ -167,6 +202,12 @@ impl ServeConfig {
         }
         if self.queue_depth == 0 {
             return Err("serve: queue_depth must be >= 1".into());
+        }
+        if self.event_threads > 256 {
+            return Err(format!(
+                "serve: event_threads {} above the 256 sanity cap",
+                self.event_threads
+            ));
         }
         if self.max_frame < MIN_FRAME_CAP {
             return Err(format!(
@@ -234,6 +275,13 @@ mod tests {
             ),
             (
                 ServeConfig {
+                    event_threads: 257,
+                    ..ServeConfig::default()
+                },
+                "event_threads",
+            ),
+            (
+                ServeConfig {
                     max_frame: 8,
                     ..ServeConfig::default()
                 },
@@ -290,6 +338,8 @@ mod tests {
             ADDR_ENV,
             WORKERS_ENV,
             MAX_CONNS_ENV,
+            EVENT_THREADS_ENV,
+            QUEUE_DEPTH_ENV,
             METRICS_ADDR_ENV,
             STATS_INTERVAL_ENV,
             WARM_ENV,
@@ -309,6 +359,8 @@ mod tests {
         std::env::set_var(ADDR_ENV, "127.0.0.1:0");
         std::env::set_var(WORKERS_ENV, "3");
         std::env::set_var(MAX_CONNS_ENV, "9");
+        std::env::set_var(EVENT_THREADS_ENV, "0");
+        std::env::set_var(QUEUE_DEPTH_ENV, "17");
         std::env::set_var(METRICS_ADDR_ENV, "127.0.0.1:0");
         std::env::set_var(STATS_INTERVAL_ENV, "2.5");
         std::env::set_var(WARM_ENV, "warm.nts");
@@ -317,6 +369,8 @@ mod tests {
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.max_conns, 9);
+        assert_eq!(cfg.event_threads, 0, "0 explicitly selects blocking mode");
+        assert_eq!(cfg.queue_depth, 17);
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cfg.stats_interval, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(cfg.warm_path.as_deref(), Some(Path::new("warm.nts")));
@@ -334,6 +388,13 @@ mod tests {
             .expect_err("zero stats interval must abort");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains(STATS_INTERVAL_ENV), "{msg}");
+        std::env::set_var(STATS_INTERVAL_ENV, "2.5");
+
+        std::env::set_var(QUEUE_DEPTH_ENV, "0");
+        let err = std::panic::catch_unwind(ServeConfig::from_env)
+            .expect_err("zero queue depth must abort");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains(QUEUE_DEPTH_ENV), "{msg}");
 
         for var in all {
             std::env::remove_var(var);

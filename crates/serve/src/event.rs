@@ -1,0 +1,643 @@
+//! The event-driven connection frontend: a fixed set of epoll readiness
+//! loops multiplexing every accepted socket (Linux only).
+//!
+//! The blocking frontend spends one thread per connection, parked in
+//! `read_frame`. This module replaces that with `event_threads`
+//! nonblocking loops: the acceptor hands sockets to a [`ConnRouter`],
+//! each loop owns its connections outright (no locks on any per-
+//! connection state), and a [`crate::poll::WakeFd`] lets shard workers
+//! poke the loop when a reply is ready. The shard plane is untouched —
+//! decoded frames route into the same bounded queues, replies come back
+//! as [`Completion`]s tagged `(conn, seq)` so the loop can restore the
+//! strict request order on the wire no matter how shards interleave.
+//!
+//! Mechanics worth naming:
+//!
+//! * **Frame reassembly.** Reads land in a [`wire::FrameAssembler`]; a
+//!   frame split across any number of reads (or many frames packed into
+//!   one read) decodes identically to the blocking reader, including
+//!   its oversized-resync and poisoning semantics. Reads that end
+//!   mid-frame count `conn.partial_reads`.
+//! * **Pipelining + coalescing.** A client may write many frames
+//!   without waiting. Consecutive same-session frames decoded from one
+//!   read burst are coalesced into a single [`Job::Run`] — one queue
+//!   slot, one shard wakeup — which is exactly the feeding pattern the
+//!   shard's batched drain wants. Replies still come back one frame per
+//!   request, in request order (`next_write`/`pending` reordering).
+//! * **Write backpressure.** Replies append to a per-connection buffer
+//!   flushed opportunistically; a short write arms `EPOLLOUT` and the
+//!   loop finishes the flush when the socket drains, so one slow reader
+//!   never blocks the loop.
+//! * **Shutdown.** The acceptor holds the only [`ConnRouter`]; when it
+//!   exits the injection channels disconnect, and each loop runs its
+//!   remaining connections dry before exiting — the same drain story as
+//!   the blocking frontend, without a shutdown race on late accepts.
+//!
+//! Shards never wait on a loop (completions ride an unbounded channel),
+//! so a loop calling into `Hub::collect` for an inline `Metrics` frame
+//! cannot deadlock against its own connections' in-flight work.
+
+use crate::config::ServeConfig;
+use crate::poll::{Epoll, Event, WakeFd};
+use crate::server::{note_sockopt, Completion, Hub, Job, LoopShared, ReplySink};
+use crate::wire::{self, ErrorCode, FrameAssembler, FrameEvent, Request, Response, WireError};
+use ntp_telemetry::ToJson;
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, TryRecvError, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Token reserved for the loop's own wakeup eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Epoll wait timeout: the cadence of idle sweeps and drain checks.
+const LOOP_TICK_MS: i32 = 100;
+
+/// Most same-session frames coalesced into one [`Job::Run`] — matches
+/// the shard's own per-sweep drain limit, so one run never exceeds what
+/// a shard would batch anyway.
+const MAX_COALESCE: usize = 64;
+
+/// Read-buffer size per `read(2)`: large enough that a burst of small
+/// pipelined frames lands in one syscall.
+const READ_CHUNK: usize = 64 << 10;
+
+/// Fans accepted sockets out to the event loops, round-robin. Held only
+/// by the acceptor: dropping it closes every loop's injection channel,
+/// which is each loop's signal that no new connection can ever arrive.
+pub(crate) struct ConnRouter {
+    targets: Vec<(mpsc::Sender<TcpStream>, Arc<WakeFd>)>,
+    rr: AtomicUsize,
+}
+
+impl ConnRouter {
+    /// Hands a socket to the next loop and wakes it. False only when
+    /// every loop is gone (teardown).
+    pub(crate) fn inject(&self, stream: TcpStream) -> bool {
+        let n = self.targets.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        let mut stream = stream;
+        for k in 0..n {
+            let (tx, wake) = &self.targets[(start + k) % n];
+            match tx.send(stream) {
+                Ok(()) => {
+                    wake.wake();
+                    return true;
+                }
+                Err(mpsc::SendError(s)) => stream = s,
+            }
+        }
+        false
+    }
+}
+
+/// Spawns `n` event-loop threads and the router that feeds them.
+pub(crate) fn spawn(
+    n: usize,
+    cfg: &ServeConfig,
+    hub: &Arc<Hub>,
+    active_conns: &Arc<AtomicUsize>,
+    loops: &Arc<[LoopShared]>,
+) -> Result<(Arc<ConnRouter>, Vec<JoinHandle<()>>), String> {
+    let mut targets = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let wake =
+            Arc::new(WakeFd::new().map_err(|e| format!("serve: cannot create loop eventfd: {e}"))?);
+        let (inject_tx, inject_rx) = mpsc::channel::<TcpStream>();
+        let cfg = cfg.clone();
+        let hub = Arc::clone(hub);
+        let active_conns = Arc::clone(active_conns);
+        let loops = Arc::clone(loops);
+        let wake2 = Arc::clone(&wake);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ntp-serve-loop-{i}"))
+                .spawn(move || run_loop(cfg, hub, active_conns, loops, i, wake2, inject_rx))
+                .map_err(|e| format!("serve: cannot spawn event loop: {e}"))?,
+        );
+        targets.push((inject_tx, wake));
+    }
+    Ok((
+        Arc::new(ConnRouter {
+            targets,
+            rr: AtomicUsize::new(0),
+        }),
+        handles,
+    ))
+}
+
+/// One multiplexed connection: read side (assembler), write side
+/// (buffered replies), and the sequencing that keeps the wire in
+/// request order.
+struct Conn {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    /// Encoded reply frames not yet fully written.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` the socket has taken.
+    wpos: usize,
+    /// Next sequence number to stamp on a decoded frame.
+    next_seq: u64,
+    /// Next sequence number whose reply goes on the wire.
+    next_write: u64,
+    /// Replies that finished out of order, parked until their turn.
+    pending: HashMap<u64, Response>,
+    /// Whether `EPOLLOUT` is currently armed for this socket.
+    interest_out: bool,
+    /// Close once `wbuf` drains (after `Bye`, or a poisoned stream).
+    close_after_flush: bool,
+    /// Peer sent EOF; close once every stamped frame is answered.
+    read_closed: bool,
+    /// Transport error; close immediately, discarding `wbuf`.
+    dead: bool,
+    last_activity: Instant,
+}
+
+enum FlushState {
+    Drained,
+    Stalled,
+    Dead,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            asm: FrameAssembler::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_seq: 0,
+            next_write: 0,
+            pending: HashMap::new(),
+            interest_out: false,
+            close_after_flush: false,
+            read_closed: false,
+            dead: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    fn take_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// True when every stamped frame's reply has been encoded.
+    fn idle(&self) -> bool {
+        self.next_write == self.next_seq
+    }
+
+    /// Slots one reply into the in-order stream: encoded straight into
+    /// `wbuf` when it is the next one due (then drains any parked run),
+    /// parked otherwise.
+    fn complete(&mut self, seq: u64, resp: Response) {
+        if seq != self.next_write {
+            self.pending.insert(seq, resp);
+            return;
+        }
+        wire::append_response_frame(&mut self.wbuf, &resp);
+        self.next_write += 1;
+        while let Some(r) = self.pending.remove(&self.next_write) {
+            wire::append_response_frame(&mut self.wbuf, &r);
+            self.next_write += 1;
+        }
+    }
+
+    /// Pushes buffered replies at the socket until drained or blocked.
+    fn flush(&mut self) -> FlushState {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return FlushState::Dead,
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return FlushState::Stalled,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return FlushState::Dead,
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        FlushState::Drained
+    }
+}
+
+/// Everything frame processing needs, borrowed once per loop iteration.
+struct Ctx<'a> {
+    cfg: &'a ServeConfig,
+    hub: &'a Hub,
+    done_tx: &'a mpsc::Sender<Completion>,
+    wake: &'a Arc<WakeFd>,
+}
+
+fn run_loop(
+    cfg: ServeConfig,
+    hub: Arc<Hub>,
+    active_conns: Arc<AtomicUsize>,
+    loops: Arc<[LoopShared]>,
+    loop_idx: usize,
+    wake: Arc<WakeFd>,
+    inject_rx: Receiver<TcpStream>,
+) {
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let mut ep = match Epoll::new() {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("[serve] event loop {loop_idx}: epoll_create1 failed: {e}");
+            return;
+        }
+    };
+    if let Err(e) = ep.add(wake.raw(), WAKE_TOKEN, false) {
+        eprintln!("[serve] event loop {loop_idx}: cannot register eventfd: {e}");
+        return;
+    }
+    let ls = &loops[loop_idx];
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut inject_open = true;
+    let mut events: Vec<Event> = Vec::new();
+
+    loop {
+        if hub.drain.is_set() && !inject_open && conns.is_empty() {
+            break;
+        }
+        if let Err(e) = ep.wait(&mut events, LOOP_TICK_MS) {
+            eprintln!("[serve] event loop {loop_idx}: epoll_wait failed: {e}");
+            break;
+        }
+        let ctx = Ctx {
+            cfg: &cfg,
+            hub: &hub,
+            done_tx: &done_tx,
+            wake: &wake,
+        };
+
+        // New sockets from the acceptor. A disconnected channel means
+        // the acceptor is gone — no connection will ever arrive again.
+        while inject_open {
+            match inject_rx.try_recv() {
+                Ok(stream) => register(
+                    &ep,
+                    &hub,
+                    &active_conns,
+                    &mut conns,
+                    &mut next_token,
+                    stream,
+                ),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => inject_open = false,
+            }
+        }
+
+        let mut frames_this_wakeup: usize = 0;
+        let mut woke = false;
+        for ev in &events {
+            if ev.token == WAKE_TOKEN {
+                woke = true;
+                continue;
+            }
+            let close = match conns.get_mut(&ev.token) {
+                Some(conn) => {
+                    if ev.readable {
+                        read_socket(conn);
+                        frames_this_wakeup += process_frames(&ctx, conn, ev.token);
+                        if conn.asm.has_partial() && !conn.read_closed && !conn.dead {
+                            ctx.hub
+                                .counters
+                                .partial_reads
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // A pure EPOLLOUT event still settles: the stalled
+                    // write buffer can make progress now.
+                    if ev.readable || ev.writable {
+                        settle(&ep, conn, ev.token)
+                    } else {
+                        false
+                    }
+                }
+                None => continue, // Closed earlier this iteration.
+            };
+            if close {
+                close_conn(&ep, &mut conns, &active_conns, ev.token);
+            }
+        }
+
+        // Shard completions. The eventfd must be drained before the
+        // channel so a racing producer either lands in this sweep or
+        // re-signals the fd for the next one.
+        if woke {
+            wake.drain();
+            let mut touched: HashSet<u64> = HashSet::new();
+            while let Ok(c) = done_rx.try_recv() {
+                if let Some(conn) = conns.get_mut(&c.conn) {
+                    conn.complete(c.seq, c.resp);
+                    touched.insert(c.conn);
+                }
+            }
+            for token in touched {
+                let close = match conns.get_mut(&token) {
+                    Some(conn) => settle(&ep, conn, token),
+                    None => continue,
+                };
+                if close {
+                    close_conn(&ep, &mut conns, &active_conns, token);
+                }
+            }
+        }
+
+        // Idle sweep on quiet ticks: a peer with nothing in flight that
+        // has been silent past the read timeout is dropped, exactly as
+        // the blocking frontend's socket read timeout would.
+        if events.is_empty() && !conns.is_empty() {
+            let now = Instant::now();
+            let expired: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.idle() && now.duration_since(c.last_activity) > cfg.read_timeout)
+                .map(|(t, _)| *t)
+                .collect();
+            for token in expired {
+                hub.counters.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                close_conn(&ep, &mut conns, &active_conns, token);
+            }
+        }
+
+        if frames_this_wakeup > 0 {
+            ls.wakeups.fetch_add(1, Ordering::Relaxed);
+            ls.frames_per_wakeup
+                .lock()
+                .expect("loop histogram lock")
+                .record(frames_this_wakeup as u64);
+        }
+    }
+    // Remaining connections (only possible after an epoll failure) still
+    // hold slots against the connection limit; release them.
+    let abandoned = conns.len();
+    drop(conns);
+    active_conns.fetch_sub(abandoned, Ordering::SeqCst);
+}
+
+/// Switches a fresh socket to nonblocking and registers it; a socket
+/// that cannot be prepared is closed (and its `active_conns` slot
+/// released) rather than risk it blocking the loop.
+fn register(
+    ep: &Epoll,
+    hub: &Hub,
+    active_conns: &AtomicUsize,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    stream: TcpStream,
+) {
+    let r = stream.set_nonblocking(true);
+    let ok = r.is_ok();
+    note_sockopt(&hub.counters, "set_nonblocking", r);
+    if !ok {
+        active_conns.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    let token = *next_token;
+    *next_token += 1;
+    if ep.add(stream.as_raw_fd(), token, false).is_err() {
+        active_conns.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    conns.insert(token, Conn::new(stream));
+}
+
+/// Reads until the socket would block (or EOF/error), feeding the
+/// assembler. Level-triggered epoll re-reports anything left behind, so
+/// a short read may simply end the burst.
+fn read_socket(conn: &mut Conn) {
+    let mut buf = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.asm.push(&buf[..n]);
+                if n < buf.len() {
+                    break; // Likely drained; skip the guaranteed EAGAIN.
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Decodes every complete frame buffered on `conn`, mirroring the
+/// blocking `connection_loop` exactly: same error codes, same counters,
+/// same inline handling of `Shutdown` and `Metrics`. Consecutive
+/// same-session routed requests coalesce into one [`Job::Run`]. Returns
+/// the number of frames decoded (for `loop.frames_per_wakeup`).
+fn process_frames(ctx: &Ctx, conn: &mut Conn, token: u64) -> usize {
+    let mut frames = 0usize;
+    let mut run: Vec<(Request, ReplySink)> = Vec::new();
+    let mut run_session = 0u64;
+    while let Some(event) = conn.asm.next(ctx.cfg.max_frame) {
+        frames += 1;
+        match event {
+            FrameEvent::Refused(e) => {
+                let seq = conn.take_seq();
+                ctx.hub
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                match &e {
+                    WireError::Oversized { recoverable, .. } => {
+                        if *recoverable {
+                            ctx.hub.counters.resyncs.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            // The assembler is poisoned — no resync is
+                            // possible past a huge declared length.
+                            conn.close_after_flush = true;
+                        }
+                        conn.complete(
+                            seq,
+                            Response::Error {
+                                code: ErrorCode::Oversized,
+                                message: e.to_string(),
+                            },
+                        );
+                    }
+                    _ => conn.complete(
+                        seq,
+                        Response::Error {
+                            code: ErrorCode::BadFrame,
+                            message: e.to_string(),
+                        },
+                    ),
+                }
+                if conn.close_after_flush {
+                    break;
+                }
+            }
+            FrameEvent::Frame(body) => {
+                let seq = conn.take_seq();
+                match wire::decode_request(&body) {
+                    Err(msg) => {
+                        ctx.hub
+                            .counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        conn.complete(
+                            seq,
+                            Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: msg,
+                            },
+                        );
+                    }
+                    Ok(Request::Shutdown) => {
+                        // In-flight work first: requests decoded before
+                        // the Shutdown still get served, and their
+                        // replies precede the Bye on the wire.
+                        flush_run(ctx, conn, &mut run, run_session);
+                        ctx.hub.drain.trigger();
+                        conn.complete(seq, Response::Bye);
+                        conn.close_after_flush = true;
+                        break; // Anything after a Shutdown is discarded.
+                    }
+                    Ok(Request::Metrics) => {
+                        flush_run(ctx, conn, &mut run, run_session);
+                        let json = ctx.hub.collect().to_json().render();
+                        conn.complete(seq, Response::Metrics { json });
+                    }
+                    Ok(req) => {
+                        let session = req.session().expect("routed requests name a session");
+                        if !run.is_empty() && (session != run_session || run.len() >= MAX_COALESCE)
+                        {
+                            flush_run(ctx, conn, &mut run, run_session);
+                        }
+                        run_session = session;
+                        run.push((
+                            req,
+                            ReplySink::Event {
+                                tx: ctx.done_tx.clone(),
+                                wake: Arc::clone(ctx.wake),
+                                conn: token,
+                                seq,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    flush_run(ctx, conn, &mut run, run_session);
+    frames
+}
+
+/// Enqueues a pending run on its owning shard: one [`Job::Request`] for
+/// a single request, one [`Job::Run`] for a coalesced burst — either
+/// way one queue slot and one depth increment, matching the shard's one
+/// decrement per job. A full queue answers `Busy` per request (counted
+/// per request, exactly like the blocking frontend); a disconnected
+/// queue answers `Draining`.
+fn flush_run(ctx: &Ctx, conn: &mut Conn, run: &mut Vec<(Request, ReplySink)>, session: u64) {
+    if run.is_empty() {
+        return;
+    }
+    let entries = std::mem::take(run);
+    let n = entries.len() as u64;
+    let shard = (session % ctx.hub.senders.len() as u64) as usize;
+    let job = if entries.len() == 1 {
+        let (req, reply) = entries.into_iter().next().expect("one entry");
+        Job::Request { req, reply }
+    } else {
+        Job::Run { session, entries }
+    };
+    match ctx.hub.senders[shard].try_send(job) {
+        Ok(()) => {
+            ctx.hub.shared[shard].depth.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TrySendError::Full(job)) => {
+            ctx.hub.counters.busy.fetch_add(n, Ordering::Relaxed);
+            ctx.hub.shared[shard].busy.fetch_add(n, Ordering::Relaxed);
+            refuse_job(conn, job, &Response::Busy);
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            refuse_job(
+                conn,
+                job,
+                &Response::Error {
+                    code: ErrorCode::Draining,
+                    message: "server is draining".into(),
+                },
+            );
+        }
+    }
+}
+
+/// Completes every request in a rejected job with `resp`, in place —
+/// the replies are already in sequence order, so they land straight in
+/// the connection's write buffer.
+fn refuse_job(conn: &mut Conn, job: Job, resp: &Response) {
+    let entries = match job {
+        Job::Request { req, reply } => vec![(req, reply)],
+        Job::Run { entries, .. } => entries,
+        Job::Snapshot { .. } => Vec::new(),
+    };
+    for (_, reply) in entries {
+        if let ReplySink::Event { seq, .. } = reply {
+            conn.complete(seq, resp.clone());
+        }
+    }
+}
+
+/// Flushes what it can and decides the connection's fate: arms or
+/// disarms `EPOLLOUT` around a stalled write, closes after the final
+/// flush (`Bye`/poisoned stream), closes a half-closed peer once every
+/// stamped frame is answered. Returns true when the connection should
+/// close now.
+fn settle(ep: &Epoll, conn: &mut Conn, token: u64) -> bool {
+    if conn.dead {
+        return true;
+    }
+    match conn.flush() {
+        FlushState::Drained => {
+            if conn.interest_out {
+                if ep.modify(conn.stream.as_raw_fd(), token, false).is_err() {
+                    return true;
+                }
+                conn.interest_out = false;
+            }
+            (conn.close_after_flush || conn.read_closed) && conn.idle()
+        }
+        FlushState::Stalled => {
+            if !conn.interest_out {
+                if ep.modify(conn.stream.as_raw_fd(), token, true).is_err() {
+                    return true;
+                }
+                conn.interest_out = true;
+            }
+            false
+        }
+        FlushState::Dead => true,
+    }
+}
+
+/// Deregisters and drops one connection, releasing its `active_conns`
+/// slot. Anything still buffered (reads or replies) is discarded.
+fn close_conn(ep: &Epoll, conns: &mut HashMap<u64, Conn>, active_conns: &AtomicUsize, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        ep.delete(conn.stream.as_raw_fd());
+        drop(conn);
+        active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}

@@ -33,6 +33,7 @@
 //!   histograms, and asserts served == offline statistics exactly;
 //! * [`config`] — [`ServeConfig`] and the `NTP_SERVE_ADDR` /
 //!   `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` /
+//!   `NTP_SERVE_EVENT_THREADS` / `NTP_SERVE_QUEUE_DEPTH` /
 //!   `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL` /
 //!   `NTP_SERVE_WARM` / `NTP_SERVE_SNAPSHOT_DIR` knobs
 //!   (validated via [`ntp_runner::parse_env`]).
@@ -68,12 +69,33 @@
 
 pub mod client;
 pub mod config;
+#[cfg(target_os = "linux")]
+mod event;
 pub mod loadgen;
+#[cfg(target_os = "linux")]
+mod poll;
 pub mod server;
 pub mod wire;
 
+/// The wakeup primitive shard workers use to poke an event loop when a
+/// completion is queued: the `eventfd` wrapper on Linux, an inert stub
+/// elsewhere (the blocking frontend never constructs an event sink).
+#[cfg(target_os = "linux")]
+pub(crate) use poll::WakeFd as EventWake;
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) struct EventWake;
+
+#[cfg(not(target_os = "linux"))]
+impl EventWake {
+    pub(crate) fn wake(&self) {}
+}
+
 pub use client::{Client, ClientError};
 pub use config::ServeConfig;
-pub use loadgen::{LoadgenConfig, LoadgenReport, SessionResult, SessionSpec};
+pub use loadgen::{
+    run_open_loop, LoadgenConfig, LoadgenReport, OpenLoopConfig, OpenLoopReport, OpenSessionResult,
+    SessionResult, SessionSpec,
+};
 pub use server::{serve, ServerHandle, ServerSummary, ShardSummary};
 pub use wire::{ErrorCode, Request, Response, PROTOCOL_VERSION};

@@ -77,14 +77,79 @@ const WINDOW_EPOCHS: usize = 10;
 
 /// One unit of shard work: a routed request, or a metrics snapshot
 /// travelling the same queue (so reading metrics never locks the shard).
-enum Job {
-    /// A wire request with the channel its reply goes back on.
-    Request {
-        req: Request,
-        reply: mpsc::Sender<Response>,
+pub(crate) enum Job {
+    /// A wire request with the sink its reply goes back through.
+    Request { req: Request, reply: ReplySink },
+    /// Consecutive same-session requests coalesced off one connection's
+    /// read burst: one queue slot, one wake-up, one prefetch — the
+    /// event-loop frontend's feeding pattern for the batched drain.
+    /// Each request is still applied (and its metrics recorded)
+    /// individually, in order, so replies are byte-identical to
+    /// uncoalesced processing.
+    Run {
+        session: u64,
+        entries: Vec<(Request, ReplySink)>,
     },
     /// A snapshot of the shard's registry and rolling window.
     Snapshot { reply: mpsc::Sender<ShardSnapshot> },
+}
+
+impl Job {
+    /// Routed requests this job carries (0 for snapshots).
+    fn routed(&self) -> usize {
+        match self {
+            Job::Request { .. } => 1,
+            Job::Run { entries, .. } => entries.len(),
+            Job::Snapshot { .. } => 0,
+        }
+    }
+}
+
+/// Where a shard sends a reply: a blocking connection thread waiting on
+/// a channel, or an event loop that multiplexes many connections and is
+/// woken through an eventfd. The `(conn, seq)` pair lets the loop slot
+/// the response back into that connection's in-order reply stream no
+/// matter how shard completions interleave.
+pub(crate) enum ReplySink {
+    /// Blocking frontend: the connection thread `recv()`s synchronously.
+    Sync(mpsc::Sender<Response>),
+    /// Event-loop frontend: queue a completion, then poke the loop.
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    Event {
+        tx: mpsc::Sender<Completion>,
+        wake: Arc<crate::EventWake>,
+        conn: u64,
+        seq: u64,
+    },
+}
+
+impl ReplySink {
+    /// Delivers one response; delivery failures mean the frontend is
+    /// gone, which the shard safely ignores (exactly as the blocking
+    /// path ignores a dropped reply receiver).
+    pub(crate) fn send(self, resp: Response) {
+        match self {
+            ReplySink::Sync(tx) => {
+                let _ = tx.send(resp);
+            }
+            ReplySink::Event {
+                tx,
+                wake,
+                conn,
+                seq,
+            } => {
+                let _ = tx.send(Completion { conn, seq, resp });
+                wake.wake();
+            }
+        }
+    }
+}
+
+/// A shard's answer travelling back to an event loop.
+pub(crate) struct Completion {
+    pub conn: u64,
+    pub seq: u64,
+    pub resp: Response,
 }
 
 /// One live session: a predictor plus its replay statistics.
@@ -114,6 +179,11 @@ pub struct ShardSummary {
     /// `ntp_core::evaluate_batch`). Load-dependent — only a busy queue
     /// batches — so this is a volatile counter, not a determinism gate.
     pub batched: u64,
+    /// Requests that arrived pre-coalesced: an event loop decoded two or
+    /// more consecutive frames for the same session in one read burst
+    /// and enqueued them as a single [`Job::Run`]. Load- and
+    /// timing-dependent, volatile like `batched`.
+    pub coalesced: u64,
     /// Sessions restored from a warm-start snapshot at startup.
     pub warmed: u64,
     /// Sessions written to this shard's drain snapshot (`shard<k>.nts`),
@@ -141,6 +211,10 @@ pub struct ServerSummary {
     /// Socket-option calls (`set_read_timeout` / `set_write_timeout` /
     /// `set_nodelay`) that failed while preparing a connection.
     pub sockopt_errors: u64,
+    /// Socket reads (event-loop frontend) that ended on an incomplete
+    /// frame, i.e. the frame had to be reassembled across reads. Purely
+    /// informational: partial delivery is normal TCP behaviour.
+    pub partial_reads: u64,
     /// Sessions created across all shards.
     pub sessions: u64,
     /// Requests processed across all shards.
@@ -151,20 +225,32 @@ pub struct ServerSummary {
 }
 
 #[derive(Default)]
-struct Counters {
-    accepted: AtomicU64,
-    refused: AtomicU64,
-    busy: AtomicU64,
-    protocol_errors: AtomicU64,
-    resyncs: AtomicU64,
-    read_timeouts: AtomicU64,
-    sockopt_errors: AtomicU64,
+pub(crate) struct Counters {
+    pub accepted: AtomicU64,
+    pub refused: AtomicU64,
+    pub busy: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub resyncs: AtomicU64,
+    pub read_timeouts: AtomicU64,
+    pub sockopt_errors: AtomicU64,
+    pub partial_reads: AtomicU64,
+}
+
+/// Per-event-loop observability shared with the metrics plane:
+/// productive wakeups and a histogram of frames decoded per wakeup
+/// (the multiplexing win — higher is fewer syscalls per frame). The
+/// mutex is uncontended: the owning loop records once per wakeup,
+/// metrics collection reads rarely.
+#[derive(Default)]
+pub(crate) struct LoopShared {
+    pub wakeups: AtomicU64,
+    pub frames_per_wakeup: std::sync::Mutex<ntp_telemetry::Histogram>,
 }
 
 /// Records a socket-option failure: always counted, logged only the
 /// first time per process so a systemically broken stack cannot flood
 /// stderr.
-fn note_sockopt(counters: &Counters, what: &str, result: std::io::Result<()>) {
+pub(crate) fn note_sockopt(counters: &Counters, what: &str, result: std::io::Result<()>) {
     static LOGGED: AtomicBool = AtomicBool::new(false);
     if let Err(e) = result {
         counters.sockopt_errors.fetch_add(1, Ordering::Relaxed);
@@ -182,26 +268,26 @@ fn note_sockopt(counters: &Counters, what: &str, result: std::io::Result<()>) {
 /// shard's dequeue decrement race benignly, so the value can transiently
 /// dip below zero; readers clamp.
 #[derive(Default)]
-struct ShardShared {
-    depth: AtomicI64,
-    busy: AtomicU64,
+pub(crate) struct ShardShared {
+    pub depth: AtomicI64,
+    pub busy: AtomicU64,
 }
 
 /// The drain flag plus everything needed to wake blocked acceptors.
-struct DrainSignal {
+pub(crate) struct DrainSignal {
     flag: AtomicBool,
     addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
 }
 
 impl DrainSignal {
-    fn is_set(&self) -> bool {
+    pub(crate) fn is_set(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
     }
 
     /// Sets the drain flag and pokes the (blocking) acceptors awake with
     /// throwaway loopback connections. Idempotent.
-    fn trigger(&self) {
+    pub(crate) fn trigger(&self) {
         if !self.flag.swap(true, Ordering::SeqCst) {
             // Acceptors check the flag before serving each accepted
             // connection, so these wake-up connections are simply dropped.
@@ -217,11 +303,12 @@ impl DrainSignal {
 /// signal, and the snapshot-collection path every metrics consumer uses.
 /// Holding a `Hub` keeps the shard queues alive — [`ServerHandle::join`]
 /// drops every clone before joining the shard threads.
-struct Hub {
-    senders: Arc<[SyncSender<Job>]>,
-    shared: Arc<[ShardShared]>,
-    counters: Arc<Counters>,
-    drain: Arc<DrainSignal>,
+pub(crate) struct Hub {
+    pub senders: Arc<[SyncSender<Job>]>,
+    pub shared: Arc<[ShardShared]>,
+    pub counters: Arc<Counters>,
+    pub drain: Arc<DrainSignal>,
+    pub loops: Arc<[LoopShared]>,
     start: Instant,
 }
 
@@ -231,7 +318,7 @@ impl Hub {
     /// window, and a `total` section merging the shard cumulatives.
     /// Blocks until every live shard answers (snapshots ride the request
     /// queue); a shard that has already exited is skipped.
-    fn collect(&self) -> Snapshot {
+    pub(crate) fn collect(&self) -> Snapshot {
         let mut snap = Snapshot::new();
         let mut server = MetricsRegistry::new();
         for (name, v) in [
@@ -257,9 +344,27 @@ impl Hub {
                 "conn.sockopt_errors",
                 self.counters.sockopt_errors.load(Ordering::Relaxed),
             ),
+            (
+                "conn.partial_reads",
+                self.counters.partial_reads.load(Ordering::Relaxed),
+            ),
+            (
+                "loop.wakeups",
+                self.loops
+                    .iter()
+                    .map(|l| l.wakeups.load(Ordering::Relaxed))
+                    .sum(),
+            ),
         ] {
             let id = server.counter(name);
             server.set_counter(id, v);
+        }
+        // Per-loop frames-per-wakeup histograms fold into one server-wide
+        // distribution (zero on the blocking frontend).
+        let fw = server.histogram("loop.frames_per_wakeup");
+        for l in self.loops.iter() {
+            let h = l.frames_per_wakeup.lock().expect("loop histogram lock");
+            server.merge_histogram(fw, &h);
         }
         let up = server.gauge("uptime_s");
         server.set(up, self.start.elapsed().as_secs_f64());
@@ -300,6 +405,7 @@ pub struct ServerHandle {
     drain: Arc<DrainSignal>,
     hub: Option<Arc<Hub>>,
     accept: Option<JoinHandle<()>>,
+    event_loops: Vec<JoinHandle<()>>,
     metrics_accept: Option<JoinHandle<()>>,
     stats: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<ShardSummary>>,
@@ -349,6 +455,13 @@ impl ServerHandle {
         while self.active_conns.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Event loops exit once the drain flag is set, their injection
+        // channel is closed (the acceptor dropped it above) and their
+        // last connection is gone; joining them releases their hub
+        // clones.
+        for h in self.event_loops.drain(..) {
+            let _ = h.join();
+        }
         // The sidecar and stats threads also hold hub clones (and with
         // them shard senders); they exit on the drain flag. Join them,
         // then drop our own hub — at that point every sender is gone,
@@ -368,6 +481,7 @@ impl ServerHandle {
             resyncs: self.counters.resyncs.load(Ordering::Relaxed),
             read_timeouts: self.counters.read_timeouts.load(Ordering::Relaxed),
             sockopt_errors: self.counters.sockopt_errors.load(Ordering::Relaxed),
+            partial_reads: self.counters.partial_reads.load(Ordering::Relaxed),
             ..ServerSummary::default()
         };
         for h in self.shards.drain(..) {
@@ -485,6 +599,11 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         .map(|_| ShardShared::default())
         .collect::<Vec<_>>()
         .into();
+    let event_threads = effective_event_threads(&cfg);
+    let loops: Arc<[LoopShared]> = (0..event_threads)
+        .map(|_| LoopShared::default())
+        .collect::<Vec<_>>()
+        .into();
     let start = Instant::now();
 
     // One bounded queue per shard. Every sender clone lives inside a Hub
@@ -522,8 +641,24 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         shared,
         counters: Arc::clone(&counters),
         drain: Arc::clone(&drain),
+        loops: Arc::clone(&loops),
         start,
     });
+
+    // Event-driven frontend: a fixed set of readiness loops the acceptor
+    // hands sockets to. The acceptor holds the only router (and with it
+    // the injection senders), so when it exits the loops see a closed
+    // channel and can drain out — no shutdown race with late accepts.
+    #[cfg_attr(not(target_os = "linux"), allow(unused_mut))]
+    let mut router: Option<Arc<ConnRouter>> = None;
+    #[cfg_attr(not(target_os = "linux"), allow(unused_mut))]
+    let mut event_loops: Vec<JoinHandle<()>> = Vec::new();
+    #[cfg(target_os = "linux")]
+    if event_threads > 0 {
+        let (r, handles) = crate::event::spawn(event_threads, &cfg, &hub, &active_conns, &loops)?;
+        router = Some(r);
+        event_loops = handles;
+    }
 
     let accept = {
         let active_conns = Arc::clone(&active_conns);
@@ -531,7 +666,7 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         let hub = Arc::clone(&hub);
         std::thread::Builder::new()
             .name("ntp-serve-accept".into())
-            .spawn(move || accept_loop(listener, cfg, hub, active_conns))
+            .spawn(move || accept_loop(listener, cfg, hub, active_conns, router))
             .map_err(|e| format!("serve: cannot spawn acceptor: {e}"))?
     };
 
@@ -569,10 +704,46 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         drain,
         hub: Some(hub),
         accept: Some(accept),
+        event_loops,
         metrics_accept,
         stats,
         shards,
     })
+}
+
+/// How many event-loop threads this platform actually runs: the
+/// configured count on Linux, zero (with a one-line note) elsewhere —
+/// the blocking thread-per-connection path is the portable fallback.
+fn effective_event_threads(cfg: &ServeConfig) -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        cfg.event_threads
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        if cfg.event_threads > 0 {
+            eprintln!(
+                "[serve] event-driven frontend is Linux-only; using blocking connection threads"
+            );
+        }
+        0
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub(crate) use crate::event::ConnRouter;
+
+/// Stub router for platforms without the event frontend; never
+/// constructed (`effective_event_threads` forces the blocking path).
+#[cfg(not(target_os = "linux"))]
+pub(crate) struct ConnRouter;
+
+#[cfg(not(target_os = "linux"))]
+impl ConnRouter {
+    pub(crate) fn inject(&self, stream: TcpStream) -> bool {
+        drop(stream);
+        false
+    }
 }
 
 fn accept_loop(
@@ -580,6 +751,7 @@ fn accept_loop(
     cfg: ServeConfig,
     hub: Arc<Hub>,
     active_conns: Arc<AtomicUsize>,
+    router: Option<Arc<ConnRouter>>,
 ) {
     for stream in listener.incoming() {
         if hub.drain.is_set() {
@@ -599,6 +771,19 @@ fn accept_loop(
             continue;
         }
         hub.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        // Disable Nagle right at accept — both frontends serve
+        // request/response traffic where a delayed ACK stall dwarfs any
+        // segment-coalescing win. Failures are counted (and logged once)
+        // through the sockopt path like every other socket option.
+        note_sockopt(&hub.counters, "set_nodelay", stream.set_nodelay(true));
+        if let Some(router) = &router {
+            if !router.inject(stream) {
+                // Every event loop is gone — only possible when the
+                // process is tearing down; drop the connection.
+                active_conns.fetch_sub(1, Ordering::SeqCst);
+            }
+            continue;
+        }
         let cfg = cfg.clone();
         let hub2 = Arc::clone(&hub);
         let active_conns2 = Arc::clone(&active_conns);
@@ -613,7 +798,8 @@ fn accept_loop(
         }
     }
     // Dropping `hub` here releases the acceptor's share of the shard
-    // senders; shards keep running until the last holder lets go.
+    // senders (and the router, closing the loops' injection channels);
+    // shards keep running until the last holder lets go.
 }
 
 /// Sends a single error reply on a connection we will not serve.
@@ -651,8 +837,10 @@ fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
         "set_write_timeout",
         stream.set_write_timeout(Some(cfg.write_timeout)),
     );
-    note_sockopt(&hub.counters, "set_nodelay", stream.set_nodelay(true));
     let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    // One reusable frame buffer: every reply is encoded in place and
+    // written with a single syscall.
+    let mut scratch = Vec::with_capacity(256);
 
     loop {
         let body = match wire::read_frame(&mut stream, cfg.max_frame) {
@@ -678,6 +866,7 @@ fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
                         code: ErrorCode::Oversized,
                         message: e.to_string(),
                     },
+                    &mut scratch,
                 );
                 if !recoverable || !sent {
                     break; // Cannot resync past a huge declared length.
@@ -692,6 +881,7 @@ fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
                         code: ErrorCode::BadFrame,
                         message: e.to_string(),
                     },
+                    &mut scratch,
                 ) {
                     break;
                 }
@@ -708,6 +898,7 @@ fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
                         code: ErrorCode::BadRequest,
                         message: msg,
                     },
+                    &mut scratch,
                 ) {
                     break;
                 }
@@ -722,14 +913,14 @@ fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
                 // Flip the drain flag, acknowledge, and close this
                 // connection. Other connections keep draining.
                 hub.drain.trigger();
-                let _ = send(&mut stream, &Response::Bye);
+                let _ = send(&mut stream, &Response::Bye, &mut scratch);
                 break;
             }
             Request::Metrics => {
                 let resp = Response::Metrics {
                     json: hub.collect().to_json().render(),
                 };
-                if !send(&mut stream, &resp) {
+                if !send(&mut stream, &resp, &mut scratch) {
                     break;
                 }
                 continue;
@@ -740,7 +931,7 @@ fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
         let shard = (session % hub.senders.len() as u64) as usize;
         let resp = match hub.senders[shard].try_send(Job::Request {
             req,
-            reply: reply_tx.clone(),
+            reply: ReplySink::Sync(reply_tx.clone()),
         }) {
             Ok(()) => {
                 hub.shared[shard].depth.fetch_add(1, Ordering::Relaxed);
@@ -762,16 +953,19 @@ fn connection_loop(mut stream: TcpStream, cfg: &ServeConfig, hub: &Hub) {
                 message: "server is draining".into(),
             },
         };
-        if !send(&mut stream, &resp) {
+        if !send(&mut stream, &resp, &mut scratch) {
             break;
         }
     }
 }
 
-/// Writes one response frame; false when the peer is gone.
-fn send(stream: &mut TcpStream, resp: &Response) -> bool {
-    let body = wire::encode_response(resp);
-    wire::write_frame(stream, &body)
+/// Writes one response frame through the reusable buffer (one encode,
+/// one syscall); false when the peer is gone.
+fn send(stream: &mut TcpStream, resp: &Response, scratch: &mut Vec<u8>) -> bool {
+    scratch.clear();
+    wire::append_response_frame(scratch, resp);
+    stream
+        .write_all(scratch)
         .and_then(|()| stream.flush())
         .is_ok()
 }
@@ -807,6 +1001,7 @@ struct ShardMetrics {
     c_err_other: CounterId,
     c_busy: CounterId,
     c_batched: CounterId,
+    c_coalesced: CounterId,
     c_busy_us: CounterId,
     c_idle_us: CounterId,
     g_queue: GaugeId,
@@ -831,6 +1026,7 @@ impl ShardMetrics {
         let c_err_other = r.counter("errors.other");
         let c_busy = r.counter("busy.rejections");
         let c_batched = r.counter("drain.batched");
+        let c_coalesced = r.counter("drain.coalesced");
         let c_busy_us = r.counter("time.busy_us");
         let c_idle_us = r.counter("time.idle_us");
         let g_queue = r.gauge("queue.depth");
@@ -850,6 +1046,7 @@ impl ShardMetrics {
             c_err_other,
             c_busy,
             c_batched,
+            c_coalesced,
             c_busy_us,
             c_idle_us,
             g_queue,
@@ -918,7 +1115,7 @@ impl ShardMetrics {
 }
 
 /// One shard's answer to a `Job::Snapshot`.
-struct ShardSnapshot {
+pub(crate) struct ShardSnapshot {
     shard: u32,
     metrics: MetricsRegistry,
     window: MetricsRegistry,
@@ -970,25 +1167,28 @@ fn shard_loop(
             }
         }
 
-        // Gathered probe pass: with several routed requests in hand,
-        // hint every target session's table lines before resolving any.
-        let routed = drained
-            .iter()
-            .filter(|j| matches!(j, Job::Request { .. }))
-            .count();
+        // Gathered probe pass: with several routed requests in hand
+        // (across jobs, or pre-coalesced inside one `Job::Run`), hint
+        // every target session's table lines before resolving any.
+        let routed: usize = drained.iter().map(Job::routed).sum();
         if routed >= 2 {
             for job in &drained {
-                if let Job::Request { req, .. } = job {
-                    if let Some(s) = req.session().and_then(|id| sessions.get(&id)) {
-                        s.predictor.prefetch_tables();
-                    }
+                let session = match job {
+                    Job::Request { req, .. } => req.session(),
+                    Job::Run { session, .. } => Some(*session),
+                    Job::Snapshot { .. } => None,
+                };
+                if let Some(s) = session.and_then(|id| sessions.get(&id)) {
+                    s.predictor.prefetch_tables();
                 }
             }
             m.registry.add(m.c_batched, routed as u64);
         }
 
-        // Resolve pass: strict arrival order, same per-job handling (and
-        // per-job latency accounting) as the scalar loop.
+        // Resolve pass: strict arrival order, same per-request handling
+        // (and per-request latency accounting) as the scalar loop — a
+        // coalesced run is applied one request at a time so replies and
+        // metrics are byte-identical to uncoalesced processing.
         for job in drained.drain(..) {
             let begun = Instant::now();
             let epoch = begun.duration_since(start).as_secs();
@@ -999,7 +1199,22 @@ fn shard_loop(
                     let resp = apply(shard_id, &mut sessions, &req);
                     m.record(&req, &resp, begun, epoch);
                     m.registry.set(m.g_live, sessions.len() as f64);
-                    let _ = reply.send(resp);
+                    reply.send(resp);
+                }
+                Job::Run { entries, .. } => {
+                    own.depth.fetch_sub(1, Ordering::Relaxed);
+                    if entries.len() >= 2 {
+                        m.registry.add(m.c_coalesced, entries.len() as u64);
+                    }
+                    for (req, reply) in entries {
+                        let begun = Instant::now();
+                        let epoch = begun.duration_since(start).as_secs();
+                        requests += 1;
+                        let resp = apply(shard_id, &mut sessions, &req);
+                        m.record(&req, &resp, begun, epoch);
+                        m.registry.set(m.g_live, sessions.len() as f64);
+                        reply.send(resp);
+                    }
                 }
                 Job::Snapshot { reply } => {
                     let _ = reply.send(m.snapshot(shard_id, own, epoch));
@@ -1039,6 +1254,7 @@ fn shard_loop(
             + m.registry.counter_value(m.c_err_badcfg)
             + m.registry.counter_value(m.c_err_other),
         batched: m.registry.counter_value(m.c_batched),
+        coalesced: m.registry.counter_value(m.c_coalesced),
         warmed,
         snapshotted,
     }

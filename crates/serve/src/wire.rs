@@ -280,6 +280,38 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
     w.write_all(&out)
 }
 
+/// Appends one complete frame to `out`, encoding the body in place: a
+/// four-byte length placeholder is reserved, `fill` appends the body,
+/// then the length is backfilled and the checksum appended. No
+/// intermediate body allocation, so callers can reuse one scratch
+/// buffer across requests and issue a single `write` per frame.
+fn append_frame_with(out: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    fill(out);
+    let len = (out.len() - start - 4) as u32;
+    debug_assert!(len > 0, "frames always carry at least a kind byte");
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    let sum = fnv64(&out[start + 4..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Encodes `req` as one complete frame (`len | body | checksum`) into
+/// `out`, clearing it first. The result is ready for a single
+/// `write_all` — the client hot path reuses one scratch buffer so a
+/// request costs zero allocations and one syscall.
+pub fn frame_request(out: &mut Vec<u8>, req: &Request) {
+    out.clear();
+    append_frame_with(out, |buf| encode_request_into(buf, req));
+}
+
+/// Appends one complete response frame to `out` **without** clearing
+/// it, so several pipelined replies accumulate into one buffered write
+/// on the server side.
+pub fn append_response_frame(out: &mut Vec<u8>, resp: &Response) {
+    append_frame_with(out, |buf| encode_response_into(buf, resp));
+}
+
 /// Reads one frame body, enforcing `max_frame` and verifying the
 /// checksum. On every non-[`WireError::Io`] error the reader has consumed
 /// exactly the declared frame (when recoverable), so the caller can reply
@@ -314,6 +346,144 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Vec<u8>, WireErro
         return Err(WireError::BadChecksum);
     }
     Ok(body)
+}
+
+/// One parse step from a [`FrameAssembler`].
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete, checksum-verified frame body.
+    Frame(Vec<u8>),
+    /// A refused frame ([`WireError::Empty`], [`WireError::BadChecksum`]
+    /// or [`WireError::Oversized`]); mirrors [`read_frame`]'s recoverable
+    /// errors. Unless the error is an unrecoverable `Oversized`, the
+    /// stream stays framed and parsing can continue.
+    Refused(WireError),
+}
+
+/// Incremental frame reassembly for nonblocking sockets: bytes arrive
+/// in arbitrary chunks via [`FrameAssembler::push`], and
+/// [`FrameAssembler::next`] yields exactly the same sequence of frames
+/// and recoverable errors that [`read_frame`] would produce on the
+/// equivalent blocking stream.
+///
+/// Oversized-but-recoverable bodies are *not* buffered: the error is
+/// reported as soon as the header is seen and subsequent bytes are
+/// swallowed until the declared body (plus checksum) has passed, so a
+/// 64 MiB hostile frame costs no allocation. An oversized frame beyond
+/// [`HARD_FRAME_CAP`] poisons the assembler — the caller must close the
+/// connection, exactly as the blocking reader does.
+#[derive(Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    pos: usize,
+    /// Bytes still to swallow from an oversized-but-recoverable frame.
+    skip: u64,
+    poisoned: bool,
+}
+
+/// Compact the parse buffer once the consumed prefix crosses this.
+const ASSEMBLER_COMPACT: usize = 64 << 10;
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Feeds one received chunk into the assembler.
+    pub fn push(&mut self, mut bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        if self.skip > 0 {
+            let eaten = self.skip.min(bytes.len() as u64) as usize;
+            self.skip -= eaten as u64;
+            bytes = &bytes[eaten..];
+        }
+        if !bytes.is_empty() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Whether the assembler holds an incomplete frame (or is mid-way
+    /// through swallowing an oversized body) — i.e. the last read ended
+    /// on a partial frame.
+    pub fn has_partial(&self) -> bool {
+        self.skip > 0 || self.pos < self.buf.len()
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= ASSEMBLER_COMPACT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Parses the next complete frame, if the buffer holds one.
+    pub fn next(&mut self, max_frame: u32) -> Option<FrameEvent> {
+        if self.poisoned || self.skip > 0 {
+            return None;
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        if len == 0 {
+            // A zero-length frame still carries its checksum; consume
+            // both so the stream stays framed.
+            if avail < 12 {
+                return None;
+            }
+            self.pos += 12;
+            self.compact();
+            return Some(FrameEvent::Refused(WireError::Empty));
+        }
+        if len > max_frame {
+            if len > HARD_FRAME_CAP {
+                self.poisoned = true;
+                return Some(FrameEvent::Refused(WireError::Oversized {
+                    len,
+                    max: max_frame,
+                    recoverable: false,
+                }));
+            }
+            // Swallow body + checksum as they arrive instead of
+            // buffering them; report the refusal immediately.
+            let total = len as u64 + 8;
+            let have = (avail - 4) as u64;
+            let eaten = total.min(have);
+            self.pos += 4 + eaten as usize;
+            self.skip = total - eaten;
+            self.compact();
+            return Some(FrameEvent::Refused(WireError::Oversized {
+                len,
+                max: max_frame,
+                recoverable: true,
+            }));
+        }
+        let need = 4 + len as usize + 8;
+        if avail < need {
+            self.compact();
+            return None;
+        }
+        let body_start = self.pos + 4;
+        let body_end = body_start + len as usize;
+        let sum = u64::from_le_bytes(self.buf[body_end..body_end + 8].try_into().unwrap());
+        let ok = fnv64(&self.buf[body_start..body_end]) == sum;
+        let event = if ok {
+            FrameEvent::Frame(self.buf[body_start..body_end].to_vec())
+        } else {
+            FrameEvent::Refused(WireError::BadChecksum)
+        };
+        self.pos += need;
+        self.compact();
+        Some(event)
+    }
 }
 
 /// Reads and drops exactly `n` bytes.
@@ -432,6 +602,13 @@ fn get_record(c: &mut Cursor<'_>) -> Result<TraceRecord, String> {
 /// Encodes a request into a frame body.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
+    encode_request_into(&mut out, req);
+    out
+}
+
+/// Appends the encoded body of `req` to `out` (no clearing), for
+/// callers building frames in a reusable buffer.
+pub fn encode_request_into(out: &mut Vec<u8>, req: &Request) {
     match req {
         Request::Hello {
             session,
@@ -451,7 +628,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Update { session, record } => {
             out.push(K_UPDATE);
             out.extend_from_slice(&session.to_le_bytes());
-            put_record(&mut out, record);
+            put_record(out, record);
         }
         Request::Batch { session, records } => {
             out.reserve(13 + records.len() * 8);
@@ -459,7 +636,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&session.to_le_bytes());
             out.extend_from_slice(&(records.len() as u32).to_le_bytes());
             for r in records {
-                put_record(&mut out, r);
+                put_record(out, r);
             }
         }
         Request::Stats { session } => {
@@ -469,7 +646,6 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Shutdown => out.push(K_SHUTDOWN),
         Request::Metrics => out.push(K_METRICS),
     }
-    out
 }
 
 /// Decodes a frame body into a request, validating every field.
@@ -539,6 +715,13 @@ fn get_source(c: &mut Cursor<'_>) -> Result<Source, String> {
 /// Encodes a response into a frame body.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
+    encode_response_into(&mut out, resp);
+    out
+}
+
+/// Appends the encoded body of `resp` to `out` (no clearing), for
+/// callers building frames in a reusable buffer.
+pub fn encode_response_into(out: &mut Vec<u8>, resp: &Response) {
     match resp {
         Response::HelloOk { session, shard } => {
             out.push(K_HELLO_OK);
@@ -564,7 +747,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     out.extend_from_slice(&(h.0 as u64).to_le_bytes());
                 }
             }
-            put_source(&mut out, *source);
+            put_source(out, *source);
         }
         Response::Updated { correct } => {
             out.push(K_UPDATED);
@@ -601,7 +784,6 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(msg);
         }
     }
-    out
 }
 
 /// Decodes a frame body into a response, validating every field.
@@ -916,5 +1098,126 @@ mod tests {
         });
         hello[1] = 99;
         assert!(decode_request(&hello).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn frame_helpers_match_write_frame_bytes() {
+        let req = Request::Update {
+            session: 5,
+            record: rec(0x0040_0100, 0b1, 1),
+        };
+        let mut blocking = Vec::new();
+        write_frame(&mut blocking, &encode_request(&req)).unwrap();
+        let mut scratch = vec![0xAA; 17]; // stale garbage must be cleared
+        frame_request(&mut scratch, &req);
+        assert_eq!(scratch, blocking);
+
+        let resp = Response::Updated { correct: true };
+        let mut expect = Vec::new();
+        write_frame(&mut expect, &encode_response(&resp)).unwrap();
+        let mut out = Vec::new();
+        append_response_frame(&mut out, &resp);
+        append_response_frame(&mut out, &resp);
+        assert_eq!(out.len(), expect.len() * 2, "appends, never clears");
+        assert_eq!(&out[..expect.len()], expect.as_slice());
+        assert_eq!(&out[expect.len()..], expect.as_slice());
+    }
+
+    /// Every segmentation of a mixed stream (good frames, an empty
+    /// frame, a checksum flip, an oversized body) must yield exactly
+    /// the blocking reader's event sequence.
+    #[test]
+    fn assembler_matches_blocking_reader_under_any_segmentation() {
+        let max_frame = 256;
+        let mut stream = Vec::new();
+        let good1 = encode_request(&Request::Stats { session: 1 });
+        write_frame(&mut stream, &good1).unwrap();
+        // Zero-length frame.
+        stream.extend_from_slice(&0u32.to_le_bytes());
+        stream.extend_from_slice(&0u64.to_le_bytes());
+        // Checksum flip.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, &good1).unwrap();
+        *bad.last_mut().unwrap() ^= 1;
+        stream.extend_from_slice(&bad);
+        // Oversized (recoverable) frame, then a good one right after.
+        write_frame(&mut stream, &vec![K_PREDICT; 300]).unwrap();
+        let good2 = encode_request(&Request::Predict { session: 9 });
+        write_frame(&mut stream, &good2).unwrap();
+
+        for chunk in [1, 2, 3, 5, 7, 11, stream.len()] {
+            let mut asm = FrameAssembler::new();
+            let mut events = Vec::new();
+            for piece in stream.chunks(chunk) {
+                asm.push(piece);
+                while let Some(ev) = asm.next(max_frame) {
+                    events.push(ev);
+                }
+            }
+            assert!(!asm.has_partial(), "chunk {chunk}: stream fully consumed");
+            assert_eq!(events.len(), 5, "chunk {chunk}: {events:?}");
+            assert!(matches!(&events[0], FrameEvent::Frame(b) if *b == good1));
+            assert!(matches!(events[1], FrameEvent::Refused(WireError::Empty)));
+            assert!(matches!(
+                events[2],
+                FrameEvent::Refused(WireError::BadChecksum)
+            ));
+            assert!(matches!(
+                events[3],
+                FrameEvent::Refused(WireError::Oversized {
+                    len: 300,
+                    recoverable: true,
+                    ..
+                })
+            ));
+            assert!(matches!(&events[4], FrameEvent::Frame(b) if *b == good2));
+        }
+    }
+
+    #[test]
+    fn assembler_reports_partial_frames_and_skips_large_bodies_unbuffered() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &encode_request(&Request::Stats { session: 3 })).unwrap();
+
+        let mut asm = FrameAssembler::new();
+        for &b in &framed[..framed.len() - 1] {
+            asm.push(&[b]);
+            assert!(asm.next(64).is_none(), "incomplete frame yields nothing");
+            assert!(asm.has_partial());
+        }
+        asm.push(&framed[framed.len() - 1..]);
+        assert!(matches!(asm.next(64), Some(FrameEvent::Frame(_))));
+        assert!(!asm.has_partial());
+
+        // Oversized body: refused at the header, then swallowed without
+        // growing the parse buffer.
+        let mut big = Vec::new();
+        write_frame(&mut big, &vec![K_PREDICT; 4096]).unwrap();
+        asm.push(&big[..6]);
+        assert!(matches!(
+            asm.next(64),
+            Some(FrameEvent::Refused(WireError::Oversized {
+                recoverable: true,
+                ..
+            }))
+        ));
+        assert!(asm.has_partial(), "mid-skip counts as partial");
+        asm.push(&big[6..]);
+        assert!(asm.next(64).is_none());
+        assert!(!asm.has_partial(), "skip complete");
+        assert!(asm.buf.is_empty(), "oversized body was never buffered");
+
+        // A hard-cap violation poisons the assembler.
+        let mut huge = FrameAssembler::new();
+        huge.push(&(HARD_FRAME_CAP + 1).to_le_bytes());
+        assert!(matches!(
+            huge.next(64),
+            Some(FrameEvent::Refused(WireError::Oversized {
+                recoverable: false,
+                ..
+            }))
+        ));
+        huge.push(&framed);
+        assert!(huge.next(64).is_none(), "poisoned assembler stays silent");
     }
 }

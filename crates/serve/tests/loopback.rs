@@ -733,6 +733,283 @@ fn warm_start_resumes_drained_sessions_exactly() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Reads one raw reply frame (length | body | checksum) verbatim.
+fn read_raw_reply(stream: &mut TcpStream) -> Vec<u8> {
+    use std::io::Read;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("reply length");
+    let body_len = u32::from_le_bytes(len) as usize;
+    let mut frame = vec![0u8; 4 + body_len + 8];
+    frame[..4].copy_from_slice(&len);
+    stream.read_exact(&mut frame[4..]).expect("reply frame");
+    frame
+}
+
+/// Partial-frame torture: every request frame arrives dribbled a few
+/// bytes at a time across many reads, with several frame boundaries
+/// deliberately split mid-header, mid-body and mid-checksum. The event
+/// loop must reassemble every frame exactly — each reply is compared
+/// **byte-for-byte** against the locally framed expected response — with
+/// zero protocol errors, and the partial-read counter must show the
+/// reassembly path actually engaged.
+#[cfg(target_os = "linux")]
+#[test]
+fn dribbled_frames_reassemble_byte_identically() {
+    use ntp_core::{NextTracePredictor, PredictorConfig, TracePredictor};
+
+    let handle = serve(cfg_on("127.0.0.1:0", 1)).expect("bind");
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Dribble the Hello itself: 1 byte per write.
+    let hello = {
+        let mut buf = Vec::new();
+        wire::frame_request(
+            &mut buf,
+            &Request::Hello {
+                session: 0,
+                bits: 12,
+                depth: 5,
+            },
+        );
+        buf
+    };
+    for b in &hello {
+        stream.write_all(std::slice::from_ref(b)).expect("dribble");
+        stream.flush().expect("flush");
+    }
+    assert!(matches!(read_reply(&mut stream), Response::HelloOk { .. }));
+
+    let records = synthetic_stream(0xD21B_B1E5, 200);
+    let mut oracle = NextTracePredictor::new(PredictorConfig::paper(12, 5));
+    let mut chop = 0usize;
+    for (k, rec) in records.iter().enumerate() {
+        let mut frame = Vec::new();
+        wire::frame_request(
+            &mut frame,
+            &Request::Update {
+                session: 0,
+                record: *rec,
+            },
+        );
+        // Rotate through chunk sizes 1..=5 so splits land inside the
+        // 4-byte header, the body and the 8-byte checksum on different
+        // iterations.
+        let mut off = 0;
+        while off < frame.len() {
+            chop = chop % 5 + 1;
+            let end = (off + chop).min(frame.len());
+            stream.write_all(&frame[off..end]).expect("dribble");
+            stream.flush().expect("flush");
+            off = end;
+        }
+
+        let want = oracle.predict().is_correct(rec.id());
+        oracle.update(rec);
+        let expected = {
+            let mut buf = Vec::new();
+            wire::append_response_frame(&mut buf, &Response::Updated { correct: want });
+            buf
+        };
+        assert_eq!(
+            read_raw_reply(&mut stream),
+            expected,
+            "reply {k} not byte-identical"
+        );
+    }
+    drop(stream);
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown_server()
+        .expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.protocol_errors, 0, "dribbling is not an error");
+    assert!(
+        summary.partial_reads > 0,
+        "dribbled frames must exercise the reassembly path"
+    );
+    assert_eq!(summary.sessions, 1);
+}
+
+/// Pipelining: a client that fires a whole burst of same-session frames
+/// in one write and only then reads gets every reply, in order, each
+/// matching the lockstep oracle — and on one worker the coalescing
+/// counter must show consecutive same-session frames were gathered into
+/// multi-entry jobs rather than woken one by one.
+#[cfg(target_os = "linux")]
+#[test]
+fn pipelined_bursts_reply_in_order_and_coalesce() {
+    use ntp_core::{NextTracePredictor, PredictorConfig, TracePredictor};
+
+    let handle = serve(cfg_on("127.0.0.1:0", 1)).expect("bind");
+    let addr = handle.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    write_raw(
+        &mut stream,
+        &wire::encode_request(&Request::Hello {
+            session: 0,
+            bits: 12,
+            depth: 5,
+        }),
+    );
+    assert!(matches!(read_reply(&mut stream), Response::HelloOk { .. }));
+
+    let records = synthetic_stream(0xC0A1_E5CE, 600);
+    let mut oracle = NextTracePredictor::new(PredictorConfig::paper(12, 5));
+    for burst in records.chunks(40) {
+        let mut buf = Vec::new();
+        for rec in burst {
+            let mut frame = Vec::new();
+            wire::frame_request(
+                &mut frame,
+                &Request::Update {
+                    session: 0,
+                    record: *rec,
+                },
+            );
+            buf.extend_from_slice(&frame);
+        }
+        // One write carries the entire burst: the loop reads several
+        // frames per wakeup and must answer them strictly in order.
+        stream.write_all(&buf).expect("burst write");
+        stream.flush().expect("flush");
+        for (k, rec) in burst.iter().enumerate() {
+            let want = oracle.predict().is_correct(rec.id());
+            oracle.update(rec);
+            match read_reply(&mut stream) {
+                Response::Updated { correct } => {
+                    assert_eq!(correct, want, "burst reply {k} out of order or wrong")
+                }
+                other => panic!("expected Updated, got {other:?}"),
+            }
+        }
+    }
+    drop(stream);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let snap =
+        ntp_telemetry::json::parse(&client.metrics_json().expect("metrics")).expect("parses");
+    assert!(
+        counter(&snap, "shard0", "drain.coalesced") > 0,
+        "40-frame bursts into one session must coalesce"
+    );
+    client.shutdown_server().expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.protocol_errors, 0);
+    assert!(summary.per_shard[0].coalesced > 0);
+}
+
+/// `event_threads: 0` forces the portable blocking frontend on any
+/// platform; the exact-oracle guarantee holds there unchanged.
+#[test]
+fn blocking_fallback_matches_oracle() {
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        event_threads: 0,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let specs: Vec<SessionSpec> = (0..3)
+        .map(|i| SessionSpec {
+            name: format!("synth{i}"),
+            records: synthetic_stream(0xB10C_0000 + i as u64, 2_000),
+        })
+        .collect();
+    let report = loadgen::run(
+        &LoadgenConfig {
+            addr: addr.clone(),
+            clients: 3,
+            chunk: 128,
+            bits: 12,
+            depth: 5,
+        },
+        &specs,
+    )
+    .expect("loadgen runs");
+    assert!(report.all_match(), "blocking frontend diverged from oracle");
+
+    Client::connect(&addr)
+        .expect("connect")
+        .shutdown_server()
+        .expect("shutdown");
+    let summary = handle.join();
+    assert_eq!(summary.sessions, 3);
+}
+
+/// Open-loop determinism: two runs with the same seed, rate, zipf and
+/// duration — against fresh servers — produce the identical schedule
+/// (digest and per-session sent counts) and, below capacity, identical
+/// oracle-checked outcomes with zero shed load.
+#[test]
+fn open_loop_schedule_is_deterministic() {
+    let specs: Vec<SessionSpec> = (0..3)
+        .map(|i| SessionSpec {
+            name: format!("synth{i}"),
+            records: synthetic_stream(0x00E1_100F ^ (i as u64 + 1), 500),
+        })
+        .collect();
+
+    let run = || {
+        let handle = serve(cfg_on("127.0.0.1:0", 2)).expect("bind");
+        let addr = handle.local_addr().to_string();
+        let report = ntp_serve::run_open_loop(
+            &ntp_serve::OpenLoopConfig {
+                addr: addr.clone(),
+                conns: 2,
+                rate: 2_000.0,
+                duration: Duration::from_millis(500),
+                zipf: 1.0,
+                seed: 0x5EED,
+                bits: 12,
+                depth: 5,
+            },
+            &specs,
+        )
+        .expect("open loop runs");
+        Client::connect(&addr)
+            .expect("connect")
+            .shutdown_server()
+            .expect("shutdown");
+        handle.join();
+        report
+    };
+
+    let a = run();
+    let b = run();
+
+    assert_eq!(a.offered, 1_000);
+    assert_eq!(a.schedule_digest, b.schedule_digest, "schedules diverged");
+    assert_eq!(a.busy, 0, "2k/s on 2 workers must be below capacity");
+    assert_eq!(b.busy, 0);
+    assert_eq!(a.applied, a.offered, "nothing shed below capacity");
+    assert!(a.all_match() && b.all_match());
+    for (x, y) in a.sessions.iter().zip(&b.sessions) {
+        assert_eq!(x.sent, y.sent, "session {} sent diverged", x.name);
+        assert_eq!(x.applied, y.applied);
+        assert_eq!(
+            x.oracle, y.oracle,
+            "session {} oracle stats diverged",
+            x.name
+        );
+        assert_eq!(x.served, y.served, "session {} served diverged", x.name);
+    }
+    assert!(a.latency_us.count() >= a.applied);
+}
+
 /// A corrupted warm snapshot is refused outright: the server logs, starts
 /// cold (no partially restored sessions), and serves normally.
 #[test]

@@ -132,6 +132,15 @@ impl MetricsRegistry {
         &self.hists[id.0]
     }
 
+    /// Folds an externally maintained histogram into one of this
+    /// registry's histograms (reporting path): lets a snapshot absorb
+    /// sample distributions kept outside the registry — e.g. per-thread
+    /// histograms behind a mutex — the same way `set_counter` absorbs
+    /// external totals.
+    pub fn merge_histogram(&mut self, id: HistogramId, other: &Histogram) {
+        self.hists[id.0].merge(other);
+    }
+
     /// Looks up a counter's current value by name (reporting path).
     pub fn counter_by_name(&self, name: &str) -> Option<u64> {
         let k = self.counter_names.iter().position(|n| n == name)?;

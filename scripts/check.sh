@@ -210,6 +210,22 @@ jq -e '.all_match == true and (.sessions | length) == 4
     || { echo "loadgen report failed validation"; exit 1; }
 echo "4 sessions served; statistics identical to the offline oracle"
 
+# Serving perf gate: the fixed closed-loop smoke must stay at or above
+# the floor percentage of the checked-in baseline QPS — this is what
+# catches "the event-driven frontend got slower than thread-per-conn"
+# class regressions.
+qps_base=$(jq '.loadgen_req_per_sec' "$baseline")
+qps_got=$(jq '.qps' "$out_srv/loadgen1.json")
+if jq -ne --argjson got "$qps_got" --argjson base "$qps_base" --argjson pct "$floor_pct" \
+    '$got >= $base * $pct / 100' >/dev/null; then
+    printf 'loadgen %.0f req/s (baseline %.0f, floor %s%%)\n' \
+        "$qps_got" "$qps_base" "$floor_pct"
+else
+    printf 'loadgen %.0f req/s REGRESSION: below %s%% of baseline %.0f\n' \
+        "$qps_got" "$floor_pct" "$qps_base"
+    exit 1
+fi
+
 # The scraped counters must equal the loadgen oracle totals exactly: the
 # observability plane may not drop or invent a single frame.
 records=$(jq '.records' "$out_srv/loadgen1.json")
@@ -259,13 +275,52 @@ wait "$serve_pid" || { echo "ntp serve exited nonzero on replay 2"; exit 1; }
 strip_top='del(.server)
     | with_entries(select(.key | endswith(".window") | not))
     | map_values(del(.gauges, .histograms)
-        | .counters |= del(."time.busy_us", ."time.idle_us", ."busy.rejections", ."drain.batched"))'
+        | .counters |= del(."time.busy_us", ."time.idle_us", ."busy.rejections", ."drain.batched", ."drain.coalesced"))'
 if ! diff <(jq "$strip_top" "$out_srv/top1.json") \
           <(jq "$strip_top" "$out_srv/top2.json"); then
     echo "stripped top snapshots differ between identical replays"
     exit 1
 fi
 echo "stripped top snapshots byte-identical"
+
+say "open-loop overload smoke: shed load, exact oracle, clean drain"
+# SERVING.md "Open-loop mode". A deliberately tiny server (1 worker,
+# queue depth 1) offered far more than it can apply must shed the
+# excess as Busy without retries, keep the lockstep oracle exact over
+# the applied subsequence, report a sane sojourn tail, and still drain
+# gracefully afterwards.
+"$ntp_bin" serve --addr 127.0.0.1:0 --workers 1 --queue-depth 1 \
+    >"$out_srv/serve_ol.txt" 2>"$out_srv/serve_ol.err" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_srv/serve_ol.txt" 2>/dev/null | head -1 || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ntp serve never printed its bound address"; exit 1; }
+NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
+    "$ntp_bin" loadgen --addr "$addr" --sessions 2 --clients 2 \
+    --open-loop --rate 20000 --duration 1 --zipf 1.0 --seed 0x5EED \
+    --json "$out_srv/openloop.json" >"$out_srv/openloop.txt" \
+    || { echo "open-loop loadgen failed (oracle divergence?)"; cat "$out_srv/openloop.txt"; exit 1; }
+# Overload must actually shed (busy > 0), the books must balance
+# (applied + busy == offered), the oracle must hold, and the p99.9
+# sojourn must stay under 5 s — queueing, not deadlock.
+jq -e '.all_match == true and .busy > 0 and .applied > 0
+       and .applied + .busy == .offered
+       and .latency_us.p999 < 5000000' \
+    "$out_srv/openloop.json" >/dev/null \
+    || { echo "open-loop overload report failed validation"; cat "$out_srv/openloop.json"; exit 1; }
+"$ntp_bin" top --addr "$addr" --once --shutdown >/dev/null
+wait "$serve_pid" || { echo "ntp serve exited nonzero after overload"; exit 1; }
+grep -q 'drained: 2 sessions' "$out_srv/serve_ol.txt" \
+    || { echo "overloaded server did not drain cleanly"; cat "$out_srv/serve_ol.txt"; exit 1; }
+printf 'offered %s, applied %s, busy %s (digest %s); clean drain\n' \
+    "$(jq '.offered' "$out_srv/openloop.json")" \
+    "$(jq '.applied' "$out_srv/openloop.json")" \
+    "$(jq '.busy' "$out_srv/openloop.json")" \
+    "$(jq -r '.schedule_digest' "$out_srv/openloop.json")"
 
 say "snapshot gate: save -> verify -> warm-serve -> drain round trip"
 # SERVING.md "Predictor state snapshots". An offline-trained .nts must
