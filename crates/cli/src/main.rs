@@ -16,10 +16,15 @@
 //!           [--event-threads N] [--queue-depth N]
 //!           [--metrics-addr host:port] [--stats-interval S]
 //!           [--warm <file.nts|dir>] [--snapshot-on-drain <dir>]
+//!           [--snapshot-interval S]
+//! ntp route --backends a1,a2[,...] [--addr host:port]
+//!           [--snapshot-dirs d1,d2[,...]] [--vnodes N] [--probe-interval S]
+//!           [--max-conns N] [--migrate session:<to|next>:after]
 //! ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N]
 //!             [--bits B] [--depth D] [--shutdown] [--json <path|->]
 //!             [--open-loop] [--rate R] [--duration S] [--zipf Z] [--seed S]
-//! ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]
+//! ntp top [--addr host:port] [--interval S] [--once] [--json] [--cluster]
+//!         [--shutdown]
 //! ntp workloads                        list the built-in benchmarks
 //! ```
 
@@ -61,6 +66,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "capture" => cmd_capture(rest),
         "snapshot" => cmd_snapshot(rest),
         "serve" => cmd_serve(rest),
+        "route" => cmd_route(rest),
         "loadgen" => cmd_loadgen(rest),
         "top" => cmd_top(rest),
         "workloads" => cmd_workloads(),
@@ -88,11 +94,14 @@ fn usage() -> String {
      ntp serve [--addr host:port] [--workers N] [--max-conns N] \
      [--event-threads N] [--queue-depth N] \
      [--metrics-addr host:port] [--stats-interval S] \
-     [--warm <file.nts|dir>] [--snapshot-on-drain <dir>]\n  \
+     [--warm <file.nts|dir>] [--snapshot-on-drain <dir>] [--snapshot-interval S]\n  \
+     ntp route --backends a1,a2[,...] [--addr host:port] \
+     [--snapshot-dirs d1,d2[,...]] [--vnodes N] [--probe-interval S] \
+     [--max-conns N] [--migrate session:<to|next>:after]\n  \
      ntp loadgen [--addr host:port] [--sessions N] [--clients N] [--chunk N] \
      [--bits B] [--depth D] [--shutdown] [--json <path|->] \
      [--open-loop] [--rate R] [--duration S] [--zipf Z] [--seed S]\n  \
-     ntp top [--addr host:port] [--interval S] [--once] [--json] [--shutdown]\n  \
+     ntp top [--addr host:port] [--interval S] [--once] [--json] [--cluster] [--shutdown]\n  \
      ntp workloads"
         .to_string()
 }
@@ -677,7 +686,10 @@ fn flag_seconds(rest: &[String], name: &str) -> Result<Option<std::time::Duratio
 /// `--addr 127.0.0.1:0` the kernel picks the port, so scripts parse
 /// these lines to find it. `--warm` preloads sessions from a `.nts`
 /// snapshot (file or directory); `--snapshot-on-drain` writes one
-/// `shard<k>.nts` per shard at graceful shutdown.
+/// `shard<k>.nts` per shard at graceful shutdown, and
+/// `--snapshot-interval` additionally rewrites them every S seconds
+/// while serving (bounding what a hard failure can lose). SIGTERM
+/// drains gracefully, same as a client `Shutdown` frame.
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let mut cfg = ntp_serve::ServeConfig::from_env();
     if let Some(addr) = flag_str(rest, "--addr") {
@@ -711,6 +723,9 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     if let Some(dir) = flag_str(rest, "--snapshot-on-drain") {
         cfg.snapshot_dir = Some(PathBuf::from(dir));
     }
+    if let Some(interval) = flag_seconds(rest, "--snapshot-interval")? {
+        cfg.snapshot_interval = Some(interval);
+    }
     let handle = ntp_serve::serve(cfg.clone()).map_err(|e| e.to_string())?;
     println!(
         "[serve] listening on {} ({} workers, {} max conns)",
@@ -720,6 +735,22 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     );
     if let Some(maddr) = handle.metrics_local_addr() {
         println!("[serve] metrics on {maddr}");
+    }
+    // SIGTERM drains the server exactly like a client `Shutdown` frame:
+    // in-flight sessions finish, snapshots (if configured) land on
+    // disk, and the drain marker is written — the contract the cluster
+    // router's graceful failover leans on.
+    if ntp_serve::install_sigterm_drain() {
+        let trigger = handle.shutdown_trigger();
+        let _ = std::thread::Builder::new()
+            .name("ntp-sigterm".into())
+            .spawn(move || loop {
+                if ntp_serve::sigterm_pending() {
+                    trigger.trigger();
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            });
     }
     let summary = handle.join();
     println!(
@@ -757,17 +788,125 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `ntp route`: the cluster router — one listener fronting N `ntp
+/// serve` backends behind consistent-hash session placement, live
+/// migration and snapshot-backed failover (see SERVING.md § Cluster).
+/// `--snapshot-dirs` names each backend's `--snapshot-on-drain`
+/// directory, positionally aligned with `--backends` (`-` for a backend
+/// without one); failover restores sessions from there. `--migrate
+/// S:B:N` schedules one scripted migration: session S moves to backend
+/// B after N of its frames have been forwarded.
+fn cmd_route(rest: &[String]) -> Result<(), String> {
+    let Some(backends) = flag_str(rest, "--backends") else {
+        return Err(format!(
+            "route: --backends a1,a2[,...] is required\n{}",
+            usage()
+        ));
+    };
+    let dirs: Vec<Option<PathBuf>> = match flag_str(rest, "--snapshot-dirs") {
+        Some(list) => list
+            .split(',')
+            .map(|d| match d.trim() {
+                "" | "-" => None,
+                d => Some(PathBuf::from(d)),
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let specs: Vec<ntp_cluster::BackendSpec> = backends
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .enumerate()
+        .map(|(i, addr)| ntp_cluster::BackendSpec {
+            addr: addr.to_string(),
+            snapshot_dir: dirs.get(i).cloned().flatten(),
+        })
+        .collect();
+    if !dirs.is_empty() && dirs.len() != specs.len() {
+        return Err(format!(
+            "route: --snapshot-dirs names {} director{} for {} backends",
+            dirs.len(),
+            if dirs.len() == 1 { "y" } else { "ies" },
+            specs.len()
+        ));
+    }
+    let mut cfg = ntp_cluster::RouterConfig::new(specs);
+    if let Some(addr) = flag_str(rest, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(vnodes) = flag_value(rest, "--vnodes")? {
+        cfg.vnodes = vnodes as usize;
+    }
+    if let Some(interval) = flag_seconds(rest, "--probe-interval")? {
+        cfg.probe_interval = interval;
+    }
+    if let Some(max_conns) = flag_value(rest, "--max-conns")? {
+        cfg.max_conns = max_conns as usize;
+    }
+    if let Some(spec) = flag_str(rest, "--migrate") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let parsed = match parts.as_slice() {
+            [s, b, n] => {
+                let to = match *b {
+                    "next" => Some(None),
+                    b => b.parse().ok().map(Some),
+                };
+                s.parse()
+                    .ok()
+                    .zip(to)
+                    .zip(n.parse().ok())
+                    .map(|((s, b), n)| (s, b, n))
+            }
+            _ => None,
+        };
+        let Some((session, to, after_frames)) = parsed else {
+            return Err(format!(
+                "route: --migrate expects session:<backend|next>:after_frames, got `{spec}`"
+            ));
+        };
+        cfg.migrate_trigger = Some(ntp_cluster::MigrateTrigger {
+            session,
+            to,
+            after_frames,
+        });
+    }
+    let n = cfg.backends.len();
+    let handle = ntp_cluster::start(cfg)?;
+    println!(
+        "[route] listening on {} ({n} backend{})",
+        handle.local_addr(),
+        if n == 1 { "" } else { "s" }
+    );
+    let summary = handle.join();
+    println!(
+        "[route] drained: {} sessions, {} forwarded, {} migrations, \
+         {} failovers, {} errors, {} sessions lost, {} restored",
+        summary.sessions,
+        summary.forwarded,
+        summary.migrations,
+        summary.failovers,
+        summary.errors,
+        summary.sessions_lost,
+        summary.sessions_restored
+    );
+    Ok(())
+}
+
 /// `ntp top`: a live view of a running server's per-shard runtime
 /// metrics, polled over the `Metrics` frame (see SERVING.md). With
 /// `--json` each poll prints the raw snapshot instead of the table;
 /// `--once` polls a single time, and `--shutdown` drains the server
-/// after the final poll.
+/// after the final poll. `--cluster` points it at an `ntp route`
+/// process instead, rendering the `route.*` counters and the
+/// per-backend forwarding/latency table.
 fn cmd_top(rest: &[String]) -> Result<(), String> {
     let addr = flag_str(rest, "--addr").unwrap_or(ntp_serve::config::DEFAULT_ADDR);
     let interval =
         flag_seconds(rest, "--interval")?.unwrap_or_else(|| std::time::Duration::from_secs(2));
     let once = rest.iter().any(|a| a == "--once");
     let as_json = rest.iter().any(|a| a == "--json");
+    let cluster = rest.iter().any(|a| a == "--cluster");
 
     let mut client = ntp_serve::Client::connect(addr)
         .map_err(|e| format!("top: cannot connect to {addr}: {e}"))?;
@@ -775,6 +914,12 @@ fn cmd_top(rest: &[String]) -> Result<(), String> {
         let text = client.metrics_json().map_err(|e| format!("top: {e}"))?;
         let snap = ntp_telemetry::json::parse(&text)
             .map_err(|e| format!("top: bad metrics reply: {e}"))?;
+        if cluster && snap.get("router").is_none() {
+            return Err(format!(
+                "top: {addr} is not a router (no `router` metrics section) — \
+                 drop --cluster or point --addr at an `ntp route` process"
+            ));
+        }
         if as_json {
             println!("{}", snap.pretty());
         } else {
@@ -782,7 +927,11 @@ fn cmd_top(rest: &[String]) -> Result<(), String> {
                 // Repaint in place, like top(1).
                 print!("\x1b[H\x1b[2J");
             }
-            print_top(addr, &snap);
+            if cluster {
+                print_cluster_top(addr, &snap);
+            } else {
+                print_top(addr, &snap);
+            }
         }
         if once {
             break;
@@ -900,7 +1049,80 @@ fn print_top(addr: &str, snap: &Json) {
 }
 
 /// Frame kinds as named in the shard metrics registries.
-const FRAME_NAMES: [&str; 5] = ["hello", "predict", "update", "batch", "stats"];
+const FRAME_NAMES: [&str; 6] = ["hello", "predict", "update", "batch", "stats", "migrate"];
+
+/// Renders one router metrics snapshot as the `ntp top --cluster`
+/// table: the `route.*` counters up top, one row per backend below
+/// (cumulative plus the rolling-window rate and latency percentiles).
+fn print_cluster_top(addr: &str, snap: &Json) {
+    let counter = |sec: &str, name: &str| {
+        snap.get(sec)
+            .and_then(|s| s.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let gauge = |sec: &str, name: &str| {
+        snap.get(sec)
+            .and_then(|s| s.get("gauges"))
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let latency = |sec: &str, field: &str| {
+        snap.get(sec)
+            .and_then(|s| s.get("histograms"))
+            .and_then(|h| h.get("latency_us"))
+            .and_then(|h| h.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    println!(
+        "ntp route — {addr}  up {:.0}s  sessions {}  forwarded {}  \
+         migrations {}  failovers {}  errors {}  lost {}  restored {}  \
+         conns {} (refused {})",
+        gauge("router", "uptime_s"),
+        counter("router", "route.sessions"),
+        counter("router", "route.forwarded"),
+        counter("router", "route.migrations"),
+        counter("router", "route.failovers"),
+        counter("router", "route.errors"),
+        counter("router", "route.sessions_lost"),
+        counter("router", "route.sessions_restored"),
+        counter("router", "conns.accepted"),
+        counter("router", "conns.refused"),
+    );
+    println!(
+        "{:<9}{:>7}{:>9}{:>11}{:>9}{:>8}{:>8}{:>8}",
+        "backend", "alive", "qps", "forwarded", "errors", "p50us", "p99us", "p999us"
+    );
+    let mut k = 0usize;
+    loop {
+        let sec = format!("backend{k}");
+        if snap.get(&sec).is_none() {
+            break;
+        }
+        let wsec = format!("{sec}.window");
+        let qps = counter(&wsec, "forwarded") as f64 / counter(&wsec, "epochs").max(1) as f64;
+        println!(
+            "{:<9}{:>7}{:>9.1}{:>11}{:>9}{:>8}{:>8}{:>8}",
+            k,
+            if counter(&sec, "alive") == 1 {
+                "yes"
+            } else {
+                "no"
+            },
+            qps,
+            counter(&sec, "forwarded"),
+            counter(&sec, "errors"),
+            latency(&sec, "p50"),
+            latency(&sec, "p99"),
+            latency(&sec, "p999"),
+        );
+        k += 1;
+    }
+}
 
 /// Scans for `<name> <value>` as a positive finite float.
 fn flag_float(rest: &[String], name: &str) -> Result<Option<f64>, String> {

@@ -79,6 +79,57 @@ fn serve_bind_in_use_is_one_clean_error() {
     );
 }
 
+/// The metrics sidecar on a port something else already owns: the server
+/// must not come up half-configured — nonzero exit, one diagnostic line
+/// naming the *metrics* address (distinct from the serving address).
+#[test]
+fn serve_metrics_bind_in_use_is_one_clean_error() {
+    let holder = TcpListener::bind("127.0.0.1:0").expect("grab a port");
+    let maddr = holder.local_addr().unwrap().to_string();
+
+    let out = ntp(&["serve", "--addr", "127.0.0.1:0", "--metrics-addr", &maddr]);
+    assert!(!out.status.success(), "metrics bind to {maddr} must fail");
+    let line = diagnostic(&out);
+    assert!(
+        line.contains("cannot bind metrics address") && line.contains(&maddr),
+        "diagnostic should name the metrics address: {line:?}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stderr).lines().count(),
+        1,
+        "exactly one diagnostic line"
+    );
+}
+
+/// `ntp route` misconfigurations die with one-line diagnostics: no
+/// backends at all, and a router port something else already owns.
+#[test]
+fn route_misconfigurations_are_refused() {
+    let out = ntp(&["route"]);
+    assert!(!out.status.success());
+    assert!(diagnostic(&out).contains("--backends"));
+
+    let out = ntp(&[
+        "route",
+        "--backends",
+        "127.0.0.1:9001,127.0.0.1:9002",
+        "--snapshot-dirs",
+        "/tmp/only-one",
+    ]);
+    assert!(!out.status.success());
+    assert!(diagnostic(&out).contains("--snapshot-dirs"));
+
+    let holder = TcpListener::bind("127.0.0.1:0").expect("grab a port");
+    let addr = holder.local_addr().unwrap().to_string();
+    let out = ntp(&["route", "--addr", &addr, "--backends", "127.0.0.1:9001"]);
+    assert!(!out.status.success(), "bind to {addr} must fail");
+    let line = diagnostic(&out);
+    assert!(
+        line.contains("cannot bind") && line.contains(&addr),
+        "diagnostic should name the address: {line:?}"
+    );
+}
+
 /// `ntp loadgen` against a dead address: nonzero with an i/o diagnostic,
 /// before any records are replayed. Uses a port we bound and dropped, so
 /// nothing is listening.

@@ -4,17 +4,36 @@ use crate::wire::{self, ErrorCode, Request, Response, WireError};
 use ntp_core::{PredictorStats, Source, Target};
 use ntp_trace::TraceRecord;
 use std::io::Write;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Default client-side frame limit (matches the server default).
 pub const CLIENT_MAX_FRAME: u32 = crate::config::DEFAULT_MAX_FRAME;
+
+/// Environment knob: connect/read/write deadline in seconds (fractions
+/// allowed) for every [`Client::connect`]. Unset means the defaults
+/// (5s connect, 30s read/write); an unparsable or non-positive value is
+/// refused at connect time rather than silently ignored.
+pub const CLIENT_TIMEOUT_ENV: &str = "NTP_CLIENT_TIMEOUT";
+
+/// Default connect timeout.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default read/write timeout.
+pub const DEFAULT_RW_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// How a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure (connect, read, write, EOF mid-reply).
     Io(std::io::Error),
+    /// The deadline ([`CLIENT_TIMEOUT_ENV`] or
+    /// [`Client::connect_with_timeout`]) expired while connecting or
+    /// waiting for a reply.
+    Timeout {
+        /// How long the call had been underway when it expired.
+        elapsed: Duration,
+    },
     /// The server's reply violated the protocol.
     Protocol(String),
     /// The server refused the request with a typed error.
@@ -36,6 +55,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Timeout { elapsed } => {
+                write!(f, "timed out after {elapsed:?}")
+            }
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
             ClientError::Busy { elapsed } => write!(
@@ -51,6 +73,30 @@ impl std::error::Error for ClientError {}
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
         ClientError::Io(e)
+    }
+}
+
+/// True for the error kinds a socket timeout surfaces as (Unix reports
+/// `WouldBlock`, Windows `TimedOut`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads and validates the [`CLIENT_TIMEOUT_ENV`] knob. `Ok(None)` when
+/// unset or empty.
+pub fn client_timeout_from_env() -> Result<Option<Duration>, String> {
+    match std::env::var(CLIENT_TIMEOUT_ENV) {
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) => match v.parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => Ok(Some(Duration::from_secs_f64(secs))),
+            _ => Err(format!(
+                "{CLIENT_TIMEOUT_ENV}={v:?} is not a positive number of seconds"
+            )),
+        },
+        Err(_) => Ok(None),
     }
 }
 
@@ -79,11 +125,57 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects with default timeouts (5s connect, 30s read/write).
+    /// Connects with the default deadlines (5s connect, 30s
+    /// read/write), or — when `NTP_CLIENT_TIMEOUT` is set — that many
+    /// seconds for connect *and* read/write. A bad knob value is a hard
+    /// error, never silently ignored.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        match client_timeout_from_env().map_err(ClientError::Protocol)? {
+            Some(t) => Client::connect_with_timeout(addr, t, t),
+            None => Client::connect_with_timeout(addr, DEFAULT_CONNECT_TIMEOUT, DEFAULT_RW_TIMEOUT),
+        }
+    }
+
+    /// Connects with explicit deadlines: `connect` bounds the TCP
+    /// handshake (tried against each resolved address in turn),
+    /// `read_write` bounds every subsequent socket read and write. A
+    /// router's backend probes use sub-second deadlines here so one
+    /// dead backend cannot stall the probe loop.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        connect: Duration,
+        read_write: Duration,
+    ) -> Result<Client, ClientError> {
+        let started = Instant::now();
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut last: Option<std::io::Error> = None;
+        let mut stream = None;
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, connect) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let stream = match (stream, last) {
+            (Some(s), _) => s,
+            (None, Some(e)) if is_timeout(&e) => {
+                return Err(ClientError::Timeout {
+                    elapsed: started.elapsed(),
+                })
+            }
+            (None, Some(e)) => return Err(ClientError::Io(e)),
+            (None, None) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to nothing",
+                )))
+            }
+        };
+        stream.set_read_timeout(Some(read_write))?;
+        stream.set_write_timeout(Some(read_write))?;
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
@@ -95,13 +187,35 @@ impl Client {
         })
     }
 
+    /// Raises the client-side frame limit (e.g. for `Migrate` replies
+    /// carrying large session snapshots). Clamped to the protocol's
+    /// hard cap.
+    pub fn set_max_frame(&mut self, max_frame: u32) {
+        self.max_frame = max_frame.clamp(wire::MIN_FRAME_CAP, wire::HARD_FRAME_CAP);
+    }
+
     /// Sends one request and reads one reply (no busy retry).
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let started = Instant::now();
         wire::frame_request(&mut self.scratch, req);
-        self.stream.write_all(&self.scratch)?;
-        self.stream.flush()?;
+        let io = self
+            .stream
+            .write_all(&self.scratch)
+            .and_then(|()| self.stream.flush());
+        if let Err(e) = io {
+            return Err(if is_timeout(&e) {
+                ClientError::Timeout {
+                    elapsed: started.elapsed(),
+                }
+            } else {
+                ClientError::Io(e)
+            });
+        }
         match wire::read_frame(&mut self.stream, self.max_frame) {
             Ok(body) => wire::decode_response(&body).map_err(ClientError::Protocol),
+            Err(WireError::Io(e)) if is_timeout(&e) => Err(ClientError::Timeout {
+                elapsed: started.elapsed(),
+            }),
             Err(WireError::Io(e)) => Err(ClientError::Io(e)),
             Err(e) => Err(ClientError::Protocol(e.to_string())),
         }
@@ -189,6 +303,35 @@ impl Client {
         match self.request_patient(&Request::Stats { session })? {
             Response::StatsOk { stats } => Ok(stats),
             resp => Err(unexpected("StatsOk", resp)),
+        }
+    }
+
+    /// Extracts session `session` from the server for migration: the
+    /// server serializes it as a checksummed single-session snapshot,
+    /// removes it, and returns the payload bytes
+    /// (`ntp_tracefile::decode_session_wire` decodes them).
+    pub fn migrate_out(&mut self, session: u64) -> Result<Vec<u8>, ClientError> {
+        match self.request_patient(&Request::Migrate {
+            session,
+            snapshot: None,
+        })? {
+            Response::MigrateOk {
+                snapshot: Some(bytes),
+                ..
+            } => Ok(bytes),
+            resp => Err(unexpected("MigrateOk(with payload)", resp)),
+        }
+    }
+
+    /// Installs an extracted session snapshot into this server; the
+    /// session must not already exist here.
+    pub fn migrate_in(&mut self, session: u64, snapshot: Vec<u8>) -> Result<(), ClientError> {
+        match self.request_patient(&Request::Migrate {
+            session,
+            snapshot: Some(snapshot),
+        })? {
+            Response::MigrateOk { snapshot: None, .. } => Ok(()),
+            resp => Err(unexpected("MigrateOk", resp)),
         }
     }
 

@@ -54,6 +54,14 @@ pub const WARM_ENV: &str = "NTP_SERVE_WARM";
 /// `--warm <dir>` start resumes where this one stopped.
 pub const SNAPSHOT_DIR_ENV: &str = "NTP_SERVE_SNAPSHOT_DIR";
 
+/// `NTP_SERVE_SNAPSHOT_INTERVAL`: when set (seconds, fractional allowed,
+/// must be > 0) alongside a snapshot directory, every shard also
+/// persists its sessions to `<dir>/shard<k>.nts` periodically while the
+/// server runs — the cluster router's hard-failover path restores from
+/// these when a backend dies without draining. Unset by default:
+/// snapshots are drain-time only.
+pub const SNAPSHOT_INTERVAL_ENV: &str = "NTP_SERVE_SNAPSHOT_INTERVAL";
+
 /// Default listen address (loopback; this service has no auth).
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4117";
 
@@ -101,6 +109,10 @@ pub struct ServeConfig {
     /// Directory for per-shard drain snapshots (`shard<k>.nts`); `None`
     /// discards learned state at shutdown.
     pub snapshot_dir: Option<PathBuf>,
+    /// Period of the live periodic snapshots into `snapshot_dir`;
+    /// `None` snapshots at drain only. Ignored without a
+    /// `snapshot_dir`.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +130,7 @@ impl Default for ServeConfig {
             stats_interval: None,
             warm_path: None,
             snapshot_dir: None,
+            snapshot_interval: None,
         }
     }
 }
@@ -189,6 +202,13 @@ impl ServeConfig {
             );
             cfg.snapshot_dir = Some(PathBuf::from(dir));
         }
+        if let Some(secs) = ntp_runner::parse_env::<f64>(SNAPSHOT_INTERVAL_ENV) {
+            assert!(
+                secs.is_finite() && secs > 0.0,
+                "{SNAPSHOT_INTERVAL_ENV} must be a positive number of seconds"
+            );
+            cfg.snapshot_interval = Some(Duration::from_secs_f64(secs));
+        }
         cfg
     }
 
@@ -232,6 +252,12 @@ impl ServeConfig {
         }
         if matches!(&self.snapshot_dir, Some(p) if p.as_os_str().is_empty()) {
             return Err("serve: snapshot_dir must not be empty when set".into());
+        }
+        if matches!(self.snapshot_interval, Some(d) if d.is_zero()) {
+            return Err("serve: snapshot_interval must be > 0 when set".into());
+        }
+        if self.snapshot_interval.is_some() && self.snapshot_dir.is_none() {
+            return Err("serve: snapshot_interval requires a snapshot_dir".into());
         }
         Ok(())
     }
@@ -322,6 +348,21 @@ mod tests {
                 },
                 "snapshot_dir",
             ),
+            (
+                ServeConfig {
+                    snapshot_dir: Some(PathBuf::from("snaps")),
+                    snapshot_interval: Some(Duration::ZERO),
+                    ..ServeConfig::default()
+                },
+                "snapshot_interval",
+            ),
+            (
+                ServeConfig {
+                    snapshot_interval: Some(Duration::from_secs(1)),
+                    ..ServeConfig::default()
+                },
+                "requires a snapshot_dir",
+            ),
         ] {
             let err = cfg.validate().expect_err("must be rejected");
             assert!(err.contains(needle), "`{err}` should mention {needle}");
@@ -344,6 +385,7 @@ mod tests {
             STATS_INTERVAL_ENV,
             WARM_ENV,
             SNAPSHOT_DIR_ENV,
+            SNAPSHOT_INTERVAL_ENV,
         ];
         for var in all {
             std::env::remove_var(var);
@@ -355,6 +397,7 @@ mod tests {
         assert_eq!(base.stats_interval, None);
         assert_eq!(base.warm_path, None);
         assert_eq!(base.snapshot_dir, None);
+        assert_eq!(base.snapshot_interval, None);
 
         std::env::set_var(ADDR_ENV, "127.0.0.1:0");
         std::env::set_var(WORKERS_ENV, "3");
@@ -365,6 +408,7 @@ mod tests {
         std::env::set_var(STATS_INTERVAL_ENV, "2.5");
         std::env::set_var(WARM_ENV, "warm.nts");
         std::env::set_var(SNAPSHOT_DIR_ENV, "snaps");
+        std::env::set_var(SNAPSHOT_INTERVAL_ENV, "0.5");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.workers, 3);
@@ -375,6 +419,7 @@ mod tests {
         assert_eq!(cfg.stats_interval, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(cfg.warm_path.as_deref(), Some(Path::new("warm.nts")));
         assert_eq!(cfg.snapshot_dir.as_deref(), Some(Path::new("snaps")));
+        assert_eq!(cfg.snapshot_interval, Some(Duration::from_secs_f64(0.5)));
 
         std::env::set_var(WORKERS_ENV, "0");
         let err =

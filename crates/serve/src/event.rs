@@ -591,7 +591,7 @@ fn refuse_job(conn: &mut Conn, job: Job, resp: &Response) {
     let entries = match job {
         Job::Request { req, reply } => vec![(req, reply)],
         Job::Run { entries, .. } => entries,
-        Job::Snapshot { .. } => Vec::new(),
+        Job::Snapshot { .. } | Job::Persist { .. } => Vec::new(),
     };
     for (_, reply) in entries {
         if let ReplySink::Event { seq, .. } = reply {

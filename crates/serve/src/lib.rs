@@ -9,8 +9,11 @@
 //!
 //! * [`wire`] — the length-framed, FNV-1a-64-checksummed binary
 //!   protocol (`Hello`/`Predict`/`Update`/`Batch`/`Stats`/`Shutdown`/
-//!   `Metrics` frames), sharing its hash with the `.ntc` codec via
-//!   [`ntp_hash`];
+//!   `Metrics`/`Migrate` frames), sharing its hash with the `.ntc`
+//!   codec via [`ntp_hash`]. Protocol version 2 adds the
+//!   `Migrate`/`MigrateOk` pair — a checksummed single-session snapshot
+//!   in flight — which the `ntp-cluster` router uses to move live
+//!   sessions between backends;
 //! * [`server`] — the TCP listener and fixed shard-worker pool.
 //!   Sessions are owned by a single worker (`session % workers`), so
 //!   every predictor stays single-threaded and lock-free; bounded
@@ -35,8 +38,9 @@
 //!   `NTP_SERVE_WORKERS` / `NTP_SERVE_MAX_CONNS` /
 //!   `NTP_SERVE_EVENT_THREADS` / `NTP_SERVE_QUEUE_DEPTH` /
 //!   `NTP_SERVE_METRICS_ADDR` / `NTP_SERVE_STATS_INTERVAL` /
-//!   `NTP_SERVE_WARM` / `NTP_SERVE_SNAPSHOT_DIR` knobs
-//!   (validated via [`ntp_runner::parse_env`]).
+//!   `NTP_SERVE_WARM` / `NTP_SERVE_SNAPSHOT_DIR` /
+//!   `NTP_SERVE_SNAPSHOT_INTERVAL` knobs (validated via
+//!   [`ntp_runner::parse_env`]).
 //!
 //! Protocol layout, sharding model, backpressure semantics and a
 //! loadgen recipe are documented in `SERVING.md` at the repo root.
@@ -97,5 +101,8 @@ pub use loadgen::{
     run_open_loop, LoadgenConfig, LoadgenReport, OpenLoopConfig, OpenLoopReport, OpenSessionResult,
     SessionResult, SessionSpec,
 };
-pub use server::{serve, ServerHandle, ServerSummary, ShardSummary};
+pub use server::{
+    install_sigterm_drain, serve, sigterm_pending, ServerHandle, ServerSummary, ShardSummary,
+    ShutdownTrigger, DRAIN_MARKER,
+};
 pub use wire::{ErrorCode, Request, Response, PROTOCOL_VERSION};

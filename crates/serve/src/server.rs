@@ -92,6 +92,16 @@ pub(crate) enum Job {
     },
     /// A snapshot of the shard's registry and rolling window.
     Snapshot { reply: mpsc::Sender<ShardSnapshot> },
+    /// Snapshot-on-demand: persist the shard's sessions to
+    /// `<dir>/shard<k>.nts` *now* (the same artifact the graceful drain
+    /// writes), replying with the session count written. Rides the
+    /// request queue like `Job::Snapshot`, so the write happens between
+    /// requests — never mid-update — and the persisted state is a
+    /// consistent point in every session's replay.
+    Persist {
+        dir: PathBuf,
+        reply: mpsc::Sender<Result<u64, String>>,
+    },
 }
 
 impl Job {
@@ -100,7 +110,7 @@ impl Job {
         match self {
             Job::Request { .. } => 1,
             Job::Run { entries, .. } => entries.len(),
-            Job::Snapshot { .. } => 0,
+            Job::Snapshot { .. } | Job::Persist { .. } => 0,
         }
     }
 }
@@ -355,6 +365,11 @@ impl Hub {
                     .map(|l| l.wakeups.load(Ordering::Relaxed))
                     .sum(),
             ),
+            // 0/1: whether a drain has been requested. A cluster router
+            // probes this to tell a *draining* backend (snapshots coming,
+            // wait for them) from a dead one (restore from the last
+            // snapshots it has).
+            ("draining", u64::from(self.drain.is_set())),
         ] {
             let id = server.counter(name);
             server.set_counter(id, v);
@@ -391,6 +406,33 @@ impl Hub {
         snap.push("total", total);
         snap
     }
+
+    /// Asks every live shard to persist its sessions to
+    /// `<dir>/shard<k>.nts` now, returning the total session count
+    /// written. Shards that already exited are skipped (their drain
+    /// snapshot, if configured, is already on disk); per-shard write
+    /// failures are logged and skipped.
+    pub(crate) fn persist_all(&self, dir: &Path) -> u64 {
+        let mut written = 0u64;
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply, rx) = mpsc::channel();
+            if tx
+                .send(Job::Persist {
+                    dir: dir.to_path_buf(),
+                    reply,
+                })
+                .is_err()
+            {
+                continue;
+            }
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(Ok(n)) => written += n,
+                Ok(Err(e)) => eprintln!("[serve] shard {shard}: snapshot failed: {e}"),
+                Err(_) => eprintln!("[serve] shard {shard}: snapshot timed out"),
+            }
+        }
+        written
+    }
 }
 
 /// A running server. Dropping the handle without calling
@@ -400,6 +442,7 @@ impl Hub {
 pub struct ServerHandle {
     addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
+    snapshot_dir: Option<PathBuf>,
     active_conns: Arc<AtomicUsize>,
     counters: Arc<Counters>,
     drain: Arc<DrainSignal>,
@@ -408,7 +451,25 @@ pub struct ServerHandle {
     event_loops: Vec<JoinHandle<()>>,
     metrics_accept: Option<JoinHandle<()>>,
     stats: Option<JoinHandle<()>>,
+    snapshots: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<ShardSummary>>,
+}
+
+/// A cloneable drain trigger detached from the [`ServerHandle`]: signal
+/// watchers (e.g. the CLI's SIGTERM handler) hold one of these and flip
+/// the drain from their own thread while the owner blocks in
+/// [`ServerHandle::join`].
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    drain: Arc<DrainSignal>,
+}
+
+impl ShutdownTrigger {
+    /// Starts the drain (idempotent, same as
+    /// [`ServerHandle::request_shutdown`]).
+    pub fn trigger(&self) {
+        self.drain.trigger();
+    }
 }
 
 impl ServerHandle {
@@ -433,6 +494,29 @@ impl ServerHandle {
     /// Idempotent; also triggered by a client `Shutdown` frame.
     pub fn request_shutdown(&self) {
         self.drain.trigger();
+    }
+
+    /// A cloneable trigger for [`ServerHandle::request_shutdown`],
+    /// usable from other threads while this handle blocks in `join`.
+    pub fn shutdown_trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            drain: Arc::clone(&self.drain),
+        }
+    }
+
+    /// Persists every shard's sessions to the configured snapshot
+    /// directory *now* (the snapshot-on-demand path; the periodic
+    /// `snapshot_interval` thread calls the same machinery). Returns the
+    /// sessions written, or `None` when no snapshot directory is
+    /// configured.
+    pub fn persist_snapshots(&self) -> Option<u64> {
+        let dir = self.snapshot_dir.as_ref()?;
+        Some(
+            self.hub
+                .as_ref()
+                .expect("hub lives until join()")
+                .persist_all(dir),
+        )
     }
 
     /// True once a shutdown/drain has been requested.
@@ -472,6 +556,9 @@ impl ServerHandle {
         if let Some(h) = self.stats.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.snapshots.take() {
+            let _ = h.join();
+        }
         self.hub.take();
         let mut summary = ServerSummary {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
@@ -491,9 +578,24 @@ impl ServerHandle {
                 summary.per_shard.push(s);
             }
         }
+        // Every shard has exited, so every drain-time `shard<k>.nts` is
+        // on disk and final. The marker file lets a cluster router tell
+        // those authoritative snapshots apart from a mid-run periodic
+        // one: it only restores a drained backend's sessions after the
+        // marker appears (see DRAIN_MARKER).
+        if let Some(dir) = &self.snapshot_dir {
+            if let Err(e) = std::fs::write(dir.join(DRAIN_MARKER), b"drained\n") {
+                eprintln!("[serve] cannot write drain marker in {dir:?}: {e}");
+            }
+        }
         summary
     }
 }
+
+/// File the drained server leaves in its snapshot directory once every
+/// shard's final `shard<k>.nts` is on disk. Removed again at startup, so
+/// its presence always refers to the *current* incarnation's drain.
+pub const DRAIN_MARKER: &str = "drained";
 
 /// Loads every warm-start session from `path` (one `.nts` file, or a
 /// directory scanned for `*.nts`), instantiates the predictors, and
@@ -566,6 +668,18 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         match load_warm_sessions(path, cfg.workers) {
             Ok(loaded) => warm = loaded,
             Err(e) => eprintln!("[serve] warm-start refused, starting cold: {e}"),
+        }
+    }
+    // A drain marker in the snapshot directory always refers to the
+    // current incarnation: clear any stale one before serving.
+    if let Some(dir) = &cfg.snapshot_dir {
+        let marker = dir.join(DRAIN_MARKER);
+        if marker.exists() {
+            if let Err(e) = std::fs::remove_file(&marker) {
+                return Err(format!(
+                    "serve: cannot clear stale drain marker {marker:?}: {e}"
+                ));
+            }
         }
     }
     let listener = TcpListener::bind(&cfg.addr)
@@ -696,9 +810,27 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         None => None,
     };
 
+    // Periodic snapshots bound the failover lost-update window: a
+    // router restoring this server's sessions after a hard death is at
+    // most one interval stale. Needs a snapshot directory to write to.
+    let snapshots = match (&cfg.snapshot_interval, &cfg.snapshot_dir) {
+        (Some(interval), Some(dir)) => {
+            let hub = Arc::clone(&hub);
+            let (interval, dir) = (*interval, dir.clone());
+            Some(
+                std::thread::Builder::new()
+                    .name("ntp-serve-snapshots".into())
+                    .spawn(move || snapshot_loop(hub, interval, dir))
+                    .map_err(|e| format!("serve: cannot spawn snapshot thread: {e}"))?,
+            )
+        }
+        _ => None,
+    };
+
     Ok(ServerHandle {
         addr,
         metrics_addr,
+        snapshot_dir: cfg.snapshot_dir.clone(),
         active_conns,
         counters,
         drain,
@@ -707,8 +839,25 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, String> {
         event_loops,
         metrics_accept,
         stats,
+        snapshots,
         shards,
     })
+}
+
+/// Persists every shard's sessions each `interval` until the drain flag
+/// is set (the graceful drain then writes the final, authoritative
+/// snapshots itself). Sleeps in short slices so a drain is never held
+/// up by a long interval.
+fn snapshot_loop(hub: Arc<Hub>, interval: Duration, dir: PathBuf) {
+    let slice = Duration::from_millis(50);
+    let mut next = Instant::now() + interval;
+    while !hub.drain.is_set() {
+        std::thread::sleep(slice);
+        if Instant::now() >= next && !hub.drain.is_set() {
+            hub.persist_all(&dir);
+            next = Instant::now() + interval;
+        }
+    }
 }
 
 /// How many event-loop threads this platform actually runs: the
@@ -971,7 +1120,7 @@ fn send(stream: &mut TcpStream, resp: &Response, scratch: &mut Vec<u8>) -> bool 
 }
 
 /// Wire-request kinds a shard processes, in metric-name order.
-const FRAME_KINDS: [&str; 5] = ["hello", "predict", "update", "batch", "stats"];
+const FRAME_KINDS: [&str; 6] = ["hello", "predict", "update", "batch", "stats", "migrate"];
 
 fn frame_kind(req: &Request) -> usize {
     match req {
@@ -980,6 +1129,7 @@ fn frame_kind(req: &Request) -> usize {
         Request::Update { .. } => 2,
         Request::Batch { .. } => 3,
         Request::Stats { .. } => 4,
+        Request::Migrate { .. } => 5,
         Request::Shutdown | Request::Metrics => unreachable!("never routed to a shard"),
     }
 }
@@ -1002,6 +1152,8 @@ struct ShardMetrics {
     c_busy: CounterId,
     c_batched: CounterId,
     c_coalesced: CounterId,
+    c_migrate_out: CounterId,
+    c_migrate_in: CounterId,
     c_busy_us: CounterId,
     c_idle_us: CounterId,
     g_queue: GaugeId,
@@ -1027,6 +1179,8 @@ impl ShardMetrics {
         let c_busy = r.counter("busy.rejections");
         let c_batched = r.counter("drain.batched");
         let c_coalesced = r.counter("drain.coalesced");
+        let c_migrate_out = r.counter("migrate.out");
+        let c_migrate_in = r.counter("migrate.in");
         let c_busy_us = r.counter("time.busy_us");
         let c_idle_us = r.counter("time.idle_us");
         let g_queue = r.gauge("queue.depth");
@@ -1047,6 +1201,8 @@ impl ShardMetrics {
             c_busy,
             c_batched,
             c_coalesced,
+            c_migrate_out,
+            c_migrate_in,
             c_busy_us,
             c_idle_us,
             g_queue,
@@ -1075,6 +1231,17 @@ impl ShardMetrics {
         }
         match resp {
             Response::HelloOk { .. } => self.registry.inc(self.c_sessions),
+            Response::MigrateOk { snapshot, .. } => {
+                if snapshot.is_some() {
+                    self.registry.inc(self.c_migrate_out);
+                } else {
+                    // An install creates a session on this shard just as
+                    // a Hello does; without this the shard's drain
+                    // summary undercounts what it actually served.
+                    self.registry.inc(self.c_migrate_in);
+                    self.registry.inc(self.c_sessions);
+                }
+            }
             Response::Error { code, .. } => self.registry.inc(match code {
                 ErrorCode::UnknownSession => self.c_err_unknown,
                 ErrorCode::BadConfig => self.c_err_badcfg,
@@ -1176,7 +1343,7 @@ fn shard_loop(
                 let session = match job {
                     Job::Request { req, .. } => req.session(),
                     Job::Run { session, .. } => Some(*session),
-                    Job::Snapshot { .. } => None,
+                    Job::Snapshot { .. } | Job::Persist { .. } => None,
                 };
                 if let Some(s) = session.and_then(|id| sessions.get(&id)) {
                     s.predictor.prefetch_tables();
@@ -1219,6 +1386,9 @@ fn shard_loop(
                 Job::Snapshot { reply } => {
                     let _ = reply.send(m.snapshot(shard_id, own, epoch));
                 }
+                Job::Persist { dir, reply } => {
+                    let _ = reply.send(persist_sessions(shard_id, &sessions, &dir));
+                }
             }
         }
         idle_from = Instant::now();
@@ -1232,16 +1402,9 @@ fn shard_loop(
     // snapshot from a previous run must not outlive this drain.
     let mut snapshotted = 0u64;
     if let Some(dir) = &snapshot_dir {
-        let artifact = SnapshotArtifact {
-            sessions: sessions
-                .iter()
-                .map(|(&id, s)| SessionSnapshot::capture(id, &s.predictor, &s.stats))
-                .collect(),
-        };
-        let path = dir.join(format!("shard{shard_id}.{SNAPSHOT_EXT}"));
-        match write_snapshot_file(&path, &artifact) {
-            Ok(_) => snapshotted = artifact.sessions.len() as u64,
-            Err(e) => eprintln!("[serve] shard {shard_id}: drain snapshot {path:?} failed: {e}"),
+        match persist_sessions(shard_id, &sessions, dir) {
+            Ok(n) => snapshotted = n,
+            Err(e) => eprintln!("[serve] shard {shard_id}: drain snapshot failed: {e}"),
         }
     }
     ShardSummary {
@@ -1258,6 +1421,26 @@ fn shard_loop(
         warmed,
         snapshotted,
     }
+}
+
+/// Writes one shard's sessions to `<dir>/shard<k>.nts` (atomic
+/// temp-file + rename). Written even when empty, so a stale snapshot
+/// from an earlier point in time never outlives the write.
+fn persist_sessions(
+    shard_id: u32,
+    sessions: &HashMap<u64, Session>,
+    dir: &Path,
+) -> Result<u64, String> {
+    let artifact = SnapshotArtifact {
+        sessions: sessions
+            .iter()
+            .map(|(&id, s)| SessionSnapshot::capture(id, &s.predictor, &s.stats))
+            .collect(),
+    };
+    let path = dir.join(format!("shard{shard_id}.{SNAPSHOT_EXT}"));
+    write_snapshot_file(&path, &artifact)
+        .map(|_| artifact.sessions.len() as u64)
+        .map_err(|e| format!("{path:?}: {e}"))
 }
 
 /// Applies one request to the shard's session map.
@@ -1337,6 +1520,81 @@ fn apply(shard_id: u32, sessions: &mut HashMap<u64, Session>, req: &Request) -> 
         Request::Stats { session } => with_session(sessions, *session, |s| Response::StatsOk {
             stats: s.stats.clone(),
         }),
+        // Migration, the two halves. Extract (`snapshot: None`):
+        // serialize the session as a checksummed single-session wire
+        // snapshot and *remove* it — after the reply this shard will
+        // answer `UnknownSession` for it, so a router must never route
+        // the session here again until a matching install. Install
+        // (`snapshot: Some`): decode, validate and insert; the stats
+        // ride along, so served statistics stay in per-prediction
+        // lockstep with the offline oracle across the move.
+        Request::Migrate {
+            session,
+            snapshot: None,
+        } => match sessions.get(session) {
+            Some(s) => {
+                let snap = SessionSnapshot::capture(*session, &s.predictor, &s.stats);
+                let bytes = ntp_tracefile::encode_session_wire(&snap);
+                sessions.remove(session);
+                Response::MigrateOk {
+                    session: *session,
+                    snapshot: Some(bytes),
+                }
+            }
+            None => Response::Error {
+                code: ErrorCode::UnknownSession,
+                message: format!("cannot migrate out: session {session} has not said hello"),
+            },
+        },
+        Request::Migrate {
+            session,
+            snapshot: Some(bytes),
+        } => {
+            if sessions.contains_key(session) {
+                return Response::Error {
+                    code: ErrorCode::BadConfig,
+                    message: format!("cannot migrate in: session {session} already exists"),
+                };
+            }
+            let snap = match ntp_tracefile::decode_session_wire(bytes) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("migrate payload rejected: {e}"),
+                    }
+                }
+            };
+            if snap.session_id != *session {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "migrate payload is for session {}, frame addresses {session}",
+                        snap.session_id
+                    ),
+                };
+            }
+            let predictor = match snap.instantiate() {
+                Ok(p) => p,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("migrate payload rejected: {e}"),
+                    }
+                }
+            };
+            sessions.insert(
+                *session,
+                Session {
+                    predictor,
+                    stats: snap.stats,
+                },
+            );
+            Response::MigrateOk {
+                session: *session,
+                snapshot: None,
+            }
+        }
         Request::Shutdown | Request::Metrics => Response::Error {
             code: ErrorCode::BadRequest,
             message: "connection-level request routed to a shard".into(),
@@ -1513,6 +1771,49 @@ pub(crate) fn summary_line(snap: &Snapshot, start: Instant) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// SIGTERM-driven drain
+// ---------------------------------------------------------------------------
+
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn sigterm_handler(_signum: i32) {
+    // A relaxed atomic store is async-signal-safe; everything else
+    // (draining, snapshotting, printing) happens on a normal thread
+    // that polls `sigterm_pending`.
+    SIGTERM_SEEN.store(true, Ordering::SeqCst);
+}
+
+/// Installs a process-wide SIGTERM handler that records the signal (see
+/// [`sigterm_pending`]) instead of killing the process, so a serving
+/// binary can turn `kill -TERM` into a graceful drain: snapshots
+/// written, sessions intact, stats honest. Returns `false` when the
+/// handler could not be installed (non-Unix platforms, or a refused
+/// `signal(2)` call) — the caller keeps the default kill-on-TERM
+/// behaviour.
+pub fn install_sigterm_drain() -> bool {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        let handler = sigterm_handler as extern "C" fn(i32) as usize;
+        // SIG_ERR is -1.
+        unsafe { signal(SIGTERM, handler) != usize::MAX }
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// True once a SIGTERM has arrived after [`install_sigterm_drain`].
+pub fn sigterm_pending() -> bool {
+    SIGTERM_SEEN.load(Ordering::SeqCst)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1582,6 +1883,147 @@ mod tests {
         let expect = ntp_core::evaluate(&mut oracle, &records);
         assert_eq!(stats, expect, "served stats equal the offline oracle");
         assert_eq!(correct, expect.correct);
+    }
+
+    #[test]
+    fn apply_migrate_moves_a_session_between_shard_maps() {
+        let mut src: HashMap<u64, Session> = HashMap::new();
+        let mut dst: HashMap<u64, Session> = HashMap::new();
+        apply(
+            0,
+            &mut src,
+            &Request::Hello {
+                session: 7,
+                bits: 12,
+                depth: 3,
+            },
+        );
+        let records: Vec<TraceRecord> =
+            (0..80).map(|k| rec(0x0040_0000 + (k % 4) * 0x40)).collect();
+        apply(
+            0,
+            &mut src,
+            &Request::Batch {
+                session: 7,
+                records: records.clone(),
+            },
+        );
+
+        // Extract: the session leaves the source map with its bytes.
+        let out = apply(
+            0,
+            &mut src,
+            &Request::Migrate {
+                session: 7,
+                snapshot: None,
+            },
+        );
+        let Response::MigrateOk {
+            session: 7,
+            snapshot: Some(bytes),
+        } = out
+        else {
+            panic!("extract should answer MigrateOk with a payload: {out:?}");
+        };
+        assert!(src.is_empty(), "extract removes the session");
+        assert!(
+            matches!(
+                apply(0, &mut src, &Request::Stats { session: 7 }),
+                Response::Error {
+                    code: ErrorCode::UnknownSession,
+                    ..
+                }
+            ),
+            "the source no longer serves the session"
+        );
+        // Extracting an unknown session is refused.
+        assert!(matches!(
+            apply(
+                0,
+                &mut src,
+                &Request::Migrate {
+                    session: 7,
+                    snapshot: None
+                }
+            ),
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        ));
+
+        // Install on the target: stats and state ride along.
+        let install = Request::Migrate {
+            session: 7,
+            snapshot: Some(bytes.clone()),
+        };
+        assert!(matches!(
+            apply(1, &mut dst, &install),
+            Response::MigrateOk {
+                session: 7,
+                snapshot: None,
+            }
+        ));
+        // Double-install is refused; so is a corrupted payload and a
+        // session-id mismatch.
+        assert!(matches!(
+            apply(1, &mut dst, &install),
+            Response::Error {
+                code: ErrorCode::BadConfig,
+                ..
+            }
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 1;
+        assert!(matches!(
+            apply(
+                1,
+                &mut src,
+                &Request::Migrate {
+                    session: 7,
+                    snapshot: Some(flipped)
+                }
+            ),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        assert!(matches!(
+            apply(
+                1,
+                &mut src,
+                &Request::Migrate {
+                    session: 8,
+                    snapshot: Some(bytes)
+                }
+            ),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        assert!(src.is_empty(), "refused installs never insert");
+
+        // The moved session continues in lockstep with the offline
+        // oracle: same accumulated stats, same future predictions.
+        let more: Vec<TraceRecord> = (0..40).map(|k| rec(0x0040_0000 + (k % 4) * 0x40)).collect();
+        apply(
+            1,
+            &mut dst,
+            &Request::Batch {
+                session: 7,
+                records: more.clone(),
+            },
+        );
+        let Response::StatsOk { stats } = apply(1, &mut dst, &Request::Stats { session: 7 }) else {
+            panic!("stats should answer");
+        };
+        let mut oracle = NextTracePredictor::new(PredictorConfig::paper(12, 3));
+        let mut all = records;
+        all.extend_from_slice(&more);
+        assert_eq!(stats, ntp_core::evaluate(&mut oracle, &all));
     }
 
     #[test]

@@ -25,10 +25,15 @@ use ntp_hash::fnv64;
 use ntp_trace::{HashedId, TraceId, TraceRecord, MAX_TRACE_LEN};
 use std::io::{Read, Write};
 
-/// Protocol version carried in every `Hello`; servers refuse other
-/// versions so a skewed client fails loudly at session setup, not with
-/// silently misdecoded frames later.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version carried in every `Hello`; servers refuse versions
+/// outside [`MIN_PROTOCOL_VERSION`]`..=PROTOCOL_VERSION` so a skewed
+/// client fails loudly at session setup, not with silently misdecoded
+/// frames later. Version 2 adds the `Migrate`/`MigrateOk` pair — a
+/// purely additive extension, so version-1 clients keep working.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version this build still accepts in `Hello`.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Frames whose declared body length exceeds this are unrecoverable: the
 /// reader cannot cheaply skip the body to resync, so the connection is
@@ -85,6 +90,22 @@ pub enum Request {
     /// OBSERVABILITY.md "Live serving metrics"). Not routed to a shard:
     /// the connection collects a [`Response::Metrics`] across all shards.
     Metrics,
+    /// Live session migration (protocol version 2). With `snapshot:
+    /// None` this *extracts*: the owning shard serializes the session as
+    /// a checksummed single-session `.nts` snapshot (the
+    /// `ntp_tracefile::encode_session_wire` framing), removes it, and
+    /// returns the bytes in [`Response::MigrateOk`]. With `snapshot:
+    /// Some(bytes)` this *installs*: the target shard decodes, validates
+    /// and inserts the session (refused if it already exists). A router
+    /// pairs the two calls to move a session between backends with its
+    /// statistics intact.
+    Migrate {
+        /// Session identifier.
+        session: u64,
+        /// `None` to extract-and-remove; `Some` snapshot bytes to
+        /// install.
+        snapshot: Option<Vec<u8>>,
+    },
 }
 
 impl Request {
@@ -97,7 +118,8 @@ impl Request {
             | Request::Predict { session }
             | Request::Update { session, .. }
             | Request::Batch { session, .. }
-            | Request::Stats { session } => Some(*session),
+            | Request::Stats { session }
+            | Request::Migrate { session, .. } => Some(*session),
             Request::Shutdown | Request::Metrics => None,
         }
     }
@@ -211,6 +233,15 @@ pub enum Response {
     Busy,
     /// Acknowledges [`Request::Shutdown`]; the server is draining.
     Bye,
+    /// Acknowledges [`Request::Migrate`]. For an extract the snapshot
+    /// bytes ride back (`Some`); for an install it is `None`.
+    MigrateOk {
+        /// Echo of the session identifier.
+        session: u64,
+        /// The extracted single-session snapshot, if this was an
+        /// extract.
+        snapshot: Option<Vec<u8>>,
+    },
     /// The server's merged runtime-metrics snapshot, rendered by the
     /// telemetry JSON writer (sections per shard plus `server`/`total`).
     /// Carried as text so the reply needs no schema negotiation; the
@@ -506,6 +537,7 @@ const K_BATCH: u8 = 0x04;
 const K_STATS: u8 = 0x05;
 const K_SHUTDOWN: u8 = 0x06;
 const K_METRICS: u8 = 0x07;
+const K_MIGRATE: u8 = 0x08;
 const K_HELLO_OK: u8 = 0x81;
 const K_PREDICTED: u8 = 0x82;
 const K_UPDATED: u8 = 0x83;
@@ -514,6 +546,7 @@ const K_STATS_OK: u8 = 0x85;
 const K_BUSY: u8 = 0x86;
 const K_BYE: u8 = 0x87;
 const K_METRICS_OK: u8 = 0x88;
+const K_MIGRATE_OK: u8 = 0x89;
 const K_ERROR: u8 = 0xFF;
 
 /// A validating little-endian cursor over a frame body.
@@ -645,6 +678,37 @@ pub fn encode_request_into(out: &mut Vec<u8>, req: &Request) {
         }
         Request::Shutdown => out.push(K_SHUTDOWN),
         Request::Metrics => out.push(K_METRICS),
+        Request::Migrate { session, snapshot } => {
+            out.push(K_MIGRATE);
+            out.extend_from_slice(&session.to_le_bytes());
+            put_opt_bytes(out, snapshot.as_deref());
+        }
+    }
+}
+
+/// Packs an optional byte payload: presence flag, then length-prefixed
+/// bytes.
+fn put_opt_bytes(out: &mut Vec<u8>, bytes: Option<&[u8]>) {
+    match bytes {
+        None => out.push(0),
+        Some(b) => {
+            out.reserve(5 + b.len());
+            out.push(1);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+    }
+}
+
+/// Decodes the optional byte payload written by [`put_opt_bytes`].
+fn get_opt_bytes(c: &mut Cursor<'_>) -> Result<Option<Vec<u8>>, String> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => {
+            let len = c.u32()? as usize;
+            Ok(Some(c.take(len)?.to_vec()))
+        }
+        other => Err(format!("bad optional-payload flag {other}")),
     }
 }
 
@@ -655,9 +719,10 @@ pub fn decode_request(body: &[u8]) -> Result<Request, String> {
     let req = match kind {
         K_HELLO => {
             let version = c.u32()?;
-            if version != PROTOCOL_VERSION {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                 return Err(format!(
-                    "protocol version {version} (this server speaks {PROTOCOL_VERSION})"
+                    "protocol version {version} (this server speaks \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                 ));
             }
             Request::Hello {
@@ -689,6 +754,10 @@ pub fn decode_request(body: &[u8]) -> Result<Request, String> {
         K_STATS => Request::Stats { session: c.u64()? },
         K_SHUTDOWN => Request::Shutdown,
         K_METRICS => Request::Metrics,
+        K_MIGRATE => Request::Migrate {
+            session: c.u64()?,
+            snapshot: get_opt_bytes(&mut c)?,
+        },
         other => return Err(format!("unknown request kind {other:#04x}")),
     };
     c.done()?;
@@ -769,6 +838,11 @@ pub fn encode_response_into(out: &mut Vec<u8>, resp: &Response) {
         }
         Response::Busy => out.push(K_BUSY),
         Response::Bye => out.push(K_BYE),
+        Response::MigrateOk { session, snapshot } => {
+            out.push(K_MIGRATE_OK);
+            out.extend_from_slice(&session.to_le_bytes());
+            put_opt_bytes(out, snapshot.as_deref());
+        }
         Response::Metrics { json } => {
             let bytes = json.as_bytes();
             out.reserve(5 + bytes.len());
@@ -837,6 +911,10 @@ pub fn decode_response(body: &[u8]) -> Result<Response, String> {
         }
         K_BUSY => Response::Busy,
         K_BYE => Response::Bye,
+        K_MIGRATE_OK => Response::MigrateOk {
+            session: c.u64()?,
+            snapshot: get_opt_bytes(&mut c)?,
+        },
         K_METRICS_OK => {
             let len = c.u32()? as usize;
             let raw = c.take(len)?;
@@ -898,6 +976,18 @@ mod tests {
         roundtrip_req(Request::Stats { session: 0 });
         roundtrip_req(Request::Shutdown);
         roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Migrate {
+            session: 42,
+            snapshot: None,
+        });
+        roundtrip_req(Request::Migrate {
+            session: 42,
+            snapshot: Some(vec![0xAB; 1000]),
+        });
+        roundtrip_req(Request::Migrate {
+            session: 1,
+            snapshot: Some(Vec::new()),
+        });
     }
 
     #[test]
@@ -937,6 +1027,14 @@ mod tests {
         });
         roundtrip_resp(Response::Busy);
         roundtrip_resp(Response::Bye);
+        roundtrip_resp(Response::MigrateOk {
+            session: 42,
+            snapshot: None,
+        });
+        roundtrip_resp(Response::MigrateOk {
+            session: u64::MAX,
+            snapshot: Some((0..=255u8).collect()),
+        });
         roundtrip_resp(Response::Metrics {
             json: r#"{"shard0":{"counters":{"frames.predict":12}}}"#.into(),
         });
@@ -1098,6 +1196,39 @@ mod tests {
         });
         hello[1] = 99;
         assert!(decode_request(&hello).unwrap_err().contains("version"));
+        // Migrate: bad optional-payload flag.
+        let mut mig = encode_request(&Request::Migrate {
+            session: 1,
+            snapshot: None,
+        });
+        mig[9] = 7; // presence flag after kind + session
+        assert!(decode_request(&mig).unwrap_err().contains("flag"));
+        // Migrate: declared payload length exceeds the body.
+        let mut mig2 = encode_request(&Request::Migrate {
+            session: 1,
+            snapshot: Some(vec![1, 2, 3]),
+        });
+        mig2[10] = 200; // length field low byte
+        assert!(decode_request(&mig2).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn version_1_hellos_still_decode() {
+        // The v2 extension is additive: a v1 client's Hello decodes on
+        // this server.
+        let mut body = encode_request(&Request::Hello {
+            session: 3,
+            bits: 15,
+            depth: 7,
+        });
+        body[1..5].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode_request(&body),
+            Ok(Request::Hello { session: 3, .. })
+        ));
+        // Version 0 is refused.
+        body[1..5].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_request(&body).unwrap_err().contains("version"));
     }
 
     #[test]

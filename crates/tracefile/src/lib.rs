@@ -62,9 +62,9 @@ pub mod snapshot;
 pub use counters::{counters, reset_counters, CacheCounters};
 pub use fingerprint::Fingerprint;
 pub use snapshot::{
-    config_canon, decode_snapshot, encode_snapshot, read_snapshot_file, write_snapshot_file,
-    SessionSnapshot, SnapshotArtifact, SnapshotError, SNAPSHOT_EXT, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    config_canon, decode_session_wire, decode_snapshot, encode_session_wire, encode_snapshot,
+    read_snapshot_file, write_snapshot_file, SessionSnapshot, SnapshotArtifact, SnapshotError,
+    SESSION_WIRE_MAGIC, SNAPSHOT_EXT, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 // The FNV-1a 64 implementation lives in the shared `ntp-hash` crate (the
 // `ntp-serve` wire protocol checksums frames with the same hash);

@@ -23,7 +23,12 @@
 //! * [`fault_sweep`] — hostile configurations (stall-inducing engine
 //!   windows, phantom DOLC history bits, out-of-range table geometry,
 //!   stuck counters) must be *rejected* by the `try_validate` layer, and
-//!   known-good configurations must stay accepted.
+//!   known-good configurations must stay accepted;
+//! * [`cluster_lockstep`] — a real router fronting two real loopback
+//!   servers must stay in per-prediction lockstep with the offline
+//!   replay across one live session migration and one graceful backend
+//!   failover per case (capped at [`MAX_CLUSTER_CASES`] cases — the cap
+//!   shows up in the reported case count, never silently).
 //!
 //! Everything reproduces from a single `u64` seed: each case derives its
 //! own sub-stream via [`XorShift64::fork`], so a [`Divergence`] report
@@ -40,11 +45,13 @@
 
 #![warn(missing_docs)]
 
+mod cluster;
 mod fault;
 mod gen;
 mod oracle;
 mod rng;
 
+pub use cluster::{cluster_lockstep, MAX_CLUSTER_CASES};
 pub use fault::fault_sweep;
 pub use gen::{
     alias_free_point, paper_point, random_id, random_stream, AliasFreePoint, PAPER_DEPTHS,
@@ -115,8 +122,9 @@ impl fmt::Display for VerifyReport {
     }
 }
 
-/// Runs all five differential oracles plus the fault-injection sweep with
-/// `points` generated cases each.
+/// Runs all six differential oracles plus the fault-injection sweep with
+/// `points` generated cases each (the cluster oracle clamps itself to
+/// [`MAX_CLUSTER_CASES`] cases and reports the clamped count).
 ///
 /// Deterministic: the same `(seed, points)` always replays the same streams
 /// and configurations, so this is usable as a CI gate
@@ -132,6 +140,7 @@ pub fn run_all(seed: u64, points: usize) -> VerifyReport {
             batch_vs_scalar(seed, points),
             snapshot_restore_lockstep(seed, points),
             fault_sweep(seed, points),
+            cluster_lockstep(seed, points),
         ],
     }
 }
@@ -144,7 +153,7 @@ mod tests {
     fn run_all_is_clean_and_reports_counts() {
         let r = run_all(0xC0FFEE, 4);
         assert!(r.is_clean(), "{r}");
-        assert_eq!(r.oracles.len(), 6);
+        assert_eq!(r.oracles.len(), 7);
         assert!(r.total_comparisons() > 100);
         let text = r.to_string();
         assert!(text.contains("CLEAN"), "{text}");

@@ -390,4 +390,97 @@ grep -q '0 warmed' "$out_snap/serve_bad.txt" \
     || { echo "corrupt snapshot warmed sessions anyway"; cat "$out_snap/serve_bad.txt"; exit 1; }
 echo "corrupt snapshot refused by verify and by warm start (cold fallback)"
 
+say "cluster gate: router + 2 backends, live migration + SIGTERM failover"
+# SERVING.md "Cluster mode". Two ephemeral backends with drain-snapshot
+# dirs behind an ntp route router, a Zipf open-loop load driven through
+# the router, one scripted live migration (session 0 to whichever
+# backend it is not on, after 40 of its frames), one SIGTERM-driven
+# graceful backend failover mid-run — and the loadgen oracle must still
+# match field for field, because graceful failover restores every
+# session from the backend's drain snapshots.
+out_cl="$(mktemp -d)"
+trap 'rm -rf "$out_a" "$out_b" "$cache_dir" "$out_cold" "$out_warm" "$out_fb" "$out_srv" "$out_snap" "$out_cl"' EXIT
+mkdir "$out_cl/b0" "$out_cl/b1"
+
+cluster_backend() {
+    local tag="$1"
+    "$ntp_bin" serve --addr 127.0.0.1:0 --workers 2 \
+        --snapshot-on-drain "$out_cl/$tag" \
+        >"$out_cl/$tag.txt" 2>"$out_cl/$tag.err" &
+    backend_pid=$!
+    backend_addr=""
+    for _ in $(seq 1 100); do
+        backend_addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_cl/$tag.txt" 2>/dev/null | head -1 || true)"
+        [ -n "$backend_addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$backend_addr" ] || { echo "backend $tag never printed its bound address"; exit 1; }
+}
+
+cluster_backend b0; b0_pid=$backend_pid; b0_addr=$backend_addr
+cluster_backend b1; b1_pid=$backend_pid; b1_addr=$backend_addr
+
+"$ntp_bin" route --addr 127.0.0.1:0 \
+    --backends "$b0_addr,$b1_addr" \
+    --snapshot-dirs "$out_cl/b0,$out_cl/b1" \
+    --probe-interval 0.2 --migrate 0:next:40 \
+    >"$out_cl/route.txt" 2>"$out_cl/route.err" &
+route_pid=$!
+raddr=""
+for _ in $(seq 1 100); do
+    raddr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$out_cl/route.txt" 2>/dev/null | head -1 || true)"
+    [ -n "$raddr" ] && break
+    sleep 0.1
+done
+[ -n "$raddr" ] || { echo "ntp route never printed its bound address"; exit 1; }
+echo "router up on $raddr fronting $b0_addr + $b1_addr"
+
+# Zipf open-loop load through the router, in the background so a backend
+# can be torn down mid-run.
+NTP_SCALE=tiny NTP_TRACE_CACHE="$cache_dir" \
+    "$ntp_bin" loadgen --addr "$raddr" --sessions 4 --clients 2 \
+    --open-loop --rate 2000 --duration 2 --zipf 1.0 --seed 0x5EED \
+    --json "$out_cl/loadgen.json" >"$out_cl/loadgen.txt" 2>&1 &
+loadgen_pid=$!
+# Let the scripted migration fire, then SIGTERM backend 1: its drain
+# writes shard snapshots + the marker, and the router must fail it over
+# gracefully while the load keeps running.
+sleep 0.8
+kill -TERM "$b1_pid"
+wait "$loadgen_pid" \
+    || { echo "cluster loadgen failed (served != oracle?)"; cat "$out_cl/loadgen.txt"; exit 1; }
+jq -e '.all_match == true and .applied > 0' "$out_cl/loadgen.json" >/dev/null \
+    || { echo "cluster loadgen report failed validation"; cat "$out_cl/loadgen.json"; exit 1; }
+echo "Zipf load through the router matches the oracle across migration + failover"
+
+# The router's own books: exactly one scripted migration, exactly one
+# failover, nothing lost (graceful failover restores from snapshots).
+"$ntp_bin" top --addr "$raddr" --once --json >"$out_cl/top.json"
+jq -e '.router.counters."route.migrations" == 1
+       and .router.counters."route.failovers" == 1
+       and .router.counters."route.sessions_lost" == 0
+       and .router.counters."route.errors" == 0
+       and .backend1.counters.alive == 0' \
+    "$out_cl/top.json" >/dev/null \
+    || { echo "router counters failed validation"; cat "$out_cl/top.json"; exit 1; }
+"$ntp_bin" top --addr "$raddr" --cluster --once >"$out_cl/top.txt"
+grep -q 'migrations 1  failovers 1' "$out_cl/top.txt" \
+    || { echo "ntp top --cluster header missing the migration/failover counts"; cat "$out_cl/top.txt"; exit 1; }
+grep -qE '^1\s+no' "$out_cl/top.txt" \
+    || { echo "ntp top --cluster table missing the dead backend row"; cat "$out_cl/top.txt"; exit 1; }
+wait "$b1_pid" || { echo "SIGTERMed backend exited nonzero"; cat "$out_cl/b1.err"; exit 1; }
+grep -q 'drained:' "$out_cl/b1.txt" \
+    || { echo "SIGTERMed backend did not drain"; cat "$out_cl/b1.txt"; exit 1; }
+echo "one migration, one graceful failover, zero sessions lost"
+
+# Clean drain of the whole tree through the router.
+"$ntp_bin" top --addr "$raddr" --once --shutdown >/dev/null
+wait "$route_pid" || { echo "ntp route exited nonzero"; cat "$out_cl/route.err"; exit 1; }
+wait "$b0_pid" || { echo "surviving backend exited nonzero"; cat "$out_cl/b0.err"; exit 1; }
+grep -q '\[route\] drained:' "$out_cl/route.txt" \
+    || { echo "router summary missing"; cat "$out_cl/route.txt"; exit 1; }
+grep -q 'drained: 4 sessions' "$out_cl/route.txt" \
+    || { echo "router summary missing the 4 sessions"; cat "$out_cl/route.txt"; exit 1; }
+echo "cluster drained cleanly through the router"
+
 printf '\nAll checks passed.\n'

@@ -30,6 +30,10 @@
 //!   worker pool with bounded queues and `Busy` backpressure, plus the
 //!   client library and replay load generator (`ntp loadgen`, see
 //!   `SERVING.md`);
+//! * [`cluster`] — the session-sharding router (`ntp route`): consistent
+//!   hashing across `ntp serve` backends, live session migration over a
+//!   version-2 wire extension, and snapshot-based failover (see
+//!   `SERVING.md` § Cluster);
 //! * [`hash`] — the shared FNV-1a 64 hashing primitive behind both the
 //!   `.ntc` codec and the wire protocol's frame checksums;
 //! * [`verify`] — the differential-testing and fault-injection harness
@@ -58,6 +62,7 @@
 //! ```
 
 pub use ntp_baselines as baselines;
+pub use ntp_cluster as cluster;
 pub use ntp_core as core;
 pub use ntp_engine as engine;
 pub use ntp_hash as hash;
